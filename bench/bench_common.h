@@ -1,0 +1,125 @@
+// Shared helpers for the paper-reproduction bench binaries. Every bench prints a
+// banner with its experiment id and fixed seed, regenerates one table or figure of the
+// paper, and emits aligned ASCII tables (plus CSV-ready rows) on stdout.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/deltazip.h"
+#include "src/train/finetune.h"
+#include "src/util/table.h"
+
+namespace dz {
+
+inline void Banner(const std::string& experiment, const std::string& paper_ref,
+                   uint64_t seed) {
+  std::printf("==========================================================\n");
+  std::printf("DeltaZip repro | %s  (paper %s)\n", experiment.c_str(), paper_ref.c_str());
+  std::printf("seed=%llu\n", static_cast<unsigned long long>(seed));
+  std::printf("==========================================================\n");
+}
+
+// A multi-task fine-tuning "instruction mix", used when a single variant must be
+// evaluated on several downstream tasks (paper Table 1 setup).
+class TaskMix : public Task {
+ public:
+  // Optional per-task sampling weights (uniform when empty). Harder tasks typically get
+  // more weight, like oversampling hard splits in a real instruction mix.
+  explicit TaskMix(std::vector<const Task*> tasks, std::vector<double> weights = {})
+      : tasks_(std::move(tasks)), weights_(std::move(weights)) {}
+
+  Example Sample(Rng& rng) const override {
+    if (!weights_.empty()) {
+      return tasks_[static_cast<size_t>(rng.Categorical(weights_))]->Sample(rng);
+    }
+    return tasks_[rng.NextBelow(tasks_.size())]->Sample(rng);
+  }
+  std::vector<int> label_tokens() const override {
+    std::vector<int> all;
+    for (const Task* t : tasks_) {
+      for (int l : t->label_tokens()) {
+        all.push_back(l);
+      }
+    }
+    return all;
+  }
+  std::string name() const override { return "task-mix"; }
+
+ private:
+  std::vector<const Task*> tasks_;
+  std::vector<double> weights_;
+};
+
+// One trained model family: pretrained base + one FMT variant fine-tuned on a task mix.
+struct TrainedFamily {
+  std::string name;
+  ModelConfig config;
+  std::unique_ptr<Transformer> base;
+  std::unique_ptr<Transformer> finetuned;
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<std::vector<int>> calibration;
+};
+
+inline TrainedFamily BuildFamily(const std::string& name, const ModelConfig& config,
+                                 const std::vector<TaskKind>& task_kinds,
+                                 int pretrain_steps, int finetune_steps, uint64_t seed,
+                                 int calib_samples = 12, bool freeze_embeddings = false,
+                                 std::vector<double> task_weights = {}) {
+  TrainedFamily family;
+  family.name = name;
+  family.config = config;
+  Rng rng(seed);
+  family.base = std::make_unique<Transformer>(ModelWeights::RandomInit(config, rng));
+  PretrainConfig pre;
+  pre.steps = pretrain_steps;
+  pre.batch = 8;
+  pre.seq_len = 20;
+  Pretrain(*family.base, pre, rng);
+
+  for (TaskKind kind : task_kinds) {
+    family.tasks.push_back(MakeTask(kind, config, seed ^ (0x1000u + static_cast<uint64_t>(kind))));
+  }
+  std::vector<const Task*> raw;
+  for (const auto& t : family.tasks) {
+    raw.push_back(t.get());
+  }
+  const TaskMix mix(raw, std::move(task_weights));
+
+  family.finetuned = std::make_unique<Transformer>(family.base->weights());
+  FineTuneConfig ft;
+  ft.steps = finetune_steps;
+  ft.batch = 8;
+  ft.lr = 2e-3f;
+  ft.freeze_embeddings = freeze_embeddings;
+  Rng ft_rng = rng.Fork();
+  FineTuneFmt(*family.finetuned, mix, ft, ft_rng);
+
+  Rng calib_rng = rng.Fork();
+  for (int i = 0; i < calib_samples; ++i) {
+    family.calibration.push_back(mix.Sample(calib_rng).tokens);
+  }
+  return family;
+}
+
+// "gemma-2-sim": same vocabulary but a narrower trunk, so the (uncompressed) embedding
+// deltas form a larger share of the artifact — reproducing the paper's observation that
+// Gemma-2 compression ratios are lower (§6.2).
+inline ModelConfig GemmaSimConfig() {
+  ModelConfig c;
+  c.vocab_size = 128;
+  c.d_model = 48;
+  c.n_layers = 2;
+  c.n_heads = 4;
+  c.d_ff = 128;
+  c.max_seq = 64;
+  return c;
+}
+
+inline std::string Pct(double frac) { return Table::Num(frac * 100.0, 2); }
+
+}  // namespace dz
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 6: (compressed) matrix-multiplication performance — normalized
+// achieved FLOPs vs input size for fp16 / int1 / int2 / int4 / sparse-int4 weights.
+// Expected shape: at small inputs (decode) all compressed formats beat fp16 in
+// proportion to bytes moved; at large inputs (prefill) quantized-dense formats saturate
+// at dense-fp16 peak while 2:4 sparse exceeds it (~1.6x).
+#include "bench/bench_common.h"
+#include "src/simgpu/kernel_model.h"
+
+namespace dz {
+namespace {
+
+void Run() {
+  Banner("Figure 6 — compressed matmul performance", "Fig. 6", 0);
+  const KernelModel km{GpuSpec::A800()};
+  const long long n = 4096;
+  const long long k = 4096;
+  const double peak = km.spec().peak_fp16_tflops * 1e12;
+
+  const std::vector<WeightFormat> formats = {
+      WeightFormat::kSparseInt4, WeightFormat::kFp16, WeightFormat::kInt1,
+      WeightFormat::kInt2, WeightFormat::kInt4};
+
+  std::vector<std::string> header = {"input size"};
+  for (WeightFormat f : formats) {
+    header.push_back(WeightFormatName(f));
+  }
+  Table table(header);
+  for (long long m = 2; m <= 4096; m *= 2) {
+    std::vector<std::string> row = {std::to_string(m)};
+    for (WeightFormat f : formats) {
+      const double norm = km.AchievedFlops(m, n, k, f) / peak;
+      row.push_back(Table::Num(norm * 100.0, 1));
+    }
+    table.AddRow(row);
+  }
+  std::printf("normalized achieved FLOPs (%% of dense fp16 peak), W = %lldx%lld:\n\n%s\n",
+              n, k, table.ToAscii().c_str());
+  const double sparse_peak =
+      km.AchievedFlops(4096, n, k, WeightFormat::kSparseInt4) / peak;
+  std::printf("sparse-int4 at large input: %.2fx dense peak (paper: ~1.6x)\n",
+              sparse_peak);
+}
+
+}  // namespace
+}  // namespace dz
+
+int main() {
+  dz::Run();
+  return 0;
+}

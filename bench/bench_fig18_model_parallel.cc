@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 18: end-to-end latency and TTFT of DeltaZip with varying
+// tensor-parallel degree — 7B on {1,2}x RTX 3090 and 13B on {2,4}x A800.
+// Expected shape: more GPUs reduce latency, with a larger relative gain on the A800
+// platform because of its faster interconnect.
+#include "bench/bench_common.h"
+
+namespace dz {
+namespace {
+
+void Run() {
+  const uint64_t seed = 1818;
+  Banner("Figure 18 — tensor parallelism scaling", "Fig. 18", seed);
+
+  Table table({"platform", "model", "TP", "mean E2E (s)", "mean TTFT (s)"});
+  struct Setting {
+    const char* platform;
+    GpuSpec gpu;
+    ModelShape shape;
+    int tp;
+  };
+  const std::vector<Setting> settings = {
+      {"RTX 3090", GpuSpec::Rtx3090(), ModelShape::Llama7B(), 1},
+      {"RTX 3090", GpuSpec::Rtx3090(), ModelShape::Llama7B(), 2},
+      {"A800", GpuSpec::A800(), ModelShape::Llama13B(), 2},
+      {"A800", GpuSpec::A800(), ModelShape::Llama13B(), 4},
+  };
+
+  for (const auto& s : settings) {
+    TraceConfig tc;
+    tc.n_models = 16;
+    tc.arrival_rate = 1.2;
+    tc.duration_s = 150.0;
+    tc.dist = PopularityDist::kZipf;
+    tc.seed = seed;
+    const Trace trace = GenerateTrace(tc);
+
+    EngineConfig cfg;
+    cfg.exec.shape = s.shape;
+    cfg.exec.gpu = s.gpu;
+    cfg.exec.tp = s.tp;
+    cfg.max_concurrent_deltas = 8;
+    const ServeReport r = MakeDeltaZipEngine(cfg)->Serve(trace);
+    table.AddRow({s.platform, s.shape.name, std::to_string(s.tp),
+                  Table::Num(r.MeanE2e(), 1), Table::Num(r.MeanTtft(), 1)});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf("Expected shape (paper Fig. 18): latency drops with GPU count; the gain\n"
+              "is larger on A800 (NVLink) than on RTX 3090 (PCIe peer transfers).\n");
+}
+
+}  // namespace
+}  // namespace dz
+
+int main() {
+  dz::Run();
+  return 0;
+}

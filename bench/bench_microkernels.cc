@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the real (CPU-executed) primitives: dense GEMM,
+// packed dequant-GEMM, 2:4 sparse GEMM, the OBS solver, and the lossless codec. These
+// measure this library's own kernels (not the simulated GPU model) and back the
+// relative-cost assumptions used elsewhere.
+#include <benchmark/benchmark.h>
+
+#include "src/compress/lossless.h"
+#include "src/compress/obs.h"
+#include "src/tensor/packed_quant.h"
+#include "src/tensor/sparse24.h"
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+void BM_DenseGemmNT(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix x = Matrix::Random(m, 256, rng, 1.0f);
+  const Matrix w = Matrix::Random(256, 256, rng, 0.02f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatmulNT(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * m * 256 * 256);
+}
+BENCHMARK(BM_DenseGemmNT)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_PackedQuantGemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Matrix x = Matrix::Random(m, 256, rng, 1.0f);
+  const auto w = PackedQuantMatrix::Quantize(Matrix::Random(256, 256, rng, 0.02f), 4, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.MatmulNT(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * m * 256 * 256);
+}
+BENCHMARK(BM_PackedQuantGemm)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Sparse24Gemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Matrix x = Matrix::Random(m, 256, rng, 1.0f);
+  const auto w =
+      Sparse24Matrix::Pack(MagnitudePrune24(Matrix::Random(256, 256, rng, 0.02f)), 4, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.MatmulNT(x));
+  }
+  // Counted at dense FLOPs so throughput is comparable with the dense kernels.
+  state.SetItemsProcessed(state.iterations() * 2ll * m * 256 * 256);
+}
+BENCHMARK(BM_Sparse24Gemm)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ObsCompress(benchmark::State& state) {
+  Rng rng(4);
+  const Matrix w = Matrix::Random(64, 128, rng, 0.02f);
+  const Matrix x = Matrix::Random(256, 128, rng, 1.0f);
+  ObsConfig cfg;
+  cfg.bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ObsCompress(w, x, cfg));
+  }
+}
+BENCHMARK(BM_ObsCompress)->Arg(2)->Arg(4);
+
+void BM_GdeflateRoundTrip(benchmark::State& state) {
+  Rng rng(5);
+  ByteBuffer input(static_cast<size_t>(state.range(0)));
+  for (auto& b : input) {
+    b = rng.NextDouble() < 0.7 ? 0 : static_cast<uint8_t>(rng.NextBelow(32));
+  }
+  for (auto _ : state) {
+    const ByteBuffer z = GdeflateCompress(input);
+    benchmark::DoNotOptimize(GdeflateDecompress(z));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GdeflateRoundTrip)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_QuantizePack(benchmark::State& state) {
+  Rng rng(6);
+  const Matrix w = Matrix::Random(256, 512, rng, 0.02f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PackedQuantMatrix::Quantize(w, 4, 128));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(w.size()));
+}
+BENCHMARK(BM_QuantizePack);
+
+}  // namespace
+}  // namespace dz
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Reproduces paper Table 1: post-compression model quality (3 downstream tasks) and
+// compression ratios for FP16 / SparseGPT-direct / AWQ / ΔCompress(4-bit) /
+// ΔCompress(2-bit), across several model families.
+//
+// Expected shape: ΔCompress ≈ FP16 accuracy at the highest ratios; SparseGPT applied
+// directly to the fine-tuned weights drops substantially; AWQ holds accuracy but at a
+// much lower ratio; the gemma-sim family shows lower overall ratios because its
+// (uncompressed) embedding share is larger.
+#include "bench/bench_common.h"
+
+namespace dz {
+namespace {
+
+struct MethodResult {
+  std::string method;
+  double acc[3] = {0, 0, 0};
+  double ratio = 1.0;
+};
+
+void Run() {
+  const uint64_t seed = 11;
+  Banner("Table 1 — post-compression model quality", "Tab. 1", seed);
+
+  struct FamilySpec {
+    std::string name;
+    ModelConfig config;
+  };
+  const std::vector<FamilySpec> families = {
+      {"pythia-sim", ModelConfig::Small()},
+      {"llama-sim-7b", ModelConfig::Medium()},
+      {"llama-sim-13b", ModelConfig::Large()},
+      {"gemma-sim-2b", GemmaSimConfig()},
+  };
+  // T1 easy classification, T2 memorization-heavy math, T3 teacher-defined yes/no —
+  // spanning the capacity-utilization spectrum where direct compression starts to hurt.
+  const std::vector<TaskKind> task_kinds = {TaskKind::kSentiment, TaskKind::kArithmetic,
+                                            TaskKind::kTeacher};
+
+  Table table({"model", "method", "T1%", "T2%", "T3%", "ratio"});
+  const int eval_n = 150;
+  const uint64_t eval_seed = 424242;
+
+  for (const auto& spec : families) {
+    // Embeddings are frozen during FMT (common practice; see FineTuneConfig), so the
+    // delta artifact carries only linear-layer payloads — the regime behind the
+    // paper's headline ratios.
+    // Task weights oversample the memorization-heavy math task, which otherwise
+    // under-trains in a uniform mixture at this scale.
+    TrainedFamily family = BuildFamily(spec.name, spec.config, task_kinds, 250, 800,
+                                       seed ^ (spec.config.d_model * 131ull),
+                                       /*calib_samples=*/12, /*freeze_embeddings=*/true,
+                                       /*task_weights=*/{1.0, 2.5, 1.0});
+    const size_t fp16_bytes = family.finetuned->weights().Fp16ByteSize();
+    const size_t linear_fp16 = family.finetuned->weights().LinearFp16ByteSize();
+    const size_t rest_fp16 = fp16_bytes - linear_fp16;
+
+    auto eval3 = [&](const Transformer& model, double out[3]) {
+      for (int t = 0; t < 3; ++t) {
+        out[t] = EvaluateAccuracy(model, *family.tasks[static_cast<size_t>(t)], eval_n,
+                                  eval_seed + t);
+      }
+    };
+
+    std::vector<MethodResult> results;
+    {
+      MethodResult r;
+      r.method = "FP16";
+      eval3(*family.finetuned, r.acc);
+      r.ratio = 1.0;
+      results.push_back(r);
+    }
+    {
+      MethodResult r;
+      r.method = "SparseGPT (4bit*)";
+      ObsConfig cfg;
+      cfg.bits = 4;
+      cfg.prune24 = true;
+      size_t linear_bytes = 0;
+      const Transformer model(SparseGptCompressModel(family.finetuned->weights(),
+                                                     family.calibration, cfg,
+                                                     &linear_bytes));
+      eval3(model, r.acc);
+      r.ratio = static_cast<double>(fp16_bytes) /
+                static_cast<double>(linear_bytes + rest_fp16);
+      results.push_back(r);
+    }
+    {
+      MethodResult r;
+      r.method = "AWQ (4bit)";
+      AwqConfig cfg;
+      cfg.bits = 4;
+      size_t linear_bytes = 0;
+      const Transformer model(AwqCompressModel(family.finetuned->weights(),
+                                               family.calibration, cfg, &linear_bytes));
+      eval3(model, r.acc);
+      r.ratio = static_cast<double>(fp16_bytes) /
+                static_cast<double>(linear_bytes + rest_fp16);
+      results.push_back(r);
+    }
+    for (int bits : {4, 2}) {
+      MethodResult r;
+      r.method = "DeltaZip (" + std::to_string(bits) + "bit*)";
+      DeltaCompressConfig cfg;
+      cfg.bits = bits;
+      const CompressedDelta delta = DeltaCompress(
+          family.base->weights(), family.finetuned->weights(), family.calibration, cfg);
+      const Transformer model(delta.ApplyTo(family.base->weights()));
+      eval3(model, r.acc);
+      r.ratio = static_cast<double>(fp16_bytes) /
+                static_cast<double>(delta.StoredByteSize());
+      results.push_back(r);
+    }
+
+    for (const auto& r : results) {
+      table.AddRow({spec.name, r.method, Pct(r.acc[0]), Pct(r.acc[1]), Pct(r.acc[2]),
+                    Table::Num(r.ratio, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf(
+      "T1/T2/T3 = sentiment-review / math-mod-arith / boolq-teacher (analogs of the\n"
+      "paper's task triples). * = 50%% structured 2:4 pruning on top of quantization.\n"
+      "Expected shape (paper Tab. 1): DeltaZip ≈ FP16 at the highest ratio; SparseGPT\n"
+      "direct drops hardest; AWQ holds accuracy at a lower ratio; gemma-sim ratios are\n"
+      "lower due to its larger embedding share.\n");
+}
+
+}  // namespace
+}  // namespace dz
+
+int main() {
+  dz::Run();
+  return 0;
+}

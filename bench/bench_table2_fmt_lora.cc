@@ -1,0 +1,92 @@
+// Reproduces paper Table 2: FMT vs LoRA vs ΔCompress accuracy per task. Expected
+// shape: ΔCompress tracks FMT closely; LoRA trails on the complex tasks (math/teacher)
+// while staying competitive on easier classification.
+#include "bench/bench_common.h"
+
+namespace dz {
+namespace {
+
+void Run() {
+  const uint64_t seed = 22;
+  Banner("Table 2 — FMT vs LoRA vs ΔCompress", "Tab. 2", seed);
+
+  struct Row {
+    const char* base_model;
+    ModelConfig config;
+    TaskKind task;
+    const char* task_label;
+  };
+  const std::vector<Row> rows = {
+      {"llama-sim-7b", ModelConfig::Medium(), TaskKind::kArithmetic, "Math (GSM8K analog)"},
+      {"pythia-sim", ModelConfig::Small(), TaskKind::kSentiment, "Amazon Review analog"},
+      {"pythia-sim", ModelConfig::Small(), TaskKind::kTeacher, "BoolQ Yes/No analog"},
+      {"pythia-sim", ModelConfig::Small(), TaskKind::kNli, "NLI Classification analog"},
+      {"openllama-sim", ModelConfig::Medium(), TaskKind::kSentiment, "Amazon Review analog"},
+      {"openllama-sim", ModelConfig::Medium(), TaskKind::kNli, "NLI Classification analog"},
+  };
+
+  Table table({"base model", "task", "FMT%", "LoRA%", "dCompress%"});
+  // Cache one pretrained base per (name, config) pair.
+  std::map<std::string, std::unique_ptr<Transformer>> bases;
+  for (const auto& row : rows) {
+    const std::string key = row.base_model;
+    if (bases.count(key) == 0) {
+      Rng rng(seed ^ std::hash<std::string>{}(key));
+      auto base = std::make_unique<Transformer>(ModelWeights::RandomInit(row.config, rng));
+      PretrainConfig pre;
+      pre.steps = 200;
+      pre.batch = 8;
+      pre.seq_len = 20;
+      Pretrain(*base, pre, rng);
+      bases.emplace(key, std::move(base));
+    }
+    const Transformer& base = *bases.at(key);
+    const auto task = MakeTask(row.task, row.config, seed ^ 5);
+    Rng rng(seed ^ static_cast<uint64_t>(row.task) ^ 0xBEEF);
+
+    // Per-method budgets (the paper tunes hyper-parameters per method, §6.4): FMT
+    // converges more slowly on the memorization-heavy math task.
+    FineTuneConfig ft;
+    ft.steps = 400;
+    ft.batch = 8;
+    ft.lr = 2e-3f;
+    FineTuneConfig ft_fmt = ft;
+    ft_fmt.steps = row.task == TaskKind::kArithmetic ? 700 : 400;
+
+    Transformer fmt(base.weights());
+    Rng fmt_rng = rng.Fork();
+    FineTuneFmt(fmt, *task, ft_fmt, fmt_rng);
+    const double acc_fmt = EvaluateAccuracy(fmt, *task, 200, 777);
+
+    Rng lora_rng = rng.Fork();
+    const LoraAdapter lora = FineTuneLora(base, *task, /*rank=*/4, 8.0f, ft, lora_rng);
+    const LinearOverlay overlay = lora.MakeOverlay(base.weights());
+    const double acc_lora = EvaluateAccuracy(base, *task, 200, 777, &overlay);
+
+    Rng calib_rng = rng.Fork();
+    std::vector<std::vector<int>> calibration;
+    for (int i = 0; i < 12; ++i) {
+      calibration.push_back(task->Sample(calib_rng).tokens);
+    }
+    DeltaCompressConfig cfg;
+    cfg.bits = 4;
+    const CompressedDelta delta =
+        DeltaCompress(base.weights(), fmt.weights(), calibration, cfg);
+    const Transformer compressed(delta.ApplyTo(base.weights()));
+    const double acc_dz = EvaluateAccuracy(compressed, *task, 200, 777);
+
+    table.AddRow({row.base_model, row.task_label, Pct(acc_fmt), Pct(acc_lora),
+                  Pct(acc_dz)});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf("Expected shape (paper Tab. 2): ΔCompress ≈ FMT everywhere; LoRA trails\n"
+              "on complex tasks (math, teacher) and is closer on simple classification.\n");
+}
+
+}  // namespace
+}  // namespace dz
+
+int main() {
+  dz::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "src/compress/calibration.h"
+
+#include "src/util/check.h"
+
+namespace dz {
+
+Matrix CaptureLayerInput(const Transformer& model,
+                         const std::vector<std::vector<int>>& calibration,
+                         const std::string& layer_name) {
+  DZ_CHECK(!calibration.empty());
+  // Find the weight so the overlay can still produce the layer's normal output.
+  const Matrix* weight = nullptr;
+  for (const auto& layer : model.weights().LinearLayers()) {
+    if (layer.name == layer_name) {
+      weight = layer.weight;
+      break;
+    }
+  }
+  DZ_CHECK(weight != nullptr);
+
+  std::vector<Matrix> captured;
+  LinearOverlay overlay;
+  overlay.ops[layer_name] = [weight, &captured](const Matrix& x) {
+    captured.push_back(x);
+    return MatmulNT(x, *weight);
+  };
+  for (const auto& tokens : calibration) {
+    model.Forward(tokens, nullptr, &overlay);
+  }
+
+  int total_rows = 0;
+  for (const Matrix& m : captured) {
+    total_rows += m.rows();
+  }
+  DZ_CHECK_GT(total_rows, 0);
+  Matrix stacked(total_rows, captured.front().cols());
+  int row = 0;
+  for (const Matrix& m : captured) {
+    for (int r = 0; r < m.rows(); ++r) {
+      std::copy(m.row(r), m.row(r) + m.cols(), stacked.row(row++));
+    }
+  }
+  return stacked;
+}
+
+}  // namespace dz

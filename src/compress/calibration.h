@@ -1,0 +1,25 @@
+// Calibration-activation capture: runs token sequences through a model and records the
+// inputs that reach a given linear layer. ΔCompress and the SparseGPT/AWQ baselines all
+// calibrate on these captured activations (paper Alg. 1's X_n).
+#ifndef SRC_COMPRESS_CALIBRATION_H_
+#define SRC_COMPRESS_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/transformer.h"
+#include "src/tensor/matrix.h"
+
+namespace dz {
+
+// Stacks the activation rows observed at `layer_name` across all calibration
+// sequences. The model's own (possibly partially reconstructed) weights produce the
+// activations, which is exactly the "reconstruct then recompute inputs" discipline of
+// Alg. 1 lines 6–7.
+Matrix CaptureLayerInput(const Transformer& model,
+                         const std::vector<std::vector<int>>& calibration,
+                         const std::string& layer_name);
+
+}  // namespace dz
+
+#endif  // SRC_COMPRESS_CALIBRATION_H_

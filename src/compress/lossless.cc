@@ -1,0 +1,429 @@
+#include "src/compress/lossless.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit I/O
+// ---------------------------------------------------------------------------
+
+class BitWriter {
+ public:
+  void Put(uint32_t bits, int count) {
+    DZ_CHECK_LE(count, 24);
+    acc_ |= static_cast<uint64_t>(bits & ((1u << count) - 1u)) << fill_;
+    fill_ += count;
+    while (fill_ >= 8) {
+      out_.push_back(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+  ByteBuffer Finish() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  ByteBuffer out_;
+  uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint32_t Get(int count) {
+    while (fill_ < count) {
+      DZ_CHECK_LT(pos_, size_);
+      acc_ |= static_cast<uint64_t>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    const uint32_t v = static_cast<uint32_t>(acc_ & ((1ull << count) - 1ull));
+    acc_ >>= count;
+    fill_ -= count;
+    return v;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Canonical Huffman over the token alphabet:
+//   0..255  literal bytes
+//   256     end-of-block
+//   257     match marker (followed by raw length byte and 15-bit distance)
+// ---------------------------------------------------------------------------
+
+constexpr int kSymbols = 258;
+constexpr int kEob = 256;
+constexpr int kMatch = 257;
+constexpr int kMaxCodeLen = 15;
+constexpr int kMinMatch = 4;
+constexpr int kMaxMatch = kMinMatch + 255;
+constexpr int kWindow = 1 << 15;
+
+// Computes code lengths with a pairing heap; if the tree gets deeper than kMaxCodeLen,
+// frequencies are flattened and the build retried (classic length-limiting trick).
+std::vector<uint8_t> BuildCodeLengths(std::vector<uint64_t> freq) {
+  for (;;) {
+    struct Node {
+      uint64_t weight;
+      int index;  // < kSymbols: leaf; else internal
+    };
+    auto cmp = [](const Node& a, const Node& b) { return a.weight > b.weight; };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+    std::vector<int> parent;
+    parent.reserve(kSymbols * 2);
+    int next_internal = kSymbols;
+    std::vector<int> left, right;
+    std::vector<uint8_t> depth(static_cast<size_t>(kSymbols), 0);
+
+    int present = 0;
+    for (int s = 0; s < kSymbols; ++s) {
+      if (freq[static_cast<size_t>(s)] > 0) {
+        heap.push({freq[static_cast<size_t>(s)], s});
+        ++present;
+      }
+    }
+    if (present == 0) {
+      return depth;
+    }
+    if (present == 1) {
+      for (int s = 0; s < kSymbols; ++s) {
+        if (freq[static_cast<size_t>(s)] > 0) {
+          depth[static_cast<size_t>(s)] = 1;
+        }
+      }
+      return depth;
+    }
+
+    struct Internal {
+      int a, b;
+    };
+    std::vector<Internal> internals;
+    while (heap.size() > 1) {
+      const Node x = heap.top();
+      heap.pop();
+      const Node y = heap.top();
+      heap.pop();
+      internals.push_back({x.index, y.index});
+      heap.push({x.weight + y.weight, next_internal++});
+    }
+    // Depth-assign by walking internals from the root down.
+    std::vector<uint8_t> idepth(internals.size(), 0);
+    bool too_deep = false;
+    for (int i = static_cast<int>(internals.size()) - 1; i >= 0; --i) {
+      const uint8_t d = idepth[static_cast<size_t>(i)];
+      for (int child : {internals[static_cast<size_t>(i)].a,
+                        internals[static_cast<size_t>(i)].b}) {
+        if (child >= kSymbols) {
+          idepth[static_cast<size_t>(child - kSymbols)] = d + 1;
+        } else {
+          depth[static_cast<size_t>(child)] = d + 1;
+          if (d + 1 > kMaxCodeLen) {
+            too_deep = true;
+          }
+        }
+      }
+    }
+    if (!too_deep) {
+      return depth;
+    }
+    for (auto& f : freq) {
+      f = (f + 1) / 2;  // flatten and retry
+    }
+  }
+}
+
+// Canonical code assignment from lengths.
+std::vector<uint32_t> CanonicalCodes(const std::vector<uint8_t>& lengths) {
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  std::vector<int> count(kMaxCodeLen + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) {
+      ++count[l];
+    }
+  }
+  std::vector<uint32_t> next(kMaxCodeLen + 1, 0);
+  uint32_t code = 0;
+  for (int l = 1; l <= kMaxCodeLen; ++l) {
+    code = (code + static_cast<uint32_t>(count[l - 1])) << 1;
+    next[static_cast<size_t>(l)] = code;
+  }
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      codes[s] = next[lengths[s]]++;
+    }
+  }
+  return codes;
+}
+
+// Slow-but-simple canonical decoder.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const std::vector<uint8_t>& lengths) : lengths_(lengths) {
+    codes_ = CanonicalCodes(lengths);
+  }
+
+  int Decode(BitReader& reader) const {
+    uint32_t code = 0;
+    for (int len = 1; len <= kMaxCodeLen; ++len) {
+      code = (code << 1) | reader.Get(1);
+      for (size_t s = 0; s < lengths_.size(); ++s) {
+        if (lengths_[s] == len && codes_[s] == code) {
+          return static_cast<int>(s);
+        }
+      }
+    }
+    DZ_CHECK(false);
+    return -1;
+  }
+
+ private:
+  std::vector<uint8_t> lengths_;
+  std::vector<uint32_t> codes_;
+};
+
+// Bits are emitted MSB-first for canonical codes.
+void PutCode(BitWriter& writer, uint32_t code, int len) {
+  for (int i = len - 1; i >= 0; --i) {
+    writer.Put((code >> i) & 1u, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LZ77 with hash chains
+// ---------------------------------------------------------------------------
+
+struct Token {
+  bool is_match;
+  uint8_t literal;
+  int length;
+  int distance;
+};
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 19;  // 13-bit hash
+}
+
+std::vector<Token> Lz77Parse(const ByteBuffer& input) {
+  std::vector<Token> tokens;
+  const size_t n = input.size();
+  constexpr uint32_t kHashSize = 1 << 13;
+  constexpr int kMaxChain = 32;
+  std::vector<int> head(kHashSize, -1);
+  std::vector<int> prev(n, -1);
+
+  size_t i = 0;
+  while (i < n) {
+    int best_len = 0;
+    int best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const uint32_t h = Hash4(input.data() + i);
+      int cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && chain < kMaxChain &&
+             static_cast<size_t>(cand) + kWindow > i) {
+        int len = 0;
+        const int max_len =
+            static_cast<int>(std::min<size_t>(kMaxMatch, n - i));
+        while (len < max_len && input[static_cast<size_t>(cand) + len] == input[i + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = static_cast<int>(i) - cand;
+          if (len == kMaxMatch) {
+            break;
+          }
+        }
+        cand = prev[static_cast<size_t>(cand)];
+        ++chain;
+      }
+      // Insert current position into the chain.
+      prev[i] = head[h];
+      head[h] = static_cast<int>(i);
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back({true, 0, best_len, best_dist});
+      // Insert skipped positions so later matches can reference them.
+      const size_t end = i + static_cast<size_t>(best_len);
+      for (size_t p = i + 1; p < end && p + kMinMatch <= n; ++p) {
+        const uint32_t h = Hash4(input.data() + p);
+        prev[p] = head[h];
+        head[h] = static_cast<int>(p);
+      }
+      i = end;
+    } else {
+      tokens.push_back({false, input[i], 0, 0});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+void PutU32(ByteBuffer& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<uint8_t>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ByteBuffer GdeflateCompress(const ByteBuffer& input) {
+  const std::vector<Token> tokens = Lz77Parse(input);
+
+  std::vector<uint64_t> freq(static_cast<size_t>(kSymbols), 0);
+  for (const Token& t : tokens) {
+    ++freq[t.is_match ? kMatch : t.literal];
+  }
+  ++freq[kEob];
+  const std::vector<uint8_t> lengths = BuildCodeLengths(freq);
+  const std::vector<uint32_t> codes = CanonicalCodes(lengths);
+
+  ByteBuffer out;
+  PutU32(out, static_cast<uint32_t>(input.size()));
+  // Header: 4-bit code lengths, two per byte.
+  for (int s = 0; s < kSymbols; s += 2) {
+    const uint8_t lo = lengths[static_cast<size_t>(s)];
+    const uint8_t hi = s + 1 < kSymbols ? lengths[static_cast<size_t>(s + 1)] : 0;
+    out.push_back(static_cast<uint8_t>(lo | (hi << 4)));
+  }
+
+  BitWriter writer;
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      PutCode(writer, codes[kMatch], lengths[kMatch]);
+      writer.Put(static_cast<uint32_t>(t.length - kMinMatch), 8);
+      writer.Put(static_cast<uint32_t>(t.distance - 1), 15);
+    } else {
+      PutCode(writer, codes[t.literal], lengths[t.literal]);
+    }
+  }
+  PutCode(writer, codes[kEob], lengths[kEob]);
+  const ByteBuffer body = writer.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+ByteBuffer GdeflateDecompress(const ByteBuffer& compressed) {
+  DZ_CHECK_GE(compressed.size(), 4u + kSymbols / 2);
+  const uint32_t original_size = GetU32(compressed.data());
+  std::vector<uint8_t> lengths(static_cast<size_t>(kSymbols), 0);
+  for (int s = 0; s < kSymbols; s += 2) {
+    const uint8_t packed = compressed[4 + static_cast<size_t>(s / 2)];
+    lengths[static_cast<size_t>(s)] = packed & 0x0F;
+    if (s + 1 < kSymbols) {
+      lengths[static_cast<size_t>(s + 1)] = packed >> 4;
+    }
+  }
+  const HuffmanDecoder decoder(lengths);
+  const size_t header = 4 + kSymbols / 2;
+  BitReader reader(compressed.data() + header, compressed.size() - header);
+
+  ByteBuffer out;
+  out.reserve(original_size);
+  for (;;) {
+    const int sym = decoder.Decode(reader);
+    if (sym == kEob) {
+      break;
+    }
+    if (sym == kMatch) {
+      const int length = static_cast<int>(reader.Get(8)) + kMinMatch;
+      const int distance = static_cast<int>(reader.Get(15)) + 1;
+      DZ_CHECK_LE(static_cast<size_t>(distance), out.size());
+      const size_t start = out.size() - static_cast<size_t>(distance);
+      for (int k = 0; k < length; ++k) {
+        out.push_back(out[start + static_cast<size_t>(k)]);  // may self-overlap
+      }
+    } else {
+      out.push_back(static_cast<uint8_t>(sym));
+    }
+  }
+  DZ_CHECK_EQ(out.size(), original_size);
+  return out;
+}
+
+namespace {
+constexpr uint8_t kRleEscape = 0xE5;
+}  // namespace
+
+ByteBuffer RleCompress(const ByteBuffer& input) {
+  ByteBuffer out;
+  PutU32(out, static_cast<uint32_t>(input.size()));
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t b = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == b && run < 255) {
+      ++run;
+    }
+    if (run >= 4 || b == kRleEscape) {
+      out.push_back(kRleEscape);
+      out.push_back(static_cast<uint8_t>(run));
+      out.push_back(b);
+      i += run;
+    } else {
+      out.push_back(b);
+      ++i;
+    }
+  }
+  return out;
+}
+
+ByteBuffer RleDecompress(const ByteBuffer& compressed) {
+  DZ_CHECK_GE(compressed.size(), 4u);
+  const uint32_t original_size = GetU32(compressed.data());
+  ByteBuffer out;
+  out.reserve(original_size);
+  size_t i = 4;
+  while (i < compressed.size()) {
+    if (compressed[i] == kRleEscape) {
+      DZ_CHECK_LE(i + 2, compressed.size() - 1);
+      const uint8_t run = compressed[i + 1];
+      const uint8_t b = compressed[i + 2];
+      out.insert(out.end(), run, b);
+      i += 3;
+    } else {
+      out.push_back(compressed[i]);
+      ++i;
+    }
+  }
+  DZ_CHECK_EQ(out.size(), original_size);
+  return out;
+}
+
+double CompressionRatio(size_t input_bytes, size_t output_bytes) {
+  if (output_bytes == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(input_bytes) / static_cast<double>(output_bytes);
+}
+
+}  // namespace dz

@@ -1,0 +1,35 @@
+// Lossless byte codecs for the optional step-4 of the compression pipeline
+// (paper Fig. 5). The paper uses nvcomp's GDeflate for GPU-side decompression; we
+// implement the same algorithmic family from scratch:
+//
+//   * LZ77 matching (32 KiB window, min match 4) over the input, producing a
+//     literal/match token stream,
+//   * a canonical Huffman code over the token alphabet (deflate-style),
+//   * a byte-oriented RLE codec as a cheap alternative for ablations.
+//
+// Compress functions return a self-describing buffer; Decompress inverts exactly.
+#ifndef SRC_COMPRESS_LOSSLESS_H_
+#define SRC_COMPRESS_LOSSLESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dz {
+
+using ByteBuffer = std::vector<uint8_t>;
+
+// Deflate-family codec (LZ77 + canonical Huffman).
+ByteBuffer GdeflateCompress(const ByteBuffer& input);
+ByteBuffer GdeflateDecompress(const ByteBuffer& compressed);
+
+// Run-length codec (escape-based).
+ByteBuffer RleCompress(const ByteBuffer& input);
+ByteBuffer RleDecompress(const ByteBuffer& compressed);
+
+// Convenience: achieved ratio (input / output), 1.0 for empty input.
+double CompressionRatio(size_t input_bytes, size_t output_bytes);
+
+}  // namespace dz
+
+#endif  // SRC_COMPRESS_LOSSLESS_H_

@@ -1,0 +1,41 @@
+// SparseGPT-style one-shot compression solver (paper §4.2, Alg. 1 line 5).
+//
+// Given a weight matrix W [out, in] and calibration activations X [samples, in], finds
+// quantized (and optionally 2:4-pruned) weights minimizing ||W·X − W̃·X||² following the
+// optimal-brain-surgeon recipe: process input columns left→right; after quantizing /
+// pruning column j, distribute its error over the remaining columns through the inverse
+// Hessian's Cholesky factor. This is the same math as GPTQ with SparseGPT's mask
+// selection (score wᶜ²/U²cc per 4-column group).
+//
+// ΔCompress calls this on the *delta*; the SparseGPT baseline calls it directly on the
+// fine-tuned weights.
+#ifndef SRC_COMPRESS_OBS_H_
+#define SRC_COMPRESS_OBS_H_
+
+#include "src/tensor/matrix.h"
+
+namespace dz {
+
+struct ObsConfig {
+  int bits = 4;
+  int group_size = 64;      // input-columns per quantization group
+  bool prune24 = true;      // structured 2:4 sparsity
+  float damp_ratio = 0.01f;  // Hessian damping as a fraction of mean(diag(H))
+};
+
+// Returns W̃: every element is either 0 (pruned) or a value on the affine quant grid of
+// its group; pattern is 2:4 along input columns when prune24 is set. The result can be
+// packed losslessly by Sparse24Matrix::Pack / PackedQuantMatrix::Quantize with the same
+// bits and group_size (up to one re-quantization step; see DESIGN.md).
+Matrix ObsCompress(const Matrix& w, const Matrix& x, const ObsConfig& config);
+
+// Round-to-nearest baseline (no error propagation) — used in ablations to show the OBS
+// update matters.
+Matrix RtnCompress(const Matrix& w, const ObsConfig& config);
+
+// Mean squared output error ||W·Xᵀ − W̃·Xᵀ||²/n — the objective Eq. (1) optimizes.
+double LayerOutputError(const Matrix& w, const Matrix& w_compressed, const Matrix& x);
+
+}  // namespace dz
+
+#endif  // SRC_COMPRESS_OBS_H_

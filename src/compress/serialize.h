@@ -1,0 +1,33 @@
+// Binary (de)serialization of compressed-delta artifacts — the persistence layer of
+// the paper's Model Manager / delta zoo (Fig. 4). The format is versioned and
+// self-describing so artifacts written by one process can be registered by another:
+//
+//   [magic "DZIP"] [version u32] [config] [n_layers u32]
+//   per layer: [name] [kind u8] [dims] [packed words] [indices] [scales fp16] [zeros]
+//   [embedding delta | marker] [lm_head delta | marker] [norm deltas]
+//
+// Unlike CompressedDelta::Serialize() (payload-only dump feeding the lossless codec),
+// this format round-trips the complete artifact.
+#ifndef SRC_COMPRESS_SERIALIZE_H_
+#define SRC_COMPRESS_SERIALIZE_H_
+
+#include <string>
+
+#include "src/compress/delta.h"
+
+namespace dz {
+
+// Encodes the artifact (including structure/metadata) into a self-describing buffer.
+ByteBuffer EncodeDelta(const CompressedDelta& delta);
+
+// Decodes a buffer produced by EncodeDelta. Check-fails on malformed input with a
+// wrong magic/version; returns false on truncated payloads.
+bool DecodeDelta(const ByteBuffer& buffer, CompressedDelta& out);
+
+// File helpers (binary). Return false on I/O failure.
+bool WriteDeltaFile(const std::string& path, const CompressedDelta& delta);
+bool ReadDeltaFile(const std::string& path, CompressedDelta& out);
+
+}  // namespace dz
+
+#endif  // SRC_COMPRESS_SERIALIZE_H_

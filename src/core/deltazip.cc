@@ -1,0 +1,106 @@
+#include "src/core/deltazip.h"
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace dz {
+
+DeltaZipService::DeltaZipService(Transformer base, const DeltaZipOptions& options)
+    : base_(std::move(base)), options_(options) {}
+
+int DeltaZipService::RegisterFmtModel(const ModelWeights& finetuned,
+                                      const std::vector<std::vector<int>>& calibration,
+                                      const std::string& name) {
+  CompressedDelta delta =
+      DeltaCompress(base_.weights(), finetuned, calibration, options_.compress);
+  return RegisterCompressedDelta(std::move(delta), name);
+}
+
+int DeltaZipService::RegisterCompressedDelta(CompressedDelta delta,
+                                             const std::string& name) {
+  const int id = static_cast<int>(variants_.size());
+  Variant v;
+  v.info.id = id;
+  v.info.name = name.empty() ? "fmt-variant-" + std::to_string(id) : name;
+  v.info.is_lora = false;
+  v.delta = std::make_unique<CompressedDelta>(std::move(delta));
+  v.info.artifact_bytes = v.delta->StoredByteSize();
+  v.info.compression_ratio = static_cast<double>(base_.weights().Fp16ByteSize()) /
+                             static_cast<double>(v.info.artifact_bytes);
+
+  // Host model: fp16 non-linear deltas applied, linear weights kept at base so the
+  // overlay's decoupled base+Δ path supplies the fine-tuned behaviour.
+  ModelWeights host = v.delta->ApplyTo(base_.weights());
+  for (auto& layer : host.LinearLayers()) {
+    for (const auto& base_layer : base_.weights().LinearLayers()) {
+      if (base_layer.name == layer.name) {
+        *layer.weight = *base_layer.weight;
+        break;
+      }
+    }
+  }
+  v.host = std::make_unique<Transformer>(std::move(host));
+  v.overlay = v.delta->MakeOverlay(v.host->weights());
+  DZ_LOG(kInfo) << "registered " << v.info.name << ": artifact "
+                << v.info.artifact_bytes << " B, ratio "
+                << v.info.compression_ratio << "x";
+  variants_.push_back(std::move(v));
+  return id;
+}
+
+int DeltaZipService::RegisterLora(LoraAdapter adapter, const std::string& name) {
+  const int id = static_cast<int>(variants_.size());
+  Variant v;
+  v.info.id = id;
+  v.info.name = name.empty() ? "lora-variant-" + std::to_string(id) : name;
+  v.info.is_lora = true;
+  v.lora = std::make_unique<LoraAdapter>(std::move(adapter));
+  v.info.artifact_bytes = v.lora->Fp16ByteSize();
+  v.overlay = v.lora->MakeOverlay(base_.weights());
+  variants_.push_back(std::move(v));
+  return id;
+}
+
+VariantInfo DeltaZipService::variant_info(int id) const {
+  DZ_CHECK_GE(id, 0);
+  DZ_CHECK_LT(id, variant_count());
+  return variants_[static_cast<size_t>(id)].info;
+}
+
+const CompressedDelta& DeltaZipService::delta(int id) const {
+  DZ_CHECK_GE(id, 0);
+  DZ_CHECK_LT(id, variant_count());
+  DZ_CHECK(!variants_[static_cast<size_t>(id)].info.is_lora);
+  return *variants_[static_cast<size_t>(id)].delta;
+}
+
+std::vector<int> DeltaZipService::Generate(int variant_id, const std::vector<int>& prompt,
+                                           int max_new, int eos_token) const {
+  if (variant_id < 0) {
+    return base_.GenerateGreedy(prompt, max_new, eos_token);
+  }
+  DZ_CHECK_LT(variant_id, variant_count());
+  const Variant& v = variants_[static_cast<size_t>(variant_id)];
+  const Transformer& host = v.info.is_lora ? base_ : *v.host;
+  return host.GenerateGreedy(prompt, max_new, eos_token, &v.overlay);
+}
+
+Matrix DeltaZipService::Forward(int variant_id, const std::vector<int>& tokens) const {
+  if (variant_id < 0) {
+    return base_.Forward(tokens);
+  }
+  DZ_CHECK_LT(variant_id, variant_count());
+  const Variant& v = variants_[static_cast<size_t>(variant_id)];
+  const Transformer& host = v.info.is_lora ? base_ : *v.host;
+  return host.Forward(tokens, nullptr, &v.overlay);
+}
+
+ServeReport DeltaZipService::SimulateServing(const Trace& trace,
+                                             const EngineConfig& config) const {
+  const auto engine = config.artifact == ArtifactKind::kFullModel
+                          ? MakeVllmScbEngine(config)
+                          : MakeDeltaZipEngine(config);
+  return engine->Serve(trace);
+}
+
+}  // namespace dz

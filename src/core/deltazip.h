@@ -1,0 +1,97 @@
+// DeltaZip public facade — the paper's end-to-end system (Fig. 4) in one API.
+//
+// A DeltaZipService owns one base model plus any number of registered variants:
+//   * full-model-tuned (FMT) checkpoints, which are ΔCompressed at registration time
+//     (the Delta Compressor + Model Manager halves of Fig. 4), and
+//   * LoRA adapters, stored as-is.
+// Inference requests against a variant run the decoupled computation
+// (base GEMM + compressed-delta / adapter path) through a LinearOverlay, and the
+// serving-performance side is exposed through SimulateServing(), which runs a trace
+// against the iteration-level engine in simulated time.
+//
+// Example:
+//   DeltaZipService service(base_transformer, options);
+//   int vid = service.RegisterFmtModel(finetuned_weights, calibration_tokens);
+//   auto tokens = service.Generate(vid, prompt, 16);
+//   ServeReport report = service.SimulateServing(trace, engine_config);
+#ifndef SRC_CORE_DELTAZIP_H_
+#define SRC_CORE_DELTAZIP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compress/delta.h"
+#include "src/nn/transformer.h"
+#include "src/serving/engine.h"
+#include "src/train/lora.h"
+#include "src/workload/trace.h"
+
+namespace dz {
+
+struct DeltaZipOptions {
+  DeltaCompressConfig compress;
+};
+
+struct VariantInfo {
+  int id = 0;
+  std::string name;
+  bool is_lora = false;
+  size_t artifact_bytes = 0;   // stored size of the delta / adapter
+  double compression_ratio = 0.0;  // fine-tuned fp16 size / artifact size (FMT only)
+};
+
+class DeltaZipService {
+ public:
+  DeltaZipService(Transformer base, const DeltaZipOptions& options);
+
+  // Registers a fine-tuned model: extracts and compresses the delta against the given
+  // calibration sequences. Returns the variant id.
+  int RegisterFmtModel(const ModelWeights& finetuned,
+                       const std::vector<std::vector<int>>& calibration,
+                       const std::string& name = "");
+
+  // Registers a LoRA adapter directly (PEFT path).
+  int RegisterLora(LoraAdapter adapter, const std::string& name = "");
+
+  // Registers an already-compressed delta (e.g. loaded from the on-disk delta zoo via
+  // src/compress/serialize.h). The artifact must have been produced against this
+  // service's base model.
+  int RegisterCompressedDelta(CompressedDelta delta, const std::string& name = "");
+
+  int variant_count() const { return static_cast<int>(variants_.size()); }
+  VariantInfo variant_info(int id) const;
+  const CompressedDelta& delta(int id) const;
+
+  const Transformer& base() const { return base_; }
+
+  // Greedy generation against a variant (id < 0 → the base model itself), executing
+  // the decoupled base+delta (or base+adapter) computation.
+  std::vector<int> Generate(int variant_id, const std::vector<int>& prompt, int max_new,
+                            int eos_token = -1) const;
+
+  // Full-sequence logits for a variant (for evaluation harnesses).
+  Matrix Forward(int variant_id, const std::vector<int>& tokens) const;
+
+  // Serving-performance simulation of a multi-variant trace (paper §6.3).
+  ServeReport SimulateServing(const Trace& trace, const EngineConfig& config) const;
+
+ private:
+  struct Variant {
+    VariantInfo info;
+    std::unique_ptr<CompressedDelta> delta;
+    std::unique_ptr<LoraAdapter> lora;
+    LinearOverlay overlay;
+    // FMT variants need the fp16 non-linear deltas applied; we keep a host model with
+    // merged embeddings/norms but *base* linear weights, so the overlay supplies Δ.
+    std::unique_ptr<Transformer> host;
+  };
+
+  Transformer base_;
+  DeltaZipOptions options_;
+  std::vector<Variant> variants_;
+};
+
+}  // namespace dz
+
+#endif  // SRC_CORE_DELTAZIP_H_

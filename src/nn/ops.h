@@ -1,0 +1,65 @@
+// Differentiable primitives for the transformer: RMSNorm, RoPE, causal softmax
+// attention, SiLU/SwiGLU, softmax cross-entropy. Each op has a Forward that stores what
+// its Backward needs; activations use [seq, dim] row-major matrices.
+#ifndef SRC_NN_OPS_H_
+#define SRC_NN_OPS_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace dz {
+
+// y = x * g / rms(x), per row. Returns y; saves inverse-rms per row into inv_rms.
+Matrix RmsNormForward(const Matrix& x, const std::vector<float>& gain, float eps,
+                      std::vector<float>& inv_rms);
+
+// Backprop through RMSNorm. Accumulates gain gradient into dgain.
+Matrix RmsNormBackward(const Matrix& x, const std::vector<float>& gain,
+                       const std::vector<float>& inv_rms, const Matrix& dy,
+                       std::vector<float>& dgain);
+
+// Applies rotary position embeddings in place to a [seq, d_model] matrix interpreted as
+// n_heads blocks of head_dim; position of row i is (pos_offset + i).
+void RopeApply(Matrix& x, int n_heads, float theta, int pos_offset);
+
+// Inverse rotation (RoPE is orthogonal, so backward = rotate gradients by -angle).
+void RopeApplyInverse(Matrix& x, int n_heads, float theta, int pos_offset);
+
+// Causal multi-head attention forward.
+//   q, k, v: [seq, d_model] (already RoPE'd q/k).
+// Saves per-head softmax probabilities (n_heads matrices of [seq, seq]) for backward.
+Matrix AttentionForward(const Matrix& q, const Matrix& k, const Matrix& v, int n_heads,
+                        std::vector<Matrix>& probs);
+
+// Backprop through attention. Outputs dq, dk, dv.
+void AttentionBackward(const Matrix& q, const Matrix& k, const Matrix& v, int n_heads,
+                       const std::vector<Matrix>& probs, const Matrix& dout, Matrix& dq,
+                       Matrix& dk, Matrix& dv);
+
+// Incremental decode attention: the query is a single row at position `pos`, attending
+// over k_cache/v_cache rows [0, pos]. Returns [1, d_model].
+Matrix AttentionDecodeStep(const Matrix& q_row, const Matrix& k_cache,
+                           const Matrix& v_cache, int n_heads);
+
+// h = silu(gate) * up, elementwise.
+Matrix SwiGluForward(const Matrix& gate, const Matrix& up);
+
+// Backprop: given dh, produce dgate and dup.
+void SwiGluBackward(const Matrix& gate, const Matrix& up, const Matrix& dh, Matrix& dgate,
+                    Matrix& dup);
+
+// Row-wise softmax (in place).
+void SoftmaxRows(Matrix& x);
+
+// Mean cross-entropy over rows of logits vs target token ids; also emits dlogits
+// (already divided by the number of rows). Rows with target < 0 are ignored.
+double CrossEntropy(const Matrix& logits, const std::vector<int>& targets,
+                    Matrix& dlogits);
+
+// Loss only (no gradient) — used by evaluation.
+double CrossEntropyLoss(const Matrix& logits, const std::vector<int>& targets);
+
+}  // namespace dz
+
+#endif  // SRC_NN_OPS_H_

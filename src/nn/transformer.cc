@@ -1,0 +1,407 @@
+#include "src/nn/transformer.h"
+
+#include <cmath>
+
+#include "src/nn/ops.h"
+
+namespace dz {
+
+std::string LinearLayerName(int layer, const char* which) {
+  return "layer" + std::to_string(layer) + "." + which;
+}
+
+ModelWeights ModelWeights::RandomInit(const ModelConfig& config, Rng& rng) {
+  config.Validate();
+  ModelWeights w;
+  w.config = config;
+  const float emb_std = 0.8f / std::sqrt(static_cast<float>(config.d_model));
+  const float proj_std = 0.8f / std::sqrt(static_cast<float>(config.d_model));
+  const float ff_std = 0.8f / std::sqrt(static_cast<float>(config.d_ff));
+  w.embedding = Matrix::Random(config.vocab_size, config.d_model, rng, emb_std);
+  w.layers.resize(static_cast<size_t>(config.n_layers));
+  for (auto& layer : w.layers) {
+    layer.wq = Matrix::Random(config.d_model, config.d_model, rng, proj_std);
+    layer.wk = Matrix::Random(config.d_model, config.d_model, rng, proj_std);
+    layer.wv = Matrix::Random(config.d_model, config.d_model, rng, proj_std);
+    layer.wo = Matrix::Random(config.d_model, config.d_model, rng, proj_std);
+    layer.w_gate = Matrix::Random(config.d_ff, config.d_model, rng, proj_std);
+    layer.w_up = Matrix::Random(config.d_ff, config.d_model, rng, proj_std);
+    layer.w_down = Matrix::Random(config.d_model, config.d_ff, rng, ff_std);
+    layer.attn_norm.assign(static_cast<size_t>(config.d_model), 1.0f);
+    layer.mlp_norm.assign(static_cast<size_t>(config.d_model), 1.0f);
+  }
+  w.final_norm.assign(static_cast<size_t>(config.d_model), 1.0f);
+  w.lm_head = Matrix::Random(config.vocab_size, config.d_model, rng, proj_std);
+  return w;
+}
+
+ModelWeights ModelWeights::ZerosLike(const ModelWeights& other) {
+  ModelWeights w;
+  w.config = other.config;
+  w.embedding = Matrix(other.embedding.rows(), other.embedding.cols());
+  w.layers.resize(other.layers.size());
+  for (size_t i = 0; i < w.layers.size(); ++i) {
+    const auto& src = other.layers[i];
+    auto& dst = w.layers[i];
+    dst.wq = Matrix(src.wq.rows(), src.wq.cols());
+    dst.wk = Matrix(src.wk.rows(), src.wk.cols());
+    dst.wv = Matrix(src.wv.rows(), src.wv.cols());
+    dst.wo = Matrix(src.wo.rows(), src.wo.cols());
+    dst.w_gate = Matrix(src.w_gate.rows(), src.w_gate.cols());
+    dst.w_up = Matrix(src.w_up.rows(), src.w_up.cols());
+    dst.w_down = Matrix(src.w_down.rows(), src.w_down.cols());
+    dst.attn_norm.assign(src.attn_norm.size(), 0.0f);
+    dst.mlp_norm.assign(src.mlp_norm.size(), 0.0f);
+  }
+  w.final_norm.assign(other.final_norm.size(), 0.0f);
+  w.lm_head = Matrix(other.lm_head.rows(), other.lm_head.cols());
+  return w;
+}
+
+std::vector<NamedLayer> ModelWeights::LinearLayers() {
+  std::vector<NamedLayer> out;
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    auto& l = layers[static_cast<size_t>(i)];
+    out.push_back({LinearLayerName(i, "wq"), &l.wq});
+    out.push_back({LinearLayerName(i, "wk"), &l.wk});
+    out.push_back({LinearLayerName(i, "wv"), &l.wv});
+    out.push_back({LinearLayerName(i, "wo"), &l.wo});
+    out.push_back({LinearLayerName(i, "w_gate"), &l.w_gate});
+    out.push_back({LinearLayerName(i, "w_up"), &l.w_up});
+    out.push_back({LinearLayerName(i, "w_down"), &l.w_down});
+  }
+  return out;
+}
+
+std::vector<NamedLayerConst> ModelWeights::LinearLayers() const {
+  std::vector<NamedLayerConst> out;
+  for (const auto& layer : const_cast<ModelWeights*>(this)->LinearLayers()) {
+    out.push_back({layer.name, layer.weight});
+  }
+  return out;
+}
+
+size_t ModelWeights::ParamCount() const {
+  size_t n = embedding.size() + lm_head.size() + final_norm.size();
+  for (const auto& l : layers) {
+    n += l.wq.size() + l.wk.size() + l.wv.size() + l.wo.size() + l.w_gate.size() +
+         l.w_up.size() + l.w_down.size() + l.attn_norm.size() + l.mlp_norm.size();
+  }
+  return n;
+}
+
+size_t ModelWeights::Fp16ByteSize() const { return ParamCount() * 2; }
+
+size_t ModelWeights::LinearFp16ByteSize() const {
+  size_t n = 0;
+  for (const auto& layer : LinearLayers()) {
+    n += layer.weight->size();
+  }
+  return n * 2;
+}
+
+namespace {
+
+void AxpyVec(float alpha, const std::vector<float>& x, std::vector<float>& y) {
+  DZ_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+}  // namespace
+
+void ModelWeights::Axpy(float alpha, const ModelWeights& other) {
+  dz::Axpy(alpha, other.embedding, embedding);
+  dz::Axpy(alpha, other.lm_head, lm_head);
+  AxpyVec(alpha, other.final_norm, final_norm);
+  DZ_CHECK_EQ(layers.size(), other.layers.size());
+  for (size_t i = 0; i < layers.size(); ++i) {
+    dz::Axpy(alpha, other.layers[i].wq, layers[i].wq);
+    dz::Axpy(alpha, other.layers[i].wk, layers[i].wk);
+    dz::Axpy(alpha, other.layers[i].wv, layers[i].wv);
+    dz::Axpy(alpha, other.layers[i].wo, layers[i].wo);
+    dz::Axpy(alpha, other.layers[i].w_gate, layers[i].w_gate);
+    dz::Axpy(alpha, other.layers[i].w_up, layers[i].w_up);
+    dz::Axpy(alpha, other.layers[i].w_down, layers[i].w_down);
+    AxpyVec(alpha, other.layers[i].attn_norm, layers[i].attn_norm);
+    AxpyVec(alpha, other.layers[i].mlp_norm, layers[i].mlp_norm);
+  }
+}
+
+void ModelWeights::Scale(float s) {
+  embedding.ScaleInPlace(s);
+  lm_head.ScaleInPlace(s);
+  for (auto& g : final_norm) {
+    g *= s;
+  }
+  for (auto& l : layers) {
+    l.wq.ScaleInPlace(s);
+    l.wk.ScaleInPlace(s);
+    l.wv.ScaleInPlace(s);
+    l.wo.ScaleInPlace(s);
+    l.w_gate.ScaleInPlace(s);
+    l.w_up.ScaleInPlace(s);
+    l.w_down.ScaleInPlace(s);
+    for (auto& g : l.attn_norm) {
+      g *= s;
+    }
+    for (auto& g : l.mlp_norm) {
+      g *= s;
+    }
+  }
+}
+
+Transformer::Transformer(ModelWeights weights) : weights_(std::move(weights)) {
+  weights_.config.Validate();
+}
+
+Matrix Transformer::ApplyLinear(const std::string& name, const Matrix& w, const Matrix& x,
+                                const LinearOverlay* overlay) const {
+  if (overlay != nullptr) {
+    auto it = overlay->ops.find(name);
+    if (it != overlay->ops.end()) {
+      return it->second(x);
+    }
+  }
+  return MatmulNT(x, w);
+}
+
+Matrix Transformer::Forward(const std::vector<int>& tokens, ForwardCache* cache,
+                            const LinearOverlay* overlay) const {
+  const ModelConfig& cfg = weights_.config;
+  const int seq = static_cast<int>(tokens.size());
+  DZ_CHECK_GT(seq, 0);
+  DZ_CHECK_LE(seq, cfg.max_seq);
+
+  Matrix x(seq, cfg.d_model);
+  for (int i = 0; i < seq; ++i) {
+    const int t = tokens[static_cast<size_t>(i)];
+    DZ_CHECK_GE(t, 0);
+    DZ_CHECK_LT(t, cfg.vocab_size);
+    const float* emb = weights_.embedding.row(t);
+    std::copy(emb, emb + cfg.d_model, x.row(i));
+  }
+  if (cache != nullptr) {
+    cache->tokens = tokens;
+    cache->embedded = x;
+    cache->layers.assign(static_cast<size_t>(cfg.n_layers), ForwardCache::Layer{});
+  }
+
+  for (int li = 0; li < cfg.n_layers; ++li) {
+    const LayerWeights& lw = weights_.layers[static_cast<size_t>(li)];
+    ForwardCache::Layer* lc = cache != nullptr ? &cache->layers[static_cast<size_t>(li)]
+                                               : nullptr;
+    // Attention block (pre-norm).
+    std::vector<float> inv_rms;
+    const Matrix normed = RmsNormForward(x, lw.attn_norm, cfg.norm_eps, inv_rms);
+    Matrix q = ApplyLinear(LinearLayerName(li, "wq"), lw.wq, normed, overlay);
+    Matrix k = ApplyLinear(LinearLayerName(li, "wk"), lw.wk, normed, overlay);
+    const Matrix v = ApplyLinear(LinearLayerName(li, "wv"), lw.wv, normed, overlay);
+    RopeApply(q, cfg.n_heads, cfg.rope_theta, 0);
+    RopeApply(k, cfg.n_heads, cfg.rope_theta, 0);
+    std::vector<Matrix> probs;
+    const Matrix attn = AttentionForward(q, k, v, cfg.n_heads, probs);
+    const Matrix o = ApplyLinear(LinearLayerName(li, "wo"), lw.wo, attn, overlay);
+    if (lc != nullptr) {
+      lc->attn_in = x;
+      lc->attn_inv_rms = inv_rms;
+      lc->attn_normed = normed;
+      lc->q_rope = q;
+      lc->k_rope = k;
+      lc->v = v;
+      lc->probs = probs;
+      lc->attn_out = attn;
+    }
+    x.AddInPlace(o);
+
+    // MLP block.
+    std::vector<float> mlp_inv_rms;
+    const Matrix mlp_normed = RmsNormForward(x, lw.mlp_norm, cfg.norm_eps, mlp_inv_rms);
+    const Matrix gate =
+        ApplyLinear(LinearLayerName(li, "w_gate"), lw.w_gate, mlp_normed, overlay);
+    const Matrix up =
+        ApplyLinear(LinearLayerName(li, "w_up"), lw.w_up, mlp_normed, overlay);
+    const Matrix h = SwiGluForward(gate, up);
+    const Matrix down = ApplyLinear(LinearLayerName(li, "w_down"), lw.w_down, h, overlay);
+    if (lc != nullptr) {
+      lc->mlp_in = x;
+      lc->mlp_inv_rms = mlp_inv_rms;
+      lc->mlp_normed = mlp_normed;
+      lc->gate = gate;
+      lc->up = up;
+      lc->swiglu = h;
+    }
+    x.AddInPlace(down);
+  }
+
+  std::vector<float> final_inv_rms;
+  const Matrix final_normed = RmsNormForward(x, weights_.final_norm, cfg.norm_eps,
+                                             final_inv_rms);
+  if (cache != nullptr) {
+    cache->final_in = x;
+    cache->final_inv_rms = final_inv_rms;
+    cache->final_normed = final_normed;
+  }
+  return MatmulNT(final_normed, weights_.lm_head);
+}
+
+void Transformer::Backward(const ForwardCache& cache, const Matrix& dlogits,
+                           ModelWeights& grads) const {
+  const ModelConfig& cfg = weights_.config;
+  DZ_CHECK_EQ(static_cast<int>(cache.layers.size()), cfg.n_layers);
+
+  // LM head: logits = final_normed · lm_headᵀ.
+  grads.lm_head.AddInPlace(MatmulTN(dlogits, cache.final_normed));
+  Matrix dfinal_normed = Matmul(dlogits, weights_.lm_head);
+  Matrix dx = RmsNormBackward(cache.final_in, weights_.final_norm, cache.final_inv_rms,
+                              dfinal_normed, grads.final_norm);
+
+  for (int li = cfg.n_layers - 1; li >= 0; --li) {
+    const LayerWeights& lw = weights_.layers[static_cast<size_t>(li)];
+    LayerWeights& gw = grads.layers[static_cast<size_t>(li)];
+    const ForwardCache::Layer& lc = cache.layers[static_cast<size_t>(li)];
+
+    // MLP block backward: x_out = mlp_in + w_down(swiglu(gate, up)).
+    const Matrix& ddown = dx;  // gradient flowing into the w_down output
+    gw.w_down.AddInPlace(MatmulTN(ddown, lc.swiglu));
+    const Matrix dh = Matmul(ddown, lw.w_down);
+    Matrix dgate, dup;
+    SwiGluBackward(lc.gate, lc.up, dh, dgate, dup);
+    gw.w_gate.AddInPlace(MatmulTN(dgate, lc.mlp_normed));
+    gw.w_up.AddInPlace(MatmulTN(dup, lc.mlp_normed));
+    Matrix dmlp_normed = Matmul(dgate, lw.w_gate);
+    dmlp_normed.AddInPlace(Matmul(dup, lw.w_up));
+    const Matrix dmlp_in = RmsNormBackward(lc.mlp_in, lw.mlp_norm, lc.mlp_inv_rms,
+                                           dmlp_normed, gw.mlp_norm);
+    dx.AddInPlace(dmlp_in);  // residual: d(mlp_in) = dx(out) + d(norm path)
+
+    // Attention block backward: x_mid = attn_in + wo(attn(...)).
+    const Matrix& do_ = dx;
+    gw.wo.AddInPlace(MatmulTN(do_, lc.attn_out));
+    const Matrix dattn = Matmul(do_, lw.wo);
+    Matrix dq, dk, dv;
+    AttentionBackward(lc.q_rope, lc.k_rope, lc.v, cfg.n_heads, lc.probs, dattn, dq, dk,
+                      dv);
+    RopeApplyInverse(dq, cfg.n_heads, cfg.rope_theta, 0);
+    RopeApplyInverse(dk, cfg.n_heads, cfg.rope_theta, 0);
+    gw.wq.AddInPlace(MatmulTN(dq, lc.attn_normed));
+    gw.wk.AddInPlace(MatmulTN(dk, lc.attn_normed));
+    gw.wv.AddInPlace(MatmulTN(dv, lc.attn_normed));
+    Matrix dattn_normed = Matmul(dq, lw.wq);
+    dattn_normed.AddInPlace(Matmul(dk, lw.wk));
+    dattn_normed.AddInPlace(Matmul(dv, lw.wv));
+    const Matrix dattn_in = RmsNormBackward(lc.attn_in, lw.attn_norm, lc.attn_inv_rms,
+                                            dattn_normed, gw.attn_norm);
+    dx.AddInPlace(dattn_in);
+  }
+
+  // Embedding rows.
+  for (int i = 0; i < static_cast<int>(cache.tokens.size()); ++i) {
+    const int t = cache.tokens[static_cast<size_t>(i)];
+    float* grow = grads.embedding.row(t);
+    const float* dxr = dx.row(i);
+    for (int j = 0; j < cfg.d_model; ++j) {
+      grow[j] += dxr[j];
+    }
+  }
+}
+
+KVCache Transformer::MakeKVCache() const {
+  KVCache kv;
+  kv.k.assign(static_cast<size_t>(weights_.config.n_layers), Matrix());
+  kv.v.assign(static_cast<size_t>(weights_.config.n_layers), Matrix());
+  kv.len = 0;
+  return kv;
+}
+
+namespace {
+
+// Appends a single row to a [len, d] matrix.
+void AppendRow(Matrix& m, const Matrix& row, int d) {
+  Matrix grown(m.rows() + 1, d);
+  if (m.rows() > 0) {
+    std::copy(m.data().begin(), m.data().end(), grown.data().begin());
+  }
+  std::copy(row.row(0), row.row(0) + d, grown.row(m.rows()));
+  m = std::move(grown);
+}
+
+}  // namespace
+
+Matrix Transformer::DecodeStep(int token, KVCache& kv,
+                               const LinearOverlay* overlay) const {
+  const ModelConfig& cfg = weights_.config;
+  DZ_CHECK_GE(token, 0);
+  DZ_CHECK_LT(token, cfg.vocab_size);
+  DZ_CHECK_LT(kv.len, cfg.max_seq);
+  const int pos = kv.len;
+
+  Matrix x(1, cfg.d_model);
+  const float* emb = weights_.embedding.row(token);
+  std::copy(emb, emb + cfg.d_model, x.row(0));
+
+  for (int li = 0; li < cfg.n_layers; ++li) {
+    const LayerWeights& lw = weights_.layers[static_cast<size_t>(li)];
+    std::vector<float> inv_rms;
+    const Matrix normed = RmsNormForward(x, lw.attn_norm, cfg.norm_eps, inv_rms);
+    Matrix q = ApplyLinear(LinearLayerName(li, "wq"), lw.wq, normed, overlay);
+    Matrix k = ApplyLinear(LinearLayerName(li, "wk"), lw.wk, normed, overlay);
+    const Matrix v = ApplyLinear(LinearLayerName(li, "wv"), lw.wv, normed, overlay);
+    RopeApply(q, cfg.n_heads, cfg.rope_theta, pos);
+    RopeApply(k, cfg.n_heads, cfg.rope_theta, pos);
+    AppendRow(kv.k[static_cast<size_t>(li)], k, cfg.d_model);
+    AppendRow(kv.v[static_cast<size_t>(li)], v, cfg.d_model);
+    const Matrix attn = AttentionDecodeStep(q, kv.k[static_cast<size_t>(li)],
+                                            kv.v[static_cast<size_t>(li)], cfg.n_heads);
+    const Matrix o = ApplyLinear(LinearLayerName(li, "wo"), lw.wo, attn, overlay);
+    x.AddInPlace(o);
+
+    std::vector<float> mlp_inv_rms;
+    const Matrix mlp_normed = RmsNormForward(x, lw.mlp_norm, cfg.norm_eps, mlp_inv_rms);
+    const Matrix gate =
+        ApplyLinear(LinearLayerName(li, "w_gate"), lw.w_gate, mlp_normed, overlay);
+    const Matrix up =
+        ApplyLinear(LinearLayerName(li, "w_up"), lw.w_up, mlp_normed, overlay);
+    const Matrix h = SwiGluForward(gate, up);
+    const Matrix down = ApplyLinear(LinearLayerName(li, "w_down"), lw.w_down, h, overlay);
+    x.AddInPlace(down);
+  }
+  ++kv.len;
+
+  std::vector<float> final_inv_rms;
+  const Matrix final_normed = RmsNormForward(x, weights_.final_norm, cfg.norm_eps,
+                                             final_inv_rms);
+  return MatmulNT(final_normed, weights_.lm_head);
+}
+
+std::vector<int> Transformer::GenerateGreedy(const std::vector<int>& prompt, int max_new,
+                                             int eos_token,
+                                             const LinearOverlay* overlay) const {
+  DZ_CHECK(!prompt.empty());
+  KVCache kv = MakeKVCache();
+  Matrix logits;
+  for (int t : prompt) {
+    logits = DecodeStep(t, kv, overlay);
+  }
+  std::vector<int> out;
+  for (int step = 0; step < max_new && kv.len < weights_.config.max_seq; ++step) {
+    int best = 0;
+    const float* row = logits.row(0);
+    for (int j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) {
+        best = j;
+      }
+    }
+    out.push_back(best);
+    if (best == eos_token) {
+      break;
+    }
+    if (kv.len < weights_.config.max_seq) {
+      logits = DecodeStep(best, kv, overlay);
+    }
+  }
+  return out;
+}
+
+}  // namespace dz

@@ -1,0 +1,148 @@
+// Llama-style transformer with explicit forward/backward passes.
+//
+// The model is the substrate for reproducing the paper's quality experiments: base
+// models are randomly initialized, "pre-trained" and "fine-tuned" with real gradient
+// descent (src/train), and the resulting weight deltas feed ΔCompress (src/compress).
+//
+// Linear layers can be rerouted through a LinearOverlay, which is how the serving
+// engine's decoupled computation  (w_base + Δ)·x = w_base·x + Δ·x  (paper Eq. 2) is
+// executed and validated numerically: the overlay supplies a function per named layer
+// that computes y = x·Wᵀ from base weights plus a compressed delta.
+#ifndef SRC_NN_TRANSFORMER_H_
+#define SRC_NN_TRANSFORMER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/config.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace dz {
+
+struct LayerWeights {
+  Matrix wq, wk, wv, wo;  // [d_model, d_model]
+  Matrix w_gate, w_up;    // [d_ff, d_model]
+  Matrix w_down;          // [d_model, d_ff]
+  std::vector<float> attn_norm, mlp_norm;  // [d_model]
+};
+
+// A named reference to one linear weight matrix — the unit of delta compression.
+struct NamedLayer {
+  std::string name;
+  Matrix* weight;
+};
+struct NamedLayerConst {
+  std::string name;
+  const Matrix* weight;
+};
+
+struct ModelWeights {
+  ModelConfig config;
+  Matrix embedding;  // [vocab, d_model]
+  std::vector<LayerWeights> layers;
+  std::vector<float> final_norm;
+  Matrix lm_head;  // [vocab, d_model]
+
+  static ModelWeights RandomInit(const ModelConfig& config, Rng& rng);
+  // Same shapes, all zeros — used as a gradient container.
+  static ModelWeights ZerosLike(const ModelWeights& other);
+
+  // All delta-compressible linear layers (q/k/v/o/gate/up/down per block).
+  // Embeddings, norms, and the LM head are excluded, mirroring the paper (§6.2 notes
+  // the embedding layers are not compressed).
+  std::vector<NamedLayer> LinearLayers();
+  std::vector<NamedLayerConst> LinearLayers() const;
+
+  size_t ParamCount() const;
+  // fp16 serialized size of all parameters (the paper's FP16 baseline footprint).
+  size_t Fp16ByteSize() const;
+  // fp16 size of just the delta-compressible linear layers.
+  size_t LinearFp16ByteSize() const;
+
+  // this += alpha * other (all tensors).
+  void Axpy(float alpha, const ModelWeights& other);
+  void Scale(float s);
+};
+
+// Reroutes named linear layers through custom functions computing y = x·Wᵀ.
+struct LinearOverlay {
+  std::unordered_map<std::string, std::function<Matrix(const Matrix&)>> ops;
+
+  bool Has(const std::string& name) const { return ops.count(name) > 0; }
+};
+
+// Per-layer KV cache for incremental decoding.
+struct KVCache {
+  std::vector<Matrix> k;  // per layer, [len, d_model]
+  std::vector<Matrix> v;
+  int len = 0;
+};
+
+// Activation cache captured by Forward for use by Backward.
+struct ForwardCache {
+  std::vector<int> tokens;
+  Matrix embedded;
+  struct Layer {
+    Matrix attn_in;
+    std::vector<float> attn_inv_rms;
+    Matrix attn_normed;
+    Matrix q_rope, k_rope, v;
+    std::vector<Matrix> probs;
+    Matrix attn_out;  // pre-wo
+    Matrix mlp_in;
+    std::vector<float> mlp_inv_rms;
+    Matrix mlp_normed;
+    Matrix gate, up, swiglu;
+  };
+  std::vector<Layer> layers;
+  Matrix final_in;
+  std::vector<float> final_inv_rms;
+  Matrix final_normed;
+};
+
+class Transformer {
+ public:
+  explicit Transformer(ModelWeights weights);
+
+  const ModelConfig& config() const { return weights_.config; }
+  const ModelWeights& weights() const { return weights_; }
+  ModelWeights& mutable_weights() { return weights_; }
+
+  // Full-sequence forward. Returns logits [seq, vocab]. If cache != nullptr the
+  // activations needed by Backward are recorded. If overlay != nullptr, matching
+  // linear layers are computed through it.
+  Matrix Forward(const std::vector<int>& tokens, ForwardCache* cache = nullptr,
+                 const LinearOverlay* overlay = nullptr) const;
+
+  // Accumulates parameter gradients into `grads` given d(loss)/d(logits).
+  void Backward(const ForwardCache& cache, const Matrix& dlogits,
+                ModelWeights& grads) const;
+
+  // Incremental decoding: feeds one token, appends to the KV cache, and returns the
+  // next-token logits [1, vocab].
+  Matrix DecodeStep(int token, KVCache& kv, const LinearOverlay* overlay = nullptr) const;
+
+  KVCache MakeKVCache() const;
+
+  // Greedy generation: prefills `prompt`, then decodes up to max_new tokens (stops at
+  // eos_token if >= 0). Returns only the generated tokens.
+  std::vector<int> GenerateGreedy(const std::vector<int>& prompt, int max_new,
+                                  int eos_token = -1,
+                                  const LinearOverlay* overlay = nullptr) const;
+
+ private:
+  Matrix ApplyLinear(const std::string& name, const Matrix& w, const Matrix& x,
+                     const LinearOverlay* overlay) const;
+
+  ModelWeights weights_;
+};
+
+// Canonical layer names: "layer{i}.wq" ... "layer{i}.w_down".
+std::string LinearLayerName(int layer, const char* which);
+
+}  // namespace dz
+
+#endif  // SRC_NN_TRANSFORMER_H_

@@ -1,0 +1,124 @@
+#include "src/serving/artifact_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+ArtifactStore::ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts)
+    : config_(config), entries_(static_cast<size_t>(n_artifacts)) {
+  DZ_CHECK_GT(config_.artifact_bytes, 0u);
+}
+
+bool ArtifactStore::IsResident(int id, double now) const {
+  const Entry& e = entries_[static_cast<size_t>(id)];
+  return e.tier == Tier::kGpu && e.ready_at <= now;
+}
+
+bool ArtifactStore::IsLoading(int id, double now) const {
+  const Entry& e = entries_[static_cast<size_t>(id)];
+  return e.in_flight && e.ready_at > now;
+}
+
+int ArtifactStore::GpuCapacity() const {
+  return static_cast<int>(config_.gpu_budget_bytes / config_.artifact_bytes);
+}
+
+int ArtifactStore::GpuCount(double now) const {
+  int n = 0;
+  for (const Entry& e : entries_) {
+    if (e.tier == Tier::kGpu) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned) {
+  int victim = -1;
+  double oldest = std::numeric_limits<double>::infinity();
+  for (int id = 0; id < static_cast<int>(entries_.size()); ++id) {
+    const Entry& e = entries_[static_cast<size_t>(id)];
+    if (e.tier != Tier::kGpu || (e.in_flight && e.ready_at > now)) {
+      continue;
+    }
+    if (std::find(pinned.begin(), pinned.end(), id) != pinned.end()) {
+      continue;
+    }
+    if (e.last_use < oldest) {
+      oldest = e.last_use;
+      victim = id;
+    }
+  }
+  if (victim < 0) {
+    return false;
+  }
+  Entry& e = entries_[static_cast<size_t>(victim)];
+  // Demote to host if the host cache can plausibly hold it, else to disk. Host
+  // occupancy is approximated by capacity count (artifacts are uniform-sized).
+  const size_t cpu_slots = config_.cpu_budget_bytes / config_.artifact_bytes;
+  size_t on_cpu = 0;
+  for (const Entry& other : entries_) {
+    if (other.tier == Tier::kCpu) {
+      ++on_cpu;
+    }
+  }
+  e.tier = on_cpu < cpu_slots ? Tier::kCpu : Tier::kDisk;
+  e.in_flight = false;
+  return true;
+}
+
+double ArtifactStore::RequestLoad(int id, double now, const std::vector<int>& pinned) {
+  Entry& e = entries_[static_cast<size_t>(id)];
+  if (e.tier == Tier::kGpu) {
+    return e.ready_at;  // resident or already arriving
+  }
+  if (e.in_flight) {
+    return e.ready_at;
+  }
+  // Make room.
+  while (GpuCount(now) >= GpuCapacity()) {
+    if (!EvictOne(now, pinned)) {
+      return -1.0;
+    }
+  }
+  double ready = now;
+  if (e.tier == Tier::kDisk) {
+    const double start = std::max(now, disk_free_at_);
+    ready = start + config_.disk_read_s;
+    disk_free_at_ = ready;
+    ++disk_loads_;
+  }
+  const double h2d_start = std::max(ready, pcie_free_at_);
+  ready = h2d_start + config_.h2d_s;
+  pcie_free_at_ = ready;
+
+  e.tier = Tier::kGpu;
+  e.in_flight = true;
+  e.ready_at = ready;
+  e.last_use = now;
+  ++total_loads_;
+  return ready;
+}
+
+void ArtifactStore::Touch(int id, double now) {
+  Entry& e = entries_[static_cast<size_t>(id)];
+  e.last_use = now;
+  if (e.in_flight && e.ready_at <= now) {
+    e.in_flight = false;
+  }
+}
+
+double ArtifactStore::NextLoadReady(double now) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    if (e.in_flight && e.ready_at > now) {
+      best = std::min(best, e.ready_at);
+    }
+  }
+  return best;
+}
+
+}  // namespace dz

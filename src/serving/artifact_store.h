@@ -1,0 +1,76 @@
+// Hierarchical artifact placement: GPU ⇄ CPU ⇄ disk (paper §5.4 "Scalability").
+//
+// Tracks where each model artifact (compressed delta, LoRA adapter, or full model)
+// currently lives, simulates asynchronous promotion through the storage hierarchy on
+// shared transfer channels (disk and PCIe serialize independently), and evicts GPU
+// residents LRU when space is needed. All times are simulated seconds.
+#ifndef SRC_SERVING_ARTIFACT_STORE_H_
+#define SRC_SERVING_ARTIFACT_STORE_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace dz {
+
+struct ArtifactStoreConfig {
+  size_t artifact_bytes = 0;      // per-artifact GPU footprint
+  size_t gpu_budget_bytes = 0;    // GPU bytes available for artifacts (after base/kv)
+  size_t cpu_budget_bytes = 0;    // host-memory cache capacity
+  double disk_read_s = 0.0;       // disk → host time for one artifact
+  double h2d_s = 0.0;             // host → device time for one artifact
+};
+
+class ArtifactStore {
+ public:
+  ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts);
+
+  // True when artifact is on the GPU and usable now.
+  bool IsResident(int id, double now) const;
+  // True when a load has been issued and is still in flight.
+  bool IsLoading(int id, double now) const;
+
+  // Ensures a load toward GPU is in flight (no-op if resident/loading). Returns the
+  // time at which the artifact becomes GPU-resident, or a negative value if there is
+  // no GPU space even after evicting every idle artifact.
+  double RequestLoad(int id, double now, const std::vector<int>& pinned);
+
+  // Marks use for LRU bookkeeping.
+  void Touch(int id, double now);
+
+  // Number of artifacts currently on the GPU (resident or arriving).
+  int GpuCount(double now) const;
+
+  // Maximum artifacts that fit on the GPU at once.
+  int GpuCapacity() const;
+
+  // Earliest pending load completion after `now` (or infinity when none).
+  double NextLoadReady(double now) const;
+
+  // Statistics.
+  int total_loads() const { return total_loads_; }
+  int disk_loads() const { return disk_loads_; }
+
+ private:
+  enum class Tier { kDisk, kCpu, kGpu };
+
+  struct Entry {
+    Tier tier = Tier::kDisk;
+    double ready_at = 0.0;   // when the current (or last) transfer lands
+    double last_use = 0.0;
+    bool in_flight = false;
+  };
+
+  bool EvictOne(double now, const std::vector<int>& pinned);
+
+  ArtifactStoreConfig config_;
+  std::vector<Entry> entries_;
+  double disk_free_at_ = 0.0;  // disk channel availability
+  double pcie_free_at_ = 0.0;  // PCIe channel availability
+  int total_loads_ = 0;
+  int disk_loads_ = 0;
+};
+
+}  // namespace dz
+
+#endif  // SRC_SERVING_ARTIFACT_STORE_H_

@@ -1,0 +1,342 @@
+// DeltaZip serving engine (paper §5): keeps the base model resident, swaps compact
+// per-variant artifacts (compressed deltas or LoRA adapters), batches requests across
+// variants for the shared base-model GEMMs, and runs the variant-specific computation
+// through the SBMM execution model. Scheduling is iteration-level FCFS with
+// skip-the-line admission and parent-finish preemption (§5.4).
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/serving/artifact_store.h"
+#include "src/serving/engine.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace dz {
+
+namespace {
+
+struct PendingReq {
+  TraceRequest req;
+  double sched_attempt_s = -1.0;  // first time the scheduler considered it
+  int decoded = 0;                // > 0 for resumed (preempted) requests
+  bool has_first_token = false;
+  double first_token_s = 0.0;
+  double start_s = -1.0;
+  int preemptions = 0;
+};
+
+struct RunningReq {
+  PendingReq state;
+  bool prefilled = false;   // resumed requests skip prefill (KV restored instead)
+  bool needs_kv_restore = false;
+  bool is_skipper = false;
+  int parent_id = -1;  // request id of the parent (for preemption)
+};
+
+class DeltaZipEngine : public ServingEngine {
+ public:
+  explicit DeltaZipEngine(const EngineConfig& config)
+      : config_(config), exec_(config.exec) {
+    DZ_CHECK_NE(static_cast<int>(config.artifact),
+                static_cast<int>(ArtifactKind::kFullModel));
+  }
+
+  const char* name() const override {
+    return config_.artifact == ArtifactKind::kLoraAdapter ? "deltazip-lora" : "deltazip";
+  }
+
+  ServeReport Serve(const Trace& trace) override;
+
+ private:
+  size_t ArtifactBytes() const {
+    return config_.artifact == ArtifactKind::kLoraAdapter
+               ? exec_.LoraBytesPerGpu(config_.lora_rank)
+               : exec_.DeltaBytesPerGpu();
+  }
+
+  double ArtifactDecodeIter(const std::vector<int>& reqs_per_variant) const {
+    return config_.artifact == ArtifactKind::kLoraAdapter
+               ? exec_.LoraDecodeIterTime(reqs_per_variant, config_.lora_rank)
+               : exec_.DeltaDecodeIterTime(reqs_per_variant);
+  }
+
+  double ArtifactPrefill(long long tokens) const {
+    return config_.artifact == ArtifactKind::kLoraAdapter
+               ? exec_.LoraPrefillTime(tokens, config_.lora_rank)
+               : exec_.DeltaPrefillTime(tokens);
+  }
+
+  EngineConfig config_;
+  ExecModel exec_;
+};
+
+ServeReport DeltaZipEngine::Serve(const Trace& trace) {
+  ServeReport report;
+  report.engine_name = name();
+
+  const size_t artifact_bytes = ArtifactBytes();
+  const size_t total_mem =
+      static_cast<size_t>(config_.exec.tp) * config_.exec.gpu.mem_bytes();
+  const size_t reserve =
+      static_cast<size_t>(total_mem * config_.kv_reserve_fraction);
+  const size_t base_bytes = exec_.BaseWeightBytesPerGpu() * config_.exec.tp;
+  DZ_CHECK_GT(total_mem, base_bytes + reserve);
+  const size_t after_base = total_mem - base_bytes - reserve;
+  // Artifact budget: up to N slots, but always leave a KV floor. On small GPUs the
+  // effective number of co-resident deltas is therefore capacity-clamped below the
+  // configured N (the same pressure paper Fig. 10 explores).
+  const size_t artifact_budget =
+      std::min(static_cast<size_t>(after_base * 0.9),
+               static_cast<size_t>(config_.max_concurrent_deltas) * artifact_bytes *
+                   config_.exec.tp);
+  const size_t kv_pool = after_base - artifact_budget;
+  const long long kv_capacity_tokens = static_cast<long long>(
+      kv_pool / std::max<size_t>(1, exec_.KvBytesPerTokenPerGpu() * config_.exec.tp));
+
+  ArtifactStoreConfig store_config;
+  store_config.artifact_bytes = artifact_bytes * config_.exec.tp;
+  store_config.gpu_budget_bytes = artifact_budget;
+  store_config.cpu_budget_bytes = static_cast<size_t>(config_.cpu_cache_gb * 1e9);
+  store_config.disk_read_s = config_.artifact == ArtifactKind::kLoraAdapter
+                                 ? exec_.kernels().DiskReadTime(
+                                       config_.exec.shape.LoraBytes(config_.lora_rank))
+                                 : exec_.LoadDeltaFromDisk();
+  store_config.h2d_s = config_.artifact == ArtifactKind::kLoraAdapter
+                           ? exec_.LoadLoraFromHost(config_.lora_rank)
+                           : exec_.LoadDeltaFromHost();
+  ArtifactStore store(store_config, trace.n_models);
+  DZ_CHECK_GE(store.GpuCapacity(), 1);
+  const int effective_n = std::min(config_.max_concurrent_deltas, store.GpuCapacity());
+
+  std::deque<PendingReq> queue;
+  std::vector<RunningReq> running;
+  size_t next_arrival = 0;
+  double now = 0.0;
+  double pending_swap_s = 0.0;  // accumulated KV swap work for the next iteration
+
+  auto ingest = [&](double t) {
+    while (next_arrival < trace.requests.size() &&
+           trace.requests[next_arrival].arrival_s <= t) {
+      PendingReq p;
+      p.req = trace.requests[next_arrival++];
+      queue.push_back(p);
+    }
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const PendingReq& a, const PendingReq& b) {
+                       return a.req.arrival_s < b.req.arrival_s;
+                     });
+  };
+
+  auto kv_tokens_in_use = [&]() {
+    long long total = 0;
+    for (const auto& r : running) {
+      total += r.state.req.prompt_tokens + r.state.req.output_tokens;
+    }
+    return total;
+  };
+
+  while (report.records.size() < trace.requests.size()) {
+    ingest(now);
+
+    // ---- scheduling: FCFS + skip-the-line over at most N variants ----
+    std::set<int> selected;  // variants used by running requests
+    std::map<int, int> parent_of_variant;  // variant → running parent request id
+    for (const auto& r : running) {
+      selected.insert(r.state.req.model_id);
+      if (!r.is_skipper) {
+        auto it = parent_of_variant.find(r.state.req.model_id);
+        if (it == parent_of_variant.end()) {
+          parent_of_variant[r.state.req.model_id] = r.state.req.id;
+        }
+      }
+    }
+    std::vector<int> pinned(selected.begin(), selected.end());
+
+    long long kv_used = kv_tokens_in_use();
+    for (auto it = queue.begin();
+         it != queue.end() && static_cast<int>(running.size()) < config_.max_batch;) {
+      const int variant = it->req.model_id;
+      const bool variant_selected = selected.count(variant) > 0;
+      if (!variant_selected && static_cast<int>(selected.size()) >= effective_n) {
+        if (!config_.skip_the_line) {
+          break;  // strict FCFS: head-of-line blocks
+        }
+        ++it;
+        continue;
+      }
+      const long long need = it->req.prompt_tokens + it->req.output_tokens;
+      if (kv_used + need > kv_capacity_tokens) {
+        // No KV space: strict FCFS would also block here.
+        if (!config_.skip_the_line) {
+          break;
+        }
+        ++it;
+        continue;
+      }
+      if (it->sched_attempt_s < 0.0) {
+        it->sched_attempt_s = now;
+      }
+      if (!store.IsResident(variant, now)) {
+        const double ready = store.RequestLoad(variant, now, pinned);
+        if (ready >= 0.0) {
+          selected.insert(variant);  // the slot is claimed while loading
+          pinned.push_back(variant);
+        }
+        // else: no evictable slot right now; retry next scheduling round.
+        ++it;
+        continue;  // admitted once the artifact lands
+      }
+      // Admit.
+      store.Touch(variant, now);
+      RunningReq r;
+      r.state = *it;
+      r.state.start_s = r.state.start_s < 0.0 ? now : r.state.start_s;
+      r.prefilled = r.state.decoded > 0;  // resumed requests keep their progress
+      r.needs_kv_restore = r.state.decoded > 0;
+      const bool first_for_variant = parent_of_variant.count(variant) == 0;
+      if (first_for_variant) {
+        parent_of_variant[variant] = r.state.req.id;
+      } else {
+        r.is_skipper = true;
+        r.parent_id = parent_of_variant[variant];
+      }
+      selected.insert(variant);
+      kv_used += need;
+      running.push_back(std::move(r));
+      it = queue.erase(it);
+    }
+
+    if (running.empty()) {
+      // Idle: jump to the next arrival or load completion.
+      double next_t = std::numeric_limits<double>::infinity();
+      if (next_arrival < trace.requests.size()) {
+        next_t = trace.requests[next_arrival].arrival_s;
+      }
+      next_t = std::min(next_t, store.NextLoadReady(now));
+      DZ_CHECK(next_t < std::numeric_limits<double>::infinity());
+      now = std::max(now, next_t);
+      continue;
+    }
+
+    // ---- one continuous-batching iteration ----
+    long long prefill_tokens = 0;
+    std::vector<RunningReq*> prefilling;
+    for (auto& r : running) {
+      if (!r.prefilled && prefill_tokens + r.state.req.prompt_tokens <=
+                              config_.max_prefill_tokens) {
+        prefill_tokens += r.state.req.prompt_tokens;
+        prefilling.push_back(&r);
+      }
+      if (r.needs_kv_restore) {
+        pending_swap_s += exec_.KvSwapTime(r.state.req.prompt_tokens + r.state.decoded);
+        r.needs_kv_restore = false;
+      }
+    }
+
+    int decode_batch = 0;
+    double ctx_sum = 0.0;
+    std::vector<int> reqs_per_variant(static_cast<size_t>(trace.n_models), 0);
+    for (const auto& r : running) {
+      if (r.prefilled) {
+        ++decode_batch;
+        ctx_sum += r.state.req.prompt_tokens + r.state.decoded;
+        ++reqs_per_variant[static_cast<size_t>(r.state.req.model_id)];
+      }
+    }
+    // Prefill tokens also ride the variant path.
+    std::vector<int> prefill_per_variant(static_cast<size_t>(trace.n_models), 0);
+    for (const auto* r : prefilling) {
+      ++prefill_per_variant[static_cast<size_t>(r->state.req.model_id)];
+    }
+
+    double iter = config_.sched_overhead_s + pending_swap_s;
+    pending_swap_s = 0.0;
+    iter += exec_.PrefillTime(prefill_tokens) + ArtifactPrefill(prefill_tokens);
+    if (decode_batch > 0) {
+      iter += exec_.DecodeIterTime(decode_batch, ctx_sum / decode_batch);
+      iter += ArtifactDecodeIter(reqs_per_variant);
+    }
+    now += iter;
+
+    // ---- apply iteration results ----
+    for (auto* r : prefilling) {
+      r->prefilled = true;
+      r->state.decoded = 1;  // prefill emits the first output token
+      if (!r->state.has_first_token) {
+        r->state.has_first_token = true;
+        r->state.first_token_s = now;
+      }
+    }
+    std::vector<int> finished_parents;
+    for (auto& r : running) {
+      if (!r.prefilled || (!prefilling.empty() &&
+                           std::find(prefilling.begin(), prefilling.end(), &r) !=
+                               prefilling.end())) {
+        continue;  // prefilled this very iteration: first token already counted
+      }
+      r.state.decoded += 1;
+    }
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->prefilled && it->state.decoded >= it->state.req.output_tokens) {
+        RequestRecord rec;
+        rec.id = it->state.req.id;
+        rec.model_id = it->state.req.model_id;
+        rec.prompt_tokens = it->state.req.prompt_tokens;
+        rec.output_tokens = it->state.req.output_tokens;
+        rec.arrival_s = it->state.req.arrival_s;
+        rec.sched_attempt_s =
+            it->state.sched_attempt_s < 0 ? it->state.req.arrival_s
+                                          : it->state.sched_attempt_s;
+        rec.start_s = it->state.start_s;
+        rec.first_token_s = it->state.first_token_s;
+        rec.finish_s = now;
+        rec.preemptions = it->state.preemptions;
+        report.records.push_back(rec);
+        if (!it->is_skipper) {
+          finished_parents.push_back(it->state.req.id);
+        }
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // ---- starvation control: preempt skippers whose parent finished (§5.4) ----
+    if (config_.preemption && !finished_parents.empty()) {
+      for (auto it = running.begin(); it != running.end();) {
+        const bool orphaned =
+            it->is_skipper &&
+            std::find(finished_parents.begin(), finished_parents.end(),
+                      it->parent_id) != finished_parents.end();
+        const int remaining = it->state.req.output_tokens - it->state.decoded;
+        if (orphaned && remaining > config_.preempt_min_remaining_tokens) {
+          PendingReq back = it->state;
+          ++back.preemptions;
+          // Swap intermediate state (KV) to host; cost lands on the next iteration.
+          pending_swap_s +=
+              exec_.KvSwapTime(back.req.prompt_tokens + back.decoded);
+          queue.push_back(back);  // re-sorted by arrival on next ingest
+          it = running.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  for (const auto& r : report.records) {
+    report.makespan_s = std::max(report.makespan_s, r.finish_s);
+  }
+  return report;
+}
+
+}  // namespace
+
+std::unique_ptr<ServingEngine> MakeDeltaZipEngine(const EngineConfig& config) {
+  return std::make_unique<DeltaZipEngine>(config);
+}
+
+}  // namespace dz

@@ -1,0 +1,58 @@
+// Serving-engine interface and shared configuration.
+//
+// Engines execute a Trace in simulated time against an ExecModel (iteration-level GPU
+// cost model) and an ArtifactStore (GPU/CPU/disk placement), producing a ServeReport.
+// Two engines implement the paper's comparison (§6.3):
+//   * DeltaZipEngine — decoupled base+delta serving with SBMM, skip-the-line
+//     continuous batching, and parent-finish preemption (§5). Also serves LoRA
+//     adapters (Punica-style) for the §6.4 experiments.
+//   * VllmScbEngine — the vLLM+SCB baseline: full-model swapping with per-model
+//     continuous batching.
+#ifndef SRC_SERVING_ENGINE_H_
+#define SRC_SERVING_ENGINE_H_
+
+#include <memory>
+
+#include "src/serving/report.h"
+#include "src/simgpu/exec_model.h"
+#include "src/workload/trace.h"
+
+namespace dz {
+
+enum class ArtifactKind {
+  kCompressedDelta,  // ΔCompress artifact
+  kLoraAdapter,
+  kFullModel,  // baseline: swap entire fp16 fine-tuned models
+};
+
+struct EngineConfig {
+  ExecModelConfig exec;
+  int max_batch = 32;             // K concurrently served requests (§5.4)
+  int max_concurrent_deltas = 8;  // N artifacts co-resident per batch (§5.4)
+  bool skip_the_line = true;
+  bool preemption = true;  // preempt skippers when their parent finishes
+  // Length-aware preemption (paper §8 future work): do not preempt a skipper that is
+  // within this many tokens of finishing — preempting nearly-done requests wastes the
+  // work and the KV swap. 0 preempts unconditionally (the paper's §5.4 mechanism).
+  int preempt_min_remaining_tokens = 0;
+  ArtifactKind artifact = ArtifactKind::kCompressedDelta;
+  int lora_rank = 16;
+  double cpu_cache_gb = 256.0;     // host cache for artifacts
+  double sched_overhead_s = 0.002;  // per-iteration scheduler/runner overhead
+  long long max_prefill_tokens = 2048;  // per-iteration prompt-token budget
+  double kv_reserve_fraction = 0.05;    // GPU memory fraction reserved for activations
+};
+
+class ServingEngine {
+ public:
+  virtual ~ServingEngine() = default;
+  virtual ServeReport Serve(const Trace& trace) = 0;
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<ServingEngine> MakeDeltaZipEngine(const EngineConfig& config);
+std::unique_ptr<ServingEngine> MakeVllmScbEngine(const EngineConfig& config);
+
+}  // namespace dz
+
+#endif  // SRC_SERVING_ENGINE_H_

@@ -1,0 +1,77 @@
+#include "src/serving/profiler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+NProfileResult ProfileConcurrentDeltas(const EngineConfig& config, const Trace& trace,
+                                       const std::vector<int>& candidates,
+                                       double profile_seconds) {
+  DZ_CHECK(!candidates.empty());
+  DZ_CHECK_GT(profile_seconds, 0.0);
+
+  Trace prefix;
+  prefix.n_models = trace.n_models;
+  prefix.duration_s = std::min(trace.duration_s, profile_seconds);
+  for (const auto& r : trace.requests) {
+    if (r.arrival_s < profile_seconds) {
+      prefix.requests.push_back(r);
+    }
+  }
+  DZ_CHECK(!prefix.requests.empty());
+
+  NProfileResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (int n : candidates) {
+    EngineConfig cfg = config;
+    cfg.max_concurrent_deltas = n;
+    const ServeReport report = MakeDeltaZipEngine(cfg)->Serve(prefix);
+    const double tpt = report.MeanTimePerToken();
+    result.samples.emplace_back(n, tpt);
+    if (tpt < best) {
+      best = tpt;
+      result.best_n = n;
+    }
+  }
+  return result;
+}
+
+std::vector<int> PartitionGpus(int total_gpus, const std::vector<double>& load,
+                               const std::vector<int>& min_gpus) {
+  DZ_CHECK_EQ(load.size(), min_gpus.size());
+  DZ_CHECK(!load.empty());
+  int min_total = 0;
+  double load_total = 0.0;
+  for (size_t i = 0; i < load.size(); ++i) {
+    DZ_CHECK_GE(load[i], 0.0);
+    DZ_CHECK_GE(min_gpus[i], 1);
+    min_total += min_gpus[i];
+    load_total += load[i];
+  }
+  DZ_CHECK_LE(min_total, total_gpus);
+
+  std::vector<int> alloc(min_gpus.begin(), min_gpus.end());
+  int spare = total_gpus - min_total;
+  // Hand out spare GPUs one at a time to the group with the highest load per GPU —
+  // a greedy proportional-fairness rule.
+  while (spare > 0) {
+    size_t best = 0;
+    double best_score = -1.0;
+    for (size_t i = 0; i < load.size(); ++i) {
+      const double score =
+          (load_total > 0.0 ? load[i] : 1.0) / static_cast<double>(alloc[i]);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    ++alloc[best];
+    --spare;
+  }
+  return alloc;
+}
+
+}  // namespace dz

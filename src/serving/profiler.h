@@ -1,0 +1,35 @@
+// Offline profiling utilities (paper §5.4): picking N, the number of co-resident
+// deltas, by replaying a short trace prefix for each candidate and choosing the lowest
+// mean time-per-token; and partitioning a GPU cluster across multiple base models
+// (paper §5.1: M base models → M serving groups).
+#ifndef SRC_SERVING_PROFILER_H_
+#define SRC_SERVING_PROFILER_H_
+
+#include <vector>
+
+#include "src/serving/engine.h"
+
+namespace dz {
+
+struct NProfileResult {
+  int best_n = 0;
+  // (candidate N, mean time per token) in candidate order.
+  std::vector<std::pair<int, double>> samples;
+};
+
+// Runs the first `profile_seconds` of `trace` under each candidate N and returns the
+// winner. The short-trace profile transfers to the full workload (paper Fig. 10).
+NProfileResult ProfileConcurrentDeltas(const EngineConfig& config, const Trace& trace,
+                                       const std::vector<int>& candidates,
+                                       double profile_seconds);
+
+// Cluster partitioning across base models: splits `total_gpus` proportionally to each
+// group's expected load, honoring a per-group minimum of min_gpus[i] (the model's
+// tensor-parallel footprint). Returns GPUs per group; check-fails if the minimums alone
+// exceed the cluster.
+std::vector<int> PartitionGpus(int total_gpus, const std::vector<double>& load,
+                               const std::vector<int>& min_gpus);
+
+}  // namespace dz
+
+#endif  // SRC_SERVING_PROFILER_H_

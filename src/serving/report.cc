@@ -1,0 +1,75 @@
+#include "src/serving/report.h"
+
+#include "src/util/stats.h"
+
+namespace dz {
+
+double ServeReport::ThroughputRps() const {
+  if (records.empty() || makespan_s <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(records.size()) / makespan_s;
+}
+
+double ServeReport::TokenThroughput() const {
+  if (records.empty() || makespan_s <= 0.0) {
+    return 0.0;
+  }
+  double tokens = 0.0;
+  for (const auto& r : records) {
+    tokens += r.output_tokens;
+  }
+  return tokens / makespan_s;
+}
+
+double ServeReport::MeanE2e() const {
+  RunningStats s;
+  for (const auto& r : records) {
+    s.Add(r.E2eLatency());
+  }
+  return s.mean();
+}
+
+double ServeReport::MeanTtft() const {
+  RunningStats s;
+  for (const auto& r : records) {
+    s.Add(r.Ttft());
+  }
+  return s.mean();
+}
+
+double ServeReport::MeanTimePerToken() const {
+  RunningStats s;
+  for (const auto& r : records) {
+    s.Add(r.TimePerToken());
+  }
+  return s.mean();
+}
+
+std::vector<double> ServeReport::E2es() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    out.push_back(r.E2eLatency());
+  }
+  return out;
+}
+
+std::vector<double> ServeReport::Ttfts() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    out.push_back(r.Ttft());
+  }
+  return out;
+}
+
+double ServeReport::SloAttainmentE2e(double slo_s) const {
+  return FractionWithin(E2es(), slo_s);
+}
+
+double ServeReport::SloAttainmentTtft(double slo_s) const {
+  return FractionWithin(Ttfts(), slo_s);
+}
+
+}  // namespace dz

@@ -1,0 +1,53 @@
+// Per-request records and aggregate serving metrics (paper §6.1 "Metrics": E2E latency,
+// TTFT, throughput, SLO attainment).
+#ifndef SRC_SERVING_REPORT_H_
+#define SRC_SERVING_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace dz {
+
+struct RequestRecord {
+  int id = 0;
+  int model_id = 0;
+  int prompt_tokens = 0;
+  int output_tokens = 0;
+  double arrival_s = 0.0;
+  double sched_attempt_s = 0.0;  // reached the scheduler (queue head / skip-the-line)
+  double start_s = 0.0;          // admitted to the running batch (artifact resident)
+  double first_token_s = 0.0;    // end of prefill iteration
+  double finish_s = 0.0;
+  int preemptions = 0;
+
+  double E2eLatency() const { return finish_s - arrival_s; }
+  double Ttft() const { return first_token_s - arrival_s; }
+  double QueueingTime() const { return sched_attempt_s - arrival_s; }
+  double LoadingTime() const { return start_s - sched_attempt_s; }
+  double InferenceTime() const { return finish_s - start_s; }
+  double TimePerToken() const {
+    return output_tokens > 0 ? E2eLatency() / output_tokens : E2eLatency();
+  }
+};
+
+struct ServeReport {
+  std::string engine_name;
+  std::vector<RequestRecord> records;
+  double makespan_s = 0.0;  // time when the last request finished
+
+  size_t completed() const { return records.size(); }
+  double ThroughputRps() const;
+  double TokenThroughput() const;  // output tokens / s
+  double MeanE2e() const;
+  double MeanTtft() const;
+  double MeanTimePerToken() const;
+  std::vector<double> E2es() const;
+  std::vector<double> Ttfts() const;
+  // Fraction of requests with metric <= slo_s.
+  double SloAttainmentE2e(double slo_s) const;
+  double SloAttainmentTtft(double slo_s) const;
+};
+
+}  // namespace dz
+
+#endif  // SRC_SERVING_REPORT_H_

@@ -1,0 +1,240 @@
+// vLLM+SCB baseline (paper §6.1 "Baselines"): serves each fine-tuned model as an
+// independent full-precision model. Supports (S)wapping whole models in and out of GPU
+// memory, (C)ontinuous batching across the models resident in memory by looping through
+// them each iteration, and (B)atching available requests for the same model. It cannot
+// batch across variants and must move full fp16 checkpoints on every swap — the two
+// costs DeltaZip removes.
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/serving/artifact_store.h"
+#include "src/serving/engine.h"
+#include "src/util/check.h"
+
+namespace dz {
+
+namespace {
+
+struct PendingReq {
+  TraceRequest req;
+  double sched_attempt_s = -1.0;
+};
+
+struct RunningReq {
+  PendingReq state;
+  bool prefilled = false;
+  int decoded = 0;
+  double start_s = 0.0;
+  double first_token_s = 0.0;
+  bool has_first_token = false;
+};
+
+class VllmScbEngine : public ServingEngine {
+ public:
+  explicit VllmScbEngine(const EngineConfig& config) : config_(config), exec_(config.exec) {}
+
+  const char* name() const override { return "vllm-scb"; }
+
+  ServeReport Serve(const Trace& trace) override;
+
+ private:
+  EngineConfig config_;
+  ExecModel exec_;
+};
+
+ServeReport VllmScbEngine::Serve(const Trace& trace) {
+  ServeReport report;
+  report.engine_name = name();
+
+  const size_t total_mem =
+      static_cast<size_t>(config_.exec.tp) * config_.exec.gpu.mem_bytes();
+  const size_t model_bytes = exec_.BaseWeightBytesPerGpu() * config_.exec.tp;
+  // Reserve a KV pool (roughly one model's worth or 15%, whichever is larger).
+  const size_t kv_pool =
+      std::max(model_bytes / 2, static_cast<size_t>(total_mem * 0.15));
+  DZ_CHECK_GT(total_mem, kv_pool + model_bytes);
+  const size_t model_budget = total_mem - kv_pool;
+  const long long kv_capacity_tokens = static_cast<long long>(
+      kv_pool / std::max<size_t>(1, exec_.KvBytesPerTokenPerGpu() * config_.exec.tp));
+
+  ArtifactStoreConfig store_config;
+  store_config.artifact_bytes = model_bytes;
+  store_config.gpu_budget_bytes = model_budget;
+  // vLLM keeps no host-side weight cache: every swap re-runs the checkpoint load path.
+  store_config.cpu_budget_bytes = 0;
+  store_config.disk_read_s = exec_.LoadFullModelFromDisk();
+  store_config.h2d_s = exec_.LoadFullModelFromHost();
+  ArtifactStore store(store_config, trace.n_models);
+  DZ_CHECK_GE(store.GpuCapacity(), 1);
+
+  std::deque<PendingReq> queue;
+  std::vector<RunningReq> running;
+  size_t next_arrival = 0;
+  double now = 0.0;
+
+  auto ingest = [&](double t) {
+    while (next_arrival < trace.requests.size() &&
+           trace.requests[next_arrival].arrival_s <= t) {
+      PendingReq p;
+      p.req = trace.requests[next_arrival++];
+      queue.push_back(p);
+    }
+  };
+
+  auto kv_tokens_in_use = [&]() {
+    long long total = 0;
+    for (const auto& r : running) {
+      total += r.state.req.prompt_tokens + r.state.req.output_tokens;
+    }
+    return total;
+  };
+
+  while (report.records.size() < trace.requests.size()) {
+    ingest(now);
+
+    // ---- scheduling: FCFS; a request runs only when its full model is resident ----
+    std::set<int> models_in_use;
+    for (const auto& r : running) {
+      models_in_use.insert(r.state.req.model_id);
+    }
+    std::vector<int> pinned(models_in_use.begin(), models_in_use.end());
+
+    long long kv_used = kv_tokens_in_use();
+    bool load_in_flight = store.NextLoadReady(now) < std::numeric_limits<double>::max();
+    for (auto it = queue.begin();
+         it != queue.end() && static_cast<int>(running.size()) < config_.max_batch;) {
+      const int model = it->req.model_id;
+      const long long need = it->req.prompt_tokens + it->req.output_tokens;
+      if (kv_used + need > kv_capacity_tokens) {
+        break;  // head-of-line blocks on KV space
+      }
+      if (it->sched_attempt_s < 0.0) {
+        it->sched_attempt_s = now;
+      }
+      if (!store.IsResident(model, now)) {
+        // Trigger the swap. The engine worker performs weight loading synchronously
+        // (vLLM loads checkpoints in the serving process), so at most one swap is in
+        // flight and — crucially — the swap sits on the critical path of every running
+        // request (paper §2.2 "Swapping incurs high latency").
+        if (!store.IsLoading(model, now) && !load_in_flight) {
+          if (store.GpuCount(now) >= store.GpuCapacity() &&
+              static_cast<int>(models_in_use.size()) >= store.GpuCapacity()) {
+            ++it;  // every slot is actively serving; wait for one to drain
+            continue;
+          }
+          const double ready = store.RequestLoad(model, now, pinned);
+          if (ready >= 0.0) {
+            load_in_flight = true;
+          }
+        }
+        ++it;
+        continue;
+      }
+      store.Touch(model, now);
+      RunningReq r;
+      r.state = *it;
+      r.start_s = now;
+      models_in_use.insert(model);
+      pinned.push_back(model);
+      kv_used += need;
+      running.push_back(std::move(r));
+      it = queue.erase(it);
+    }
+
+    // Blocking swap: while a model is being copied in, the worker generates nothing.
+    const double load_ready = store.NextLoadReady(now);
+    if (load_ready < std::numeric_limits<double>::infinity()) {
+      now = std::max(now, load_ready);
+      continue;
+    }
+    if (running.empty()) {
+      double next_t = std::numeric_limits<double>::infinity();
+      if (next_arrival < trace.requests.size()) {
+        next_t = trace.requests[next_arrival].arrival_s;
+      }
+      DZ_CHECK(next_t < std::numeric_limits<double>::infinity());
+      now = std::max(now, next_t);
+      continue;
+    }
+
+    // ---- iteration: loop over resident models, each a separate full-precision pass ----
+    long long prefill_budget = config_.max_prefill_tokens;
+    std::vector<RunningReq*> prefilling;
+    std::map<int, long long> prefill_tokens_per_model;
+    for (auto& r : running) {
+      if (!r.prefilled && r.state.req.prompt_tokens <= prefill_budget) {
+        prefill_budget -= r.state.req.prompt_tokens;
+        prefill_tokens_per_model[r.state.req.model_id] += r.state.req.prompt_tokens;
+        prefilling.push_back(&r);
+      }
+    }
+    std::map<int, std::pair<int, double>> decode_per_model;  // model → (batch, ctx sum)
+    for (const auto& r : running) {
+      if (r.prefilled) {
+        auto& [batch, ctx] = decode_per_model[r.state.req.model_id];
+        ++batch;
+        ctx += r.state.req.prompt_tokens + r.decoded;
+      }
+    }
+
+    double iter = config_.sched_overhead_s;
+    for (const auto& [model, tokens] : prefill_tokens_per_model) {
+      iter += exec_.PrefillTime(tokens);
+    }
+    for (const auto& [model, batch_ctx] : decode_per_model) {
+      iter += exec_.DecodeIterTime(batch_ctx.first,
+                                   batch_ctx.second / batch_ctx.first);
+    }
+    now += iter;
+
+    for (auto* r : prefilling) {
+      r->prefilled = true;
+      r->decoded = 1;
+      if (!r->has_first_token) {
+        r->has_first_token = true;
+        r->first_token_s = now;
+      }
+    }
+    for (auto& r : running) {
+      if (r.prefilled &&
+          std::find(prefilling.begin(), prefilling.end(), &r) == prefilling.end()) {
+        r.decoded += 1;
+      }
+    }
+    for (auto it = running.begin(); it != running.end();) {
+      if (it->prefilled && it->decoded >= it->state.req.output_tokens) {
+        RequestRecord rec;
+        rec.id = it->state.req.id;
+        rec.model_id = it->state.req.model_id;
+        rec.prompt_tokens = it->state.req.prompt_tokens;
+        rec.output_tokens = it->state.req.output_tokens;
+        rec.arrival_s = it->state.req.arrival_s;
+        rec.sched_attempt_s = it->state.sched_attempt_s < 0 ? it->state.req.arrival_s
+                                                            : it->state.sched_attempt_s;
+        rec.start_s = it->start_s;
+        rec.first_token_s = it->first_token_s;
+        rec.finish_s = now;
+        report.records.push_back(rec);
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (const auto& r : report.records) {
+    report.makespan_s = std::max(report.makespan_s, r.finish_s);
+  }
+  return report;
+}
+
+}  // namespace
+
+std::unique_ptr<ServingEngine> MakeVllmScbEngine(const EngineConfig& config) {
+  return std::make_unique<VllmScbEngine>(config);
+}
+
+}  // namespace dz

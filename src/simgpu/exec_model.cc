@@ -1,0 +1,198 @@
+#include "src/simgpu/exec_model.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+ExecModel::ExecModel(const ExecModelConfig& config)
+    : config_(config), kernels_(config.gpu) {
+  DZ_CHECK_GE(config_.tp, 1);
+}
+
+namespace {
+
+// Launches per transformer block in an unfused engine: 7 projections + ~3 attention /
+// norm kernels.
+constexpr double kLaunchesPerLayer = 10.0;
+
+}  // namespace
+
+double ExecModel::PerLayerAllReduce(int batch) const {
+  if (config_.tp <= 1) {
+    return 0.0;
+  }
+  // Two all-reduces per block (attention output + MLP output) of [batch, d_model] fp16.
+  const size_t bytes = static_cast<size_t>(batch) * config_.shape.d_model * 2;
+  return 2.0 * kernels_.AllReduceTime(bytes, config_.tp);
+}
+
+double ExecModel::PrefillTime(long long tokens) const {
+  if (tokens <= 0) {
+    return 0.0;
+  }
+  const ModelShape& s = config_.shape;
+  // All linear layers as one aggregate GEMM of m=tokens rows, divided across tp.
+  const long long k = s.d_model;
+  const long long n = static_cast<long long>(s.LinearParams() / s.d_model) / config_.tp;
+  double t = kernels_.GemmTime(tokens, n, k, WeightFormat::kFp16);
+  // Attention score/value math: 2 · tokens² · d per layer (causal half), usually minor
+  // for our prompt lengths; modeled compute-only.
+  const double attn_flops = 2.0 * static_cast<double>(tokens) * tokens * s.d_model *
+                            s.n_layers / config_.tp;
+  t += attn_flops / (config_.gpu.peak_fp16_tflops * 1e12);
+  t += kernels_.LaunchOverhead(static_cast<int>(
+      s.n_layers * kLaunchesPerLayer * config_.launch_fusion));
+  t += s.n_layers * PerLayerAllReduce(static_cast<int>(std::min<long long>(tokens, 512)));
+  return t;
+}
+
+double ExecModel::DecodeIterTime(int batch, double avg_ctx) const {
+  if (batch <= 0) {
+    return 0.0;
+  }
+  const ModelShape& s = config_.shape;
+  const long long k = s.d_model;
+  const long long n = static_cast<long long>(s.LinearParams() / s.d_model) / config_.tp;
+  // Weight-read-bound GEMM over all linear layers (decode is memory-bound, §2.1).
+  double t = kernels_.GemmTime(batch, n, k, WeightFormat::kFp16);
+  // KV-cache reads: every request streams its context's K/V once per iteration.
+  const double kv_bytes = static_cast<double>(batch) * avg_ctx *
+                          static_cast<double>(s.KvBytesPerToken()) / config_.tp;
+  t += kv_bytes / (config_.gpu.hbm_gbps * 1e9);
+  t += kernels_.LaunchOverhead(static_cast<int>(
+      s.n_layers * kLaunchesPerLayer * config_.launch_fusion));
+  t += s.n_layers * PerLayerAllReduce(batch);
+  return t;
+}
+
+double ExecModel::DeltaDecodeIterTime(const std::vector<int>& reqs_per_delta) const {
+  int total = 0;
+  int active = 0;
+  for (int m : reqs_per_delta) {
+    total += m;
+    if (m > 0) {
+      ++active;
+    }
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const ModelShape& s = config_.shape;
+  const GpuSpec& gpu = config_.gpu;
+  // Memory: every active delta's packed weights stream through once per iteration.
+  const double delta_bytes = static_cast<double>(active) * DeltaBytesPerGpu();
+  const double mem_s = delta_bytes / (gpu.hbm_gbps * 1e9);
+  // Compute: 2·P·m FLOPs per request, on sparse tensor cores.
+  const double flops =
+      static_cast<double>(total) * s.LinearFlopsPerToken() / config_.tp;
+  const double rate = gpu.peak_fp16_tflops * 1e12 * 0.92 *
+                      (IsSparseFormat(config_.delta_format) ? gpu.sparse_speedup : 1.0);
+  const double compute_s = flops / rate;
+  // SBMM launches: one host launch pair per projection per layer; per-delta blocked
+  // matmuls are device-side dynamic-parallelism launches (paper §5.2).
+  const double sbmm_sites = s.n_layers * 7.0 * config_.launch_fusion;
+  const double overhead_s =
+      sbmm_sites * (2.0 * gpu.kernel_launch_us + active * gpu.dyn_parallel_launch_us) *
+      1e-6;
+  return std::max(mem_s, compute_s) + overhead_s;
+}
+
+double ExecModel::DeltaPrefillTime(long long tokens) const {
+  if (tokens <= 0) {
+    return 0.0;
+  }
+  const ModelShape& s = config_.shape;
+  const long long k = s.d_model;
+  const long long n = static_cast<long long>(s.LinearParams() / s.d_model) / config_.tp;
+  return kernels_.GemmTime(tokens, n, k, config_.delta_format);
+}
+
+double ExecModel::LoraDecodeIterTime(const std::vector<int>& reqs_per_adapter,
+                                     int rank) const {
+  int total = 0;
+  int active = 0;
+  for (int m : reqs_per_adapter) {
+    total += m;
+    if (m > 0) {
+      ++active;
+    }
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const ModelShape& s = config_.shape;
+  const GpuSpec& gpu = config_.gpu;
+  const double adapter_bytes = static_cast<double>(active) * LoraBytesPerGpu(rank);
+  const double mem_s = adapter_bytes / (gpu.hbm_gbps * 1e9);
+  // Per token: 2 GEMVs per projection, FLOPs = 2 · 2 · rank · (in + out) summed.
+  const double flops = static_cast<double>(total) * 2.0 *
+                       static_cast<double>(s.LoraBytes(rank) / 2) / config_.tp;
+  const double compute_s = flops / (gpu.peak_fp16_tflops * 1e12 * 0.5);
+  const double sgmv_sites = s.n_layers * 7.0 * config_.launch_fusion;
+  const double overhead_s = sgmv_sites * 2.0 * gpu.kernel_launch_us * 1e-6;
+  return std::max(mem_s, compute_s) + overhead_s;
+}
+
+double ExecModel::LoraPrefillTime(long long tokens, int rank) const {
+  if (tokens <= 0) {
+    return 0.0;
+  }
+  const double flops = static_cast<double>(tokens) * 2.0 *
+                       static_cast<double>(config_.shape.LoraBytes(rank) / 2) /
+                       config_.tp;
+  return flops / (config_.gpu.peak_fp16_tflops * 1e12 * 0.5);
+}
+
+double ExecModel::LoadFullModelFromHost() const {
+  return kernels_.H2DTime(BaseWeightBytesPerGpu());
+}
+
+double ExecModel::LoadFullModelFromDisk() const {
+  // Full checkpoints go through the serving stack's load path (read + deserialize +
+  // allocate), which is far slower than raw disk; see GpuSpec::checkpoint_load_gbps.
+  return config_.gpu.disk_latency_us * 1e-6 +
+         static_cast<double>(config_.shape.Fp16Bytes()) /
+             (config_.gpu.checkpoint_load_gbps * 1e9);
+}
+
+double ExecModel::LoadDeltaFromHost() const {
+  return kernels_.H2DTime(DeltaBytesPerGpu());
+}
+
+double ExecModel::LoadDeltaFromDisk() const {
+  const int bits = config_.delta_format == WeightFormat::kSparseInt2 ? 2 : 4;
+  return kernels_.DiskReadTime(
+      config_.shape.DeltaBytes(bits, IsSparseFormat(config_.delta_format), 128));
+}
+
+double ExecModel::LoadLoraFromHost(int rank) const {
+  return kernels_.H2DTime(LoraBytesPerGpu(rank));
+}
+
+double ExecModel::KvSwapTime(long long ctx_tokens) const {
+  const size_t bytes =
+      static_cast<size_t>(ctx_tokens) * KvBytesPerTokenPerGpu();
+  return kernels_.H2DTime(bytes);
+}
+
+size_t ExecModel::BaseWeightBytesPerGpu() const {
+  return config_.shape.Fp16Bytes() / config_.tp;
+}
+
+size_t ExecModel::DeltaBytesPerGpu() const {
+  const int bits = config_.delta_format == WeightFormat::kSparseInt2 ? 2 : 4;
+  return config_.shape.DeltaBytes(bits, IsSparseFormat(config_.delta_format), 128) /
+         config_.tp;
+}
+
+size_t ExecModel::LoraBytesPerGpu(int rank) const {
+  return config_.shape.LoraBytes(rank) / config_.tp;
+}
+
+size_t ExecModel::KvBytesPerTokenPerGpu() const {
+  return config_.shape.KvBytesPerToken() / config_.tp;
+}
+
+}  // namespace dz

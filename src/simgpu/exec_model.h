@@ -1,0 +1,76 @@
+// Iteration-level execution-time model for transformer serving, binding a paper-scale
+// ModelShape to a GpuSpec (and a tensor-parallel degree). The serving engines call
+// these entry points once per continuous-batching iteration.
+#ifndef SRC_SIMGPU_EXEC_MODEL_H_
+#define SRC_SIMGPU_EXEC_MODEL_H_
+
+#include <vector>
+
+#include "src/simgpu/kernel_model.h"
+#include "src/simgpu/model_shape.h"
+
+namespace dz {
+
+struct ExecModelConfig {
+  ModelShape shape;
+  GpuSpec gpu;
+  int tp = 1;  // tensor-parallel degree (Megatron-style, §5.3)
+  WeightFormat delta_format = WeightFormat::kSparseInt4;
+  // Fraction of theoretical per-layer kernel launches that survive fusion/CUDA-graph
+  // capture in a production engine.
+  double launch_fusion = 0.25;
+};
+
+class ExecModel {
+ public:
+  explicit ExecModel(const ExecModelConfig& config);
+
+  const ExecModelConfig& config() const { return config_; }
+  const KernelModel& kernels() const { return kernels_; }
+
+  // --- base-model path (dense fp16, shared across variants) ---
+
+  // Prefill `tokens` prompt tokens (summed over the batch).
+  double PrefillTime(long long tokens) const;
+
+  // One decode iteration for `batch` requests with mean context length `avg_ctx`.
+  double DecodeIterTime(int batch, double avg_ctx) const;
+
+  // --- delta path (ΔCompress artifacts, SBMM execution, §5.2) ---
+
+  // One decode iteration of the delta computation: reqs_per_delta[i] requests ride
+  // delta i. Uses the SBMM launch model across every linear layer.
+  double DeltaDecodeIterTime(const std::vector<int>& reqs_per_delta) const;
+
+  // Delta-path prefill for `tokens` tokens of one variant (sparse low-precision GEMM).
+  double DeltaPrefillTime(long long tokens) const;
+
+  // --- LoRA path (Punica/S-LoRA-style SGMV, §6.4) ---
+  double LoraDecodeIterTime(const std::vector<int>& reqs_per_adapter, int rank) const;
+  double LoraPrefillTime(long long tokens, int rank) const;
+
+  // --- weights movement ---
+  double LoadFullModelFromHost() const;   // swap a full fp16 model H2D
+  double LoadFullModelFromDisk() const;   // disk → host
+  double LoadDeltaFromHost() const;
+  double LoadDeltaFromDisk() const;
+  double LoadLoraFromHost(int rank) const;
+  // KV state swap for preempted requests (bytes of ctx tokens), one direction.
+  double KvSwapTime(long long ctx_tokens) const;
+
+  // --- sizes (per GPU, i.e., already divided by tp) ---
+  size_t BaseWeightBytesPerGpu() const;
+  size_t DeltaBytesPerGpu() const;
+  size_t LoraBytesPerGpu(int rank) const;
+  size_t KvBytesPerTokenPerGpu() const;
+
+ private:
+  double PerLayerAllReduce(int batch) const;
+
+  ExecModelConfig config_;
+  KernelModel kernels_;
+};
+
+}  // namespace dz
+
+#endif  // SRC_SIMGPU_EXEC_MODEL_H_

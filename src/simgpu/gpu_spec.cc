@@ -1,0 +1,43 @@
+#include "src/simgpu/gpu_spec.h"
+
+namespace dz {
+
+GpuSpec GpuSpec::A800() {
+  GpuSpec spec;
+  spec.name = "A800-80GB";
+  spec.peak_fp16_tflops = 312.0;
+  spec.sparse_speedup = 1.6;
+  spec.hbm_gbps = 2039.0;
+  spec.mem_gb = 80.0;
+  spec.kernel_launch_us = 5.0;
+  spec.dyn_parallel_launch_us = 1.0;
+  spec.pcie_gbps = 25.0;
+  spec.pcie_latency_us = 10.0;
+  spec.nvlink_gbps = 200.0;  // A800 NVLink (reduced vs A100's 300)
+  spec.allreduce_latency_us = 8.0;
+  spec.disk_gbps = 3.0;
+  spec.disk_latency_us = 100.0;
+  spec.checkpoint_load_gbps = 0.8;
+  return spec;
+}
+
+GpuSpec GpuSpec::Rtx3090() {
+  GpuSpec spec;
+  spec.name = "RTX3090-24GB";
+  spec.peak_fp16_tflops = 71.0;
+  spec.sparse_speedup = 1.6;
+  spec.hbm_gbps = 936.0;
+  spec.mem_gb = 24.0;
+  spec.kernel_launch_us = 6.0;
+  spec.dyn_parallel_launch_us = 1.2;
+  spec.pcie_gbps = 12.0;
+  spec.pcie_latency_us = 12.0;
+  spec.nvlink_gbps = 12.0;  // no NVLink: peer transfers ride PCIe
+  spec.allreduce_latency_us = 25.0;
+  spec.disk_gbps = 3.0;
+  spec.disk_latency_us = 100.0;
+  spec.checkpoint_load_gbps = 0.5;  // workstation-class load path
+  return spec;
+}
+
+}  // namespace dz

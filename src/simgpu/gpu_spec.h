@@ -1,0 +1,43 @@
+// GPU hardware model: published specification constants for the devices the paper
+// evaluates on (A800, RTX 3090). This is the substitution for real CUDA hardware —
+// see DESIGN.md §2. All serving-side timing flows through these parameters.
+#ifndef SRC_SIMGPU_GPU_SPEC_H_
+#define SRC_SIMGPU_GPU_SPEC_H_
+
+#include <cstddef>
+#include <string>
+
+namespace dz {
+
+struct GpuSpec {
+  std::string name;
+  double peak_fp16_tflops = 312.0;  // dense fp16 tensor-core throughput
+  double sparse_speedup = 1.6;      // 2:4 sparse tensor-core multiplier (paper Fig. 6)
+  double hbm_gbps = 2039.0;         // device memory bandwidth
+  double mem_gb = 80.0;             // device memory capacity
+  double kernel_launch_us = 5.0;    // per kernel-launch overhead
+  double dyn_parallel_launch_us = 1.0;  // device-side launch (CUDA dynamic parallelism)
+  double pcie_gbps = 25.0;          // host-to-device transfer
+  double pcie_latency_us = 10.0;
+  double nvlink_gbps = 200.0;       // inter-GPU bandwidth within a node
+  double allreduce_latency_us = 8.0;
+  double disk_gbps = 3.0;           // NVMe / parallel-FS read bandwidth (raw)
+  double disk_latency_us = 100.0;
+  // Effective bandwidth of a full-checkpoint load through a serving stack (safetensors
+  // read + deserialization + per-tensor allocation). Much lower than raw disk — e.g.
+  // ServerlessLLM [32] and the paper's own Fig. 16 show 7B/13B vLLM loads taking tens
+  // of seconds. Compressed deltas bypass this path (packed binary + GPU decompression),
+  // so they load at raw disk bandwidth.
+  double checkpoint_load_gbps = 0.8;
+
+  // NVIDIA A800 (A100-class, NVLink/NVSwitch) — the paper's main testbed (§6.1).
+  static GpuSpec A800();
+  // RTX 3090 — the paper's small-scale/micro-benchmark device.
+  static GpuSpec Rtx3090();
+
+  size_t mem_bytes() const { return static_cast<size_t>(mem_gb * 1e9); }
+};
+
+}  // namespace dz
+
+#endif  // SRC_SIMGPU_GPU_SPEC_H_

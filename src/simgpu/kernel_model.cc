@@ -1,0 +1,204 @@
+#include "src/simgpu/kernel_model.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+const char* WeightFormatName(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kFp16:
+      return "fp16";
+    case WeightFormat::kInt8:
+      return "int8";
+    case WeightFormat::kInt4:
+      return "int4";
+    case WeightFormat::kInt2:
+      return "int2";
+    case WeightFormat::kInt1:
+      return "int1";
+    case WeightFormat::kSparseInt4:
+      return "sparse24-int4";
+    case WeightFormat::kSparseInt2:
+      return "sparse24-int2";
+  }
+  return "?";
+}
+
+double WeightBytesPerParam(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kFp16:
+      return 2.0;
+    case WeightFormat::kInt8:
+      return 1.0;
+    case WeightFormat::kInt4:
+      return 0.5;
+    case WeightFormat::kInt2:
+      return 0.25;
+    case WeightFormat::kInt1:
+      return 0.125;
+    case WeightFormat::kSparseInt4:
+      // Half the values at 4 bits + 2-bit index per kept value: (4+2)/8 per kept,
+      // 0.5 kept per parameter → 0.375 B/param.
+      return 0.375;
+    case WeightFormat::kSparseInt2:
+      return 0.25 * 0.5 + 0.125;  // 2-bit codes on half the values + indices
+  }
+  return 2.0;
+}
+
+bool IsSparseFormat(WeightFormat format) {
+  return format == WeightFormat::kSparseInt4 || format == WeightFormat::kSparseInt2;
+}
+
+namespace {
+
+// Dequantization and index-decoding cost a little tensor-core efficiency.
+double ComputeEfficiency(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kFp16:
+      return 1.0;
+    case WeightFormat::kInt8:
+    case WeightFormat::kInt4:
+      return 0.92;
+    case WeightFormat::kInt2:
+    case WeightFormat::kInt1:
+      return 0.88;
+    case WeightFormat::kSparseInt4:
+    case WeightFormat::kSparseInt2:
+      return 0.92;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double KernelModel::GemmTime(long long m, long long n, long long k,
+                             WeightFormat format) const {
+  DZ_CHECK_GT(m, 0);
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  double rate = spec_.peak_fp16_tflops * 1e12 * ComputeEfficiency(format);
+  if (IsSparseFormat(format)) {
+    // Sparse tensor cores skip the zero half: counted at dense FLOPs, they exceed
+    // dense peak (paper Fig. 6's 1.6× line).
+    rate *= spec_.sparse_speedup;
+  }
+  const double compute_s = flops / rate;
+
+  const double weight_bytes = static_cast<double>(n) * k * WeightBytesPerParam(format);
+  const double act_bytes = 2.0 * static_cast<double>(m) * (k + n);
+  const double mem_s = (weight_bytes + act_bytes) / (spec_.hbm_gbps * 1e9);
+
+  return std::max(compute_s, mem_s);
+}
+
+double KernelModel::AchievedFlops(long long m, long long n, long long k,
+                                  WeightFormat format) const {
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  return flops / GemmTime(m, n, k, format);
+}
+
+SbmmBreakdown KernelModel::BatchedMatmul(const std::vector<int>& reqs_per_model,
+                                         long long n, long long k, WeightFormat format,
+                                         BatchedImpl impl) const {
+  SbmmBreakdown out;
+  const int models = static_cast<int>(reqs_per_model.size());
+  DZ_CHECK_GT(models, 0);
+  int max_m = 0;
+  for (int m : reqs_per_model) {
+    DZ_CHECK_GE(m, 0);
+    max_m = std::max(max_m, m);
+  }
+  if (max_m == 0) {
+    return out;
+  }
+  // Per-request scattered gather/scatter cost for implementations that do not reorder
+  // requests: each row read/written individually instead of coalesced.
+  constexpr double kScatterUsPerRequest = 1.5;
+
+  switch (impl) {
+    case BatchedImpl::kFp16ForLoop: {
+      for (int m : reqs_per_model) {
+        if (m == 0) {
+          continue;
+        }
+        out.compute_s += GemmTime(m, n, k, WeightFormat::kFp16);
+        out.total_s += LaunchOverhead(1) + kScatterUsPerRequest * 1e-6 * m;
+      }
+      out.total_s += out.compute_s;
+      break;
+    }
+    case BatchedImpl::kFp16Bmm: {
+      // Stack all weights into a contiguous batch buffer (device copy: read + write),
+      // then one padded batched kernel over max_m rows per model.
+      const double stack_bytes = 2.0 * static_cast<double>(models) * n * k * 2.0;
+      const double stack_s = stack_bytes / (spec_.hbm_gbps * 1e9);
+      const double padded_m = static_cast<double>(models) * max_m;
+      out.compute_s = GemmTime(static_cast<long long>(padded_m), n, k, WeightFormat::kFp16);
+      out.total_s = LaunchOverhead(1) + stack_s + out.compute_s;
+      break;
+    }
+    case BatchedImpl::kNaiveForLoop: {
+      for (int m : reqs_per_model) {
+        if (m == 0) {
+          continue;
+        }
+        out.compute_s += GemmTime(m, n, k, format);
+        out.total_s += LaunchOverhead(1) + kScatterUsPerRequest * 1e-6 * m;
+      }
+      out.total_s += out.compute_s;
+      break;
+    }
+    case BatchedImpl::kSbmmReorder: {
+      // Reordering removes scattered access; still one launch per delta.
+      for (int m : reqs_per_model) {
+        if (m == 0) {
+          continue;
+        }
+        out.compute_s += GemmTime(m, n, k, format);
+        out.total_s += LaunchOverhead(1);
+      }
+      out.total_s += out.compute_s;
+      break;
+    }
+    case BatchedImpl::kSbmm: {
+      // One host launch prepares per-delta configs; device-side dynamic parallelism
+      // launches the blocked matmuls (paper Fig. 8). Per-delta device launches are an
+      // order of magnitude cheaper than host launches and overlap with execution.
+      int active = 0;
+      for (int m : reqs_per_model) {
+        if (m == 0) {
+          continue;
+        }
+        ++active;
+        out.compute_s += GemmTime(m, n, k, format);
+      }
+      out.total_s = LaunchOverhead(2) + active * spec_.dyn_parallel_launch_us * 1e-6 +
+                    out.compute_s;
+      break;
+    }
+  }
+  return out;
+}
+
+double KernelModel::H2DTime(size_t bytes) const {
+  return spec_.pcie_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (spec_.pcie_gbps * 1e9);
+}
+
+double KernelModel::DiskReadTime(size_t bytes) const {
+  return spec_.disk_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (spec_.disk_gbps * 1e9);
+}
+
+double KernelModel::AllReduceTime(size_t bytes, int n_gpus) const {
+  if (n_gpus <= 1) {
+    return 0.0;
+  }
+  const double ring_factor = 2.0 * (n_gpus - 1) / n_gpus;
+  return spec_.allreduce_latency_us * 1e-6 +
+         ring_factor * static_cast<double>(bytes) / (spec_.nvlink_gbps * 1e9);
+}
+
+}  // namespace dz

@@ -1,0 +1,83 @@
+// Roofline + overhead timing model for GPU kernels and transfers.
+//
+// Each operation's duration is max(compute time, memory time) plus explicit launch
+// overheads. This reproduces the serving-relevant regimes: memory-bound decode (where
+// compressed weights win by moving fewer bytes — paper Fig. 6 left), compute-bound
+// prefill (where 2:4 sparse tensor cores win — Fig. 6 right), and the kernel-launch
+// dominated batched-matmul implementations that motivate SBMM (Figs. 7, 8, 17).
+#ifndef SRC_SIMGPU_KERNEL_MODEL_H_
+#define SRC_SIMGPU_KERNEL_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/simgpu/gpu_spec.h"
+
+namespace dz {
+
+enum class WeightFormat {
+  kFp16,
+  kInt8,
+  kInt4,
+  kInt2,
+  kInt1,
+  kSparseInt4,  // 2:4 sparsity + 4-bit values (ΔCompress serving format)
+  kSparseInt2,
+};
+
+const char* WeightFormatName(WeightFormat format);
+
+// Stored bytes per parameter (including 2-bit index metadata for sparse formats).
+double WeightBytesPerParam(WeightFormat format);
+
+// True when the format engages sparse tensor cores.
+bool IsSparseFormat(WeightFormat format);
+
+// Batched-matmul implementations compared in paper Figs. 7 and 17.
+enum class BatchedImpl {
+  kFp16ForLoop,   // dense per-model loop (the fused "add delta back" strawman)
+  kFp16Bmm,       // torch.bmm-style: stack weights then one batched kernel
+  kNaiveForLoop,  // low-precision per-model loop with scattered request I/O
+  kSbmmReorder,   // + request reordering by delta ("Ours" in Fig. 17)
+  kSbmm,          // + single dynamic-parallelism launch ("Ours+", §5.2)
+};
+
+struct SbmmBreakdown {
+  double compute_s = 0.0;  // time doing useful math (dark bars in Fig. 7)
+  double total_s = 0.0;    // including launches, stacking, scattered access
+};
+
+class KernelModel {
+ public:
+  explicit KernelModel(const GpuSpec& spec) : spec_(spec) {}
+
+  const GpuSpec& spec() const { return spec_; }
+
+  // Y[m, n] = X[m, k] · Wᵀ with W stored in `format`. Excludes launch overhead.
+  double GemmTime(long long m, long long n, long long k, WeightFormat format) const;
+
+  // Achieved FLOP/s for the GEMM (counted at dense 2mnk), for Fig. 6.
+  double AchievedFlops(long long m, long long n, long long k, WeightFormat format) const;
+
+  double LaunchOverhead(int launches) const {
+    return launches * spec_.kernel_launch_us * 1e-6;
+  }
+
+  // Grouped delta matmul: model i has reqs_per_model[i] requests; every delta is
+  // [n, k] in `format`. Returns compute/total breakdown for the chosen implementation.
+  SbmmBreakdown BatchedMatmul(const std::vector<int>& reqs_per_model, long long n,
+                              long long k, WeightFormat format, BatchedImpl impl) const;
+
+  // Transfers.
+  double H2DTime(size_t bytes) const;
+  double DiskReadTime(size_t bytes) const;
+  // Ring all-reduce of `bytes` across n GPUs.
+  double AllReduceTime(size_t bytes, int n_gpus) const;
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace dz
+
+#endif  // SRC_SIMGPU_KERNEL_MODEL_H_

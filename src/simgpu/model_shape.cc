@@ -1,0 +1,107 @@
+#include "src/simgpu/model_shape.h"
+
+namespace dz {
+
+ModelShape ModelShape::Llama7B() {
+  ModelShape s;
+  s.name = "llama-7b";
+  s.n_layers = 32;
+  s.d_model = 4096;
+  s.d_ff = 11008;
+  s.n_heads = 32;
+  s.n_kv_heads = 32;
+  s.vocab = 32000;
+  return s;
+}
+
+ModelShape ModelShape::Llama13B() {
+  ModelShape s;
+  s.name = "llama-13b";
+  s.n_layers = 40;
+  s.d_model = 5120;
+  s.d_ff = 13824;
+  s.n_heads = 40;
+  s.n_kv_heads = 40;
+  s.vocab = 32000;
+  return s;
+}
+
+ModelShape ModelShape::Llama70B() {
+  ModelShape s;
+  s.name = "llama-70b";
+  s.n_layers = 80;
+  s.d_model = 8192;
+  s.d_ff = 28672;
+  s.n_heads = 64;
+  s.n_kv_heads = 8;  // GQA
+  s.vocab = 32000;
+  return s;
+}
+
+ModelShape ModelShape::Pythia2p8B() {
+  ModelShape s;
+  s.name = "pythia-2.8b";
+  s.n_layers = 32;
+  s.d_model = 2560;
+  s.d_ff = 10240;
+  s.n_heads = 32;
+  s.n_kv_heads = 32;
+  s.vocab = 50304;
+  return s;
+}
+
+size_t ModelShape::LinearParams() const {
+  const size_t d = static_cast<size_t>(d_model);
+  const size_t ff = static_cast<size_t>(d_ff);
+  const size_t kv_dim = d * n_kv_heads / n_heads;
+  const size_t attn = d * d /*q*/ + 2 * d * kv_dim /*k,v*/ + d * d /*o*/;
+  const size_t mlp = 3 * d * ff;  // gate, up, down
+  return static_cast<size_t>(n_layers) * (attn + mlp);
+}
+
+size_t ModelShape::TotalParams() const {
+  const size_t emb = 2 * static_cast<size_t>(vocab) * d_model;  // embedding + LM head
+  return LinearParams() + emb;
+}
+
+size_t ModelShape::KvBytesPerToken() const {
+  const size_t kv_dim = static_cast<size_t>(d_model) * n_kv_heads / n_heads;
+  return 2 /*K,V*/ * static_cast<size_t>(n_layers) * kv_dim * 2 /*fp16*/;
+}
+
+size_t ModelShape::DeltaBytes(int bits, bool sparse24, int group_size,
+                              bool include_embeddings) const {
+  const size_t params = LinearParams();
+  size_t bytes = 0;
+  if (sparse24) {
+    const size_t kept = params / 2;
+    bytes += kept * bits / 8;       // packed codes
+    bytes += kept * 2 / 8;          // 2-bit indices
+    const size_t groups = (kept + group_size - 1) / group_size;
+    bytes += groups * 3;            // fp16 scale + uint8 zero per group
+  } else {
+    bytes += params * bits / 8;
+    const size_t groups = (params + group_size - 1) / group_size;
+    bytes += groups * 3;
+  }
+  if (include_embeddings) {
+    bytes += 2 * static_cast<size_t>(vocab) * d_model * 2;
+  }
+  return bytes;
+}
+
+size_t ModelShape::LoraBytes(int rank) const {
+  // Factors A [r, in] and B [out, r] for each of the 7 projections per layer.
+  const size_t d = static_cast<size_t>(d_model);
+  const size_t ff = static_cast<size_t>(d_ff);
+  const size_t kv_dim = d * n_kv_heads / n_heads;
+  size_t per_layer = 0;
+  per_layer += static_cast<size_t>(rank) * (d + d);        // q
+  per_layer += 2 * static_cast<size_t>(rank) * (d + kv_dim);  // k, v
+  per_layer += static_cast<size_t>(rank) * (d + d);        // o
+  per_layer += 2 * static_cast<size_t>(rank) * (d + ff);   // gate, up
+  per_layer += static_cast<size_t>(rank) * (ff + d);       // down
+  return static_cast<size_t>(n_layers) * per_layer * 2;    // fp16
+}
+
+}  // namespace dz

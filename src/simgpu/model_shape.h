@@ -1,0 +1,53 @@
+// Paper-scale transformer dimensions used by the serving-side cost model. These carry
+// the real Llama-2 / Pythia parameter counts so swap sizes, memory footprints, and
+// iteration times match the regimes the paper evaluates, independent of the tiny
+// trainable models in src/nn.
+#ifndef SRC_SIMGPU_MODEL_SHAPE_H_
+#define SRC_SIMGPU_MODEL_SHAPE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace dz {
+
+struct ModelShape {
+  std::string name;
+  int n_layers = 32;
+  int d_model = 4096;
+  int d_ff = 11008;
+  int n_heads = 32;
+  int n_kv_heads = 32;
+  int vocab = 32000;
+
+  static ModelShape Llama7B();
+  static ModelShape Llama13B();
+  static ModelShape Llama70B();
+  static ModelShape Pythia2p8B();
+
+  // Parameters in the delta-compressible linear layers (attention + MLP projections).
+  size_t LinearParams() const;
+  // All parameters (adds embedding + LM head; norms are negligible and ignored).
+  size_t TotalParams() const;
+
+  size_t Fp16Bytes() const { return TotalParams() * 2; }
+  size_t LinearFp16Bytes() const { return LinearParams() * 2; }
+
+  // KV-cache bytes per token (fp16 K and V across layers).
+  size_t KvBytesPerToken() const;
+
+  // Compressed-delta artifact size for the given configuration, mirroring the packing
+  // arithmetic of Sparse24Matrix/PackedQuantMatrix (values + 2-bit indices + group
+  // parameters) plus fp16 embeddings when embeddings are part of the delta.
+  size_t DeltaBytes(int bits, bool sparse24, int group_size,
+                    bool include_embeddings = false) const;
+
+  // LoRA adapter bytes at rank r over all linear layers.
+  size_t LoraBytes(int rank) const;
+
+  // FLOPs for one token through all linear layers (2 · params).
+  double LinearFlopsPerToken() const { return 2.0 * static_cast<double>(LinearParams()); }
+};
+
+}  // namespace dz
+
+#endif  // SRC_SIMGPU_MODEL_SHAPE_H_

@@ -1,0 +1,92 @@
+#include "src/tensor/half.h"
+
+namespace dz {
+
+uint16_t FloatToHalfBits(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  uint32_t exp = (x >> 23) & 0xFFu;
+  uint32_t mant = x & 0x7FFFFFu;
+
+  if (exp == 0xFF) {  // inf / NaN
+    const uint32_t nan_payload = mant != 0 ? 0x200u : 0u;
+    return static_cast<uint16_t>(sign | 0x7C00u | nan_payload);
+  }
+
+  // Re-bias exponent: float bias 127 → half bias 15.
+  const int32_t unbiased = static_cast<int32_t>(exp) - 127;
+  int32_t half_exp = unbiased + 15;
+
+  if (half_exp >= 0x1F) {  // overflow → inf
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+
+  if (half_exp <= 0) {
+    // Subnormal half (or zero). Shift mantissa (with implicit leading 1) right.
+    if (half_exp < -10) {
+      return static_cast<uint16_t>(sign);  // rounds to zero
+    }
+    mant |= 0x800000u;  // implicit bit
+    const int shift = 14 - half_exp;       // 14..24
+    const uint32_t sub = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    uint32_t rounded = sub;
+    if (rem > halfway || (rem == halfway && (sub & 1u))) {
+      ++rounded;
+    }
+    return static_cast<uint16_t>(sign | rounded);
+  }
+
+  // Normal number: keep top 10 mantissa bits, round to nearest even.
+  uint32_t half_mant = mant >> 13;
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow bumps exponent
+      half_mant = 0;
+      ++half_exp;
+      if (half_exp >= 0x1F) {
+        return static_cast<uint16_t>(sign | 0x7C00u);
+      }
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(half_exp) << 10) | half_mant);
+}
+
+float HalfBitsToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t out;
+
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +/- 0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      const uint32_t f_exp = static_cast<uint32_t>(127 - 15 - e);
+      const uint32_t f_mant = (m & 0x3FFu) << 13;
+      out = sign | (f_exp << 23) | f_mant;
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    const uint32_t f_exp = exp - 15 + 127;
+    out = sign | (f_exp << 23) | (mant << 13);
+  }
+
+  float f;
+  std::memcpy(&f, &out, sizeof(f));
+  return f;
+}
+
+}  // namespace dz

@@ -1,0 +1,46 @@
+// Software IEEE-754 binary16 ("half") conversion.
+//
+// The serving stack stores base-model weights in fp16 (like the paper's FP16 baseline);
+// we implement the conversion in software since this reproduction targets CPUs. Round to
+// nearest-even; overflow saturates to +/-inf; subnormals are handled exactly.
+#ifndef SRC_TENSOR_HALF_H_
+#define SRC_TENSOR_HALF_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace dz {
+
+// Converts a float to the nearest binary16 bit pattern.
+uint16_t FloatToHalfBits(float f);
+
+// Converts a binary16 bit pattern to float (exact).
+float HalfBitsToFloat(uint16_t h);
+
+// Value type wrapper. Arithmetic happens in float; storage is 16 bits.
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float f) : bits_(FloatToHalfBits(f)) {}
+
+  static Half FromBits(uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float ToFloat() const { return HalfBitsToFloat(bits_); }
+  uint16_t bits() const { return bits_; }
+
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+// Rounds a float through fp16 precision (the common "store in half" operation).
+inline float RoundToHalf(float f) { return HalfBitsToFloat(FloatToHalfBits(f)); }
+
+}  // namespace dz
+
+#endif  // SRC_TENSOR_HALF_H_

@@ -1,0 +1,162 @@
+#include "src/tensor/packed_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/half.h"
+
+namespace dz {
+
+QuantParams ComputeQuantParams(float min_v, float max_v, int bits) {
+  DZ_CHECK(bits == 2 || bits == 4 || bits == 8);
+  QuantParams p;
+  p.qmax = (1 << bits) - 1;
+  min_v = std::min(min_v, 0.0f);  // ensure zero is representable
+  max_v = std::max(max_v, 0.0f);
+  const float range = max_v - min_v;
+  if (range <= 0.0f) {
+    p.scale = 1.0f;
+    p.zero = 0;
+    return p;
+  }
+  p.scale = RoundToHalf(range / static_cast<float>(p.qmax));
+  if (p.scale <= 0.0f) {
+    p.scale = 1e-8f;
+  }
+  p.zero = std::clamp(static_cast<int>(std::lround(-min_v / p.scale)), 0, p.qmax);
+  return p;
+}
+
+float QuantizeValue(float v, const QuantParams& p) {
+  const int q =
+      std::clamp(static_cast<int>(std::lround(v / p.scale)) + p.zero, 0, p.qmax);
+  return static_cast<float>(q - p.zero) * p.scale;
+}
+
+PackedQuantMatrix PackedQuantMatrix::Quantize(const Matrix& w, int bits, int group_size) {
+  DZ_CHECK(bits == 2 || bits == 4 || bits == 8);
+  DZ_CHECK_GT(group_size, 0);
+  PackedQuantMatrix out;
+  out.rows_ = w.rows();
+  out.cols_ = w.cols();
+  out.bits_ = bits;
+  out.group_size_ = std::min(group_size, std::max(w.cols(), 1));
+  out.groups_per_row_ = (w.cols() + out.group_size_ - 1) / out.group_size_;
+  out.codes_per_word_ = 32 / bits;
+  out.words_per_row_ = (w.cols() + out.codes_per_word_ - 1) / out.codes_per_word_;
+  out.packed_.assign(static_cast<size_t>(out.rows_) * out.words_per_row_, 0u);
+  out.scales_.assign(static_cast<size_t>(out.rows_) * out.groups_per_row_, 1.0f);
+  out.zeros_.assign(static_cast<size_t>(out.rows_) * out.groups_per_row_, 0);
+
+  for (int r = 0; r < out.rows_; ++r) {
+    const float* row = w.row(r);
+    for (int g = 0; g < out.groups_per_row_; ++g) {
+      const int c0 = g * out.group_size_;
+      const int c1 = std::min(out.cols_, c0 + out.group_size_);
+      float lo = row[c0];
+      float hi = row[c0];
+      for (int c = c0; c < c1; ++c) {
+        lo = std::min(lo, row[c]);
+        hi = std::max(hi, row[c]);
+      }
+      const QuantParams p = ComputeQuantParams(lo, hi, bits);
+      const size_t gi = static_cast<size_t>(r) * out.groups_per_row_ + g;
+      out.scales_[gi] = p.scale;
+      out.zeros_[gi] = static_cast<uint8_t>(p.zero);
+      for (int c = c0; c < c1; ++c) {
+        const int q =
+            std::clamp(static_cast<int>(std::lround(row[c] / p.scale)) + p.zero, 0, p.qmax);
+        const size_t word =
+            static_cast<size_t>(r) * out.words_per_row_ + c / out.codes_per_word_;
+        const int shift = (c % out.codes_per_word_) * bits;
+        out.packed_[word] |= static_cast<uint32_t>(q) << shift;
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t PackedQuantMatrix::CodeAt(int r, int c) const {
+  DZ_CHECK_GE(r, 0);
+  DZ_CHECK_LT(r, rows_);
+  DZ_CHECK_GE(c, 0);
+  DZ_CHECK_LT(c, cols_);
+  const size_t word = static_cast<size_t>(r) * words_per_row_ + c / codes_per_word_;
+  const int shift = (c % codes_per_word_) * bits_;
+  const uint32_t mask = (bits_ == 32) ? ~0u : ((1u << bits_) - 1u);
+  return (packed_[word] >> shift) & mask;
+}
+
+float PackedQuantMatrix::ValueAt(int r, int c) const {
+  const size_t gi = static_cast<size_t>(r) * groups_per_row_ + c / group_size_;
+  const int q = static_cast<int>(CodeAt(r, c));
+  return static_cast<float>(q - static_cast<int>(zeros_[gi])) * scales_[gi];
+}
+
+Matrix PackedQuantMatrix::Dequantize() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    float* dst = out.row(r);
+    for (int c = 0; c < cols_; ++c) {
+      dst[c] = ValueAt(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix PackedQuantMatrix::MatmulNT(const Matrix& x) const {
+  DZ_CHECK_EQ(x.cols(), cols_);
+  const int m = x.rows();
+  Matrix y(m, rows_);
+  // Dequantize one weight row at a time (streaming, like a fused kernel would) and take
+  // dot products against all activations.
+  std::vector<float> wrow(static_cast<size_t>(cols_));
+  for (int j = 0; j < rows_; ++j) {
+    for (int c = 0; c < cols_; ++c) {
+      wrow[static_cast<size_t>(c)] = ValueAt(j, c);
+    }
+    for (int i = 0; i < m; ++i) {
+      const float* xrow = x.row(i);
+      float acc = 0.0f;
+      for (int c = 0; c < cols_; ++c) {
+        acc += xrow[c] * wrow[static_cast<size_t>(c)];
+      }
+      y.at(i, j) = acc;
+    }
+  }
+  return y;
+}
+
+PackedQuantMatrix PackedQuantMatrix::FromStorage(int rows, int cols, int bits,
+                                                 int group_size,
+                                                 std::vector<uint32_t> packed,
+                                                 std::vector<float> scales,
+                                                 std::vector<uint8_t> zeros) {
+  DZ_CHECK_GT(rows, 0);
+  DZ_CHECK_GT(cols, 0);
+  DZ_CHECK(bits == 2 || bits == 4 || bits == 8);
+  PackedQuantMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.bits_ = bits;
+  out.group_size_ = std::min(group_size, std::max(cols, 1));
+  out.groups_per_row_ = (cols + out.group_size_ - 1) / out.group_size_;
+  out.codes_per_word_ = 32 / bits;
+  out.words_per_row_ = (cols + out.codes_per_word_ - 1) / out.codes_per_word_;
+  DZ_CHECK_EQ(packed.size(), static_cast<size_t>(rows) * out.words_per_row_);
+  DZ_CHECK_EQ(scales.size(), static_cast<size_t>(rows) * out.groups_per_row_);
+  DZ_CHECK_EQ(zeros.size(), scales.size());
+  out.packed_ = std::move(packed);
+  out.scales_ = std::move(scales);
+  out.zeros_ = std::move(zeros);
+  return out;
+}
+
+size_t PackedQuantMatrix::ByteSize() const {
+  const size_t packed_bytes = packed_.size() * sizeof(uint32_t);
+  const size_t scale_bytes = scales_.size() * 2;  // stored as fp16
+  const size_t zero_bytes = zeros_.size();
+  return packed_bytes + scale_bytes + zero_bytes;
+}
+
+}  // namespace dz

@@ -1,0 +1,220 @@
+#include "src/train/finetune.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/ops.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace dz {
+
+namespace {
+
+// Synthetic pre-training corpus: a seeded Markov chain over the vocabulary. The chain
+// gives the base model generic sequence structure to learn, so fine-tuning sits on top
+// of real learned weights (not noise) — important for the delta-statistics claims.
+class MarkovCorpus {
+ public:
+  MarkovCorpus(int vocab, Rng& rng) : vocab_(vocab) {
+    transitions_.reserve(static_cast<size_t>(vocab));
+    for (int i = 0; i < vocab; ++i) {
+      std::vector<double> row(static_cast<size_t>(vocab));
+      for (auto& w : row) {
+        const double u = rng.NextDouble();
+        w = u < 0.9 ? 0.01 : rng.Uniform(0.5, 4.0);  // sparse transitions
+      }
+      transitions_.push_back(std::move(row));
+    }
+  }
+
+  std::vector<int> Sample(int len, Rng& rng) const {
+    std::vector<int> seq(static_cast<size_t>(len));
+    seq[0] = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(vocab_)));
+    for (int i = 1; i < len; ++i) {
+      seq[static_cast<size_t>(i)] =
+          rng.Categorical(transitions_[static_cast<size_t>(seq[static_cast<size_t>(i - 1)])]);
+    }
+    return seq;
+  }
+
+ private:
+  int vocab_;
+  std::vector<std::vector<double>> transitions_;
+};
+
+// Runs forward+backward on one example; returns loss. Targets: next-token for
+// pretraining sequences, last-position-only for task examples.
+double AccumulateGrads(const Transformer& model, const std::vector<int>& tokens,
+                       const std::vector<int>& targets, ModelWeights& grads) {
+  ForwardCache cache;
+  const Matrix logits = model.Forward(tokens, &cache);
+  Matrix dlogits;
+  const double loss = CrossEntropy(logits, targets, dlogits);
+  model.Backward(cache, dlogits, grads);
+  return loss;
+}
+
+std::vector<int> LastPositionTargets(const Example& ex) {
+  std::vector<int> targets(ex.tokens.size(), -1);
+  targets.back() = ex.target;
+  return targets;
+}
+
+}  // namespace
+
+double Pretrain(Transformer& model, const PretrainConfig& config, Rng& rng) {
+  const ModelConfig& cfg = model.config();
+  MarkovCorpus corpus(cfg.vocab_size, rng);
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  AdamModel adam(model.weights(), adam_config);
+
+  // Mix in task-formatted examples so the label-token subspace is pre-trained too
+  // (analogous to instruction data in a real pre-training mix).
+  std::vector<std::unique_ptr<Task>> mix;
+  for (TaskKind kind : {TaskKind::kSentiment, TaskKind::kPalindrome, TaskKind::kNli,
+                        TaskKind::kArithmetic}) {
+    mix.push_back(MakeTask(kind, cfg, rng.NextU64()));
+  }
+
+  double last_loss = 0.0;
+  for (int step = 0; step < config.steps; ++step) {
+    ModelWeights grads = ModelWeights::ZerosLike(model.weights());
+    double loss = 0.0;
+    for (int b = 0; b < config.batch; ++b) {
+      if (b % 4 == 3) {  // 25% task-formatted data
+        const auto& task = mix[rng.NextBelow(mix.size())];
+        const Example ex = task->Sample(rng);
+        loss += AccumulateGrads(model, ex.tokens, LastPositionTargets(ex), grads);
+      } else {
+        const std::vector<int> seq = corpus.Sample(config.seq_len, rng);
+        std::vector<int> targets(seq.begin() + 1, seq.end());
+        targets.push_back(-1);  // nothing to predict after the last token
+        loss += AccumulateGrads(model, seq, targets, grads);
+      }
+    }
+    grads.Scale(1.0f / static_cast<float>(config.batch));
+    adam.Step(model.mutable_weights(), grads);
+    last_loss = loss / config.batch;
+  }
+  return last_loss;
+}
+
+double FineTuneFmt(Transformer& model, const Task& task, const FineTuneConfig& config,
+                   Rng& rng) {
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  adam_config.weight_decay = config.weight_decay;
+  AdamModel adam(model.weights(), adam_config);
+  const Matrix frozen_embedding = model.weights().embedding;
+  const Matrix frozen_lm_head = model.weights().lm_head;
+  double last_loss = 0.0;
+  for (int step = 0; step < config.steps; ++step) {
+    ModelWeights grads = ModelWeights::ZerosLike(model.weights());
+    double loss = 0.0;
+    for (int b = 0; b < config.batch; ++b) {
+      const Example ex = task.Sample(rng);
+      loss += AccumulateGrads(model, ex.tokens, LastPositionTargets(ex), grads);
+    }
+    grads.Scale(1.0f / static_cast<float>(config.batch));
+    adam.Step(model.mutable_weights(), grads);
+    if (config.freeze_embeddings) {
+      // Keeping the restore inside the loop (rather than zeroing grads) also blocks
+      // the optimizer's decoupled weight decay from drifting these tensors.
+      model.mutable_weights().embedding = frozen_embedding;
+      model.mutable_weights().lm_head = frozen_lm_head;
+    }
+    last_loss = loss / config.batch;
+  }
+  return last_loss;
+}
+
+LoraAdapter FineTuneLora(const Transformer& base, const Task& task, int rank, float alpha,
+                         const FineTuneConfig& config, Rng& rng) {
+  LoraAdapter adapter = LoraAdapter::Init(base.weights(), rank, alpha, rng);
+  const float s = adapter.scale();
+
+  // Per-factor Adam states.
+  std::map<std::string, std::pair<AdamMatrix, AdamMatrix>> opt;
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  for (const auto& [name, f] : adapter.factors) {
+    opt.emplace(name, std::make_pair(AdamMatrix(f.a.rows(), f.a.cols(), adam_config),
+                                     AdamMatrix(f.b.rows(), f.b.cols(), adam_config)));
+  }
+
+  for (int step = 0; step < config.steps; ++step) {
+    // Materialize W_eff = W + s·B·A, take dense gradients, then project them onto the
+    // factors: dB = s·dW·Aᵀ, dA = s·Bᵀ·dW. Exact because the loss depends only on W_eff.
+    Transformer merged(adapter.MergedWith(base.weights()));
+    ModelWeights grads = ModelWeights::ZerosLike(merged.weights());
+    for (int b = 0; b < config.batch; ++b) {
+      const Example ex = task.Sample(rng);
+      AccumulateGrads(merged, ex.tokens, LastPositionTargets(ex), grads);
+    }
+    grads.Scale(1.0f / static_cast<float>(config.batch));
+
+    for (auto& grad_layer : grads.LinearLayers()) {
+      auto it = adapter.factors.find(grad_layer.name);
+      if (it == adapter.factors.end()) {
+        continue;
+      }
+      LoraFactors& f = it->second;
+      const Matrix& dw = *grad_layer.weight;                // [out, in]
+      Matrix db = MatmulNT(dw, f.a);                        // dW·Aᵀ → [out, r]
+      db.ScaleInPlace(s);
+      Matrix da = Matmul(f.b.Transposed(), dw);             // Bᵀ·dW → [r, in]
+      da.ScaleInPlace(s);
+      auto& [opt_a, opt_b] = opt.at(grad_layer.name);
+      opt_a.Step(f.a, da);
+      opt_b.Step(f.b, db);
+    }
+  }
+  return adapter;
+}
+
+double EvaluateAccuracy(const Transformer& model, const Task& task, int n_examples,
+                        uint64_t eval_seed, const LinearOverlay* overlay) {
+  const std::vector<Example> eval_set = task.MakeEvalSet(n_examples, eval_seed);
+  const std::vector<int> labels = task.label_tokens();
+  DZ_CHECK(!labels.empty());
+  int correct = 0;
+  for (const Example& ex : eval_set) {
+    const Matrix logits = model.Forward(ex.tokens, nullptr, overlay);
+    const float* last = logits.row(logits.rows() - 1);
+    int best = labels[0];
+    for (int t : labels) {
+      if (last[t] > last[best]) {
+        best = t;
+      }
+    }
+    if (best == ex.target) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / n_examples;
+}
+
+VariantSuite BuildVariantSuite(const ModelConfig& config, const std::vector<TaskKind>& tasks,
+                               const PretrainConfig& pretrain_config,
+                               const FineTuneConfig& finetune_config, uint64_t seed) {
+  Rng rng(seed);
+  VariantSuite suite;
+  suite.base = std::make_unique<Transformer>(ModelWeights::RandomInit(config, rng));
+  const double pre_loss = Pretrain(*suite.base, pretrain_config, rng);
+  DZ_LOG(kInfo) << "pretrained base: loss=" << pre_loss;
+  for (TaskKind kind : tasks) {
+    const auto task = MakeTask(kind, config, seed ^ static_cast<uint64_t>(kind));
+    FineTunedVariant variant;
+    variant.task = kind;
+    variant.model = std::make_unique<Transformer>(suite.base->weights());
+    Rng ft_rng = rng.Fork();
+    const double ft_loss = FineTuneFmt(*variant.model, *task, finetune_config, ft_rng);
+    DZ_LOG(kInfo) << "fine-tuned variant on " << task->name() << ": loss=" << ft_loss;
+    suite.variants.push_back(std::move(variant));
+  }
+  return suite;
+}
+
+}  // namespace dz

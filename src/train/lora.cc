@@ -1,0 +1,69 @@
+#include "src/train/lora.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+LoraAdapter LoraAdapter::Init(const ModelWeights& base, int rank, float alpha, Rng& rng) {
+  DZ_CHECK_GT(rank, 0);
+  LoraAdapter adapter;
+  adapter.rank = rank;
+  adapter.alpha = alpha;
+  for (const auto& layer : base.LinearLayers()) {
+    LoraFactors f;
+    const float a_std = 1.0f / std::sqrt(static_cast<float>(rank));
+    f.a = Matrix::Random(rank, layer.weight->cols(), rng, a_std);
+    f.b = Matrix(layer.weight->rows(), rank);  // zero → identity at init
+    adapter.factors.emplace(layer.name, std::move(f));
+  }
+  return adapter;
+}
+
+ModelWeights LoraAdapter::MergedWith(const ModelWeights& base) const {
+  ModelWeights merged = base;
+  const float s = scale();
+  for (auto& layer : merged.LinearLayers()) {
+    const auto it = factors.find(layer.name);
+    if (it == factors.end()) {
+      continue;
+    }
+    // W += s · B · A.
+    const Matrix ba = Matmul(it->second.b, it->second.a);
+    Axpy(s, ba, *layer.weight);
+  }
+  return merged;
+}
+
+LinearOverlay LoraAdapter::MakeOverlay(const ModelWeights& base) const {
+  LinearOverlay overlay;
+  const float s = scale();
+  for (const auto& layer : base.LinearLayers()) {
+    const auto it = factors.find(layer.name);
+    if (it == factors.end()) {
+      continue;
+    }
+    const Matrix* w = layer.weight;
+    const LoraFactors* f = &it->second;
+    overlay.ops[layer.name] = [w, f, s](const Matrix& x) {
+      Matrix y = MatmulNT(x, *w);
+      const Matrix xa = MatmulNT(x, f->a);  // [tokens, rank]
+      const Matrix delta = MatmulNT(xa, f->b);  // xa·Bᵀ → [tokens, out]
+      Matrix out = std::move(y);
+      Axpy(s, delta, out);
+      return out;
+    };
+  }
+  return overlay;
+}
+
+size_t LoraAdapter::Fp16ByteSize() const {
+  size_t params = 0;
+  for (const auto& [name, f] : factors) {
+    params += f.a.size() + f.b.size();
+  }
+  return params * 2;
+}
+
+}  // namespace dz

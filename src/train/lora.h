@@ -1,0 +1,48 @@
+// Low-rank adapters (LoRA) over the transformer's linear layers.
+//
+// W_eff = W + (alpha / r) · B · A  with A ∈ [r, in], B ∈ [out, r]. B starts at zero so
+// the adapter is a no-op before training (as in the LoRA paper). Serving attaches the
+// adapter through a LinearOverlay, computing  y = x·Wᵀ + s·(x·Aᵀ)·Bᵀ  — the Punica /
+// S-LoRA decoupled form the paper's engine inherits for PEFT models.
+#ifndef SRC_TRAIN_LORA_H_
+#define SRC_TRAIN_LORA_H_
+
+#include <map>
+#include <string>
+
+#include "src/nn/transformer.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+
+namespace dz {
+
+struct LoraFactors {
+  Matrix a;  // [rank, in]
+  Matrix b;  // [out, rank]
+};
+
+struct LoraAdapter {
+  int rank = 8;
+  float alpha = 16.0f;
+  std::map<std::string, LoraFactors> factors;  // keyed by linear-layer name
+
+  float scale() const { return alpha / static_cast<float>(rank); }
+
+  // Fresh adapter covering every linear layer of `base` (A ~ N(0, 1/r), B = 0).
+  static LoraAdapter Init(const ModelWeights& base, int rank, float alpha, Rng& rng);
+
+  // Materializes base + adapter into a full-weight copy (used for training and for
+  // equivalence tests).
+  ModelWeights MergedWith(const ModelWeights& base) const;
+
+  // Overlay computing the decoupled form  x·Wᵀ + s·(x·Aᵀ)·Bᵀ  against `base`.
+  // `base` must outlive the overlay.
+  LinearOverlay MakeOverlay(const ModelWeights& base) const;
+
+  // fp16 footprint of the adapter parameters (the LoRA serving artifact size).
+  size_t Fp16ByteSize() const;
+};
+
+}  // namespace dz
+
+#endif  // SRC_TRAIN_LORA_H_

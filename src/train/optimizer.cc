@@ -1,0 +1,84 @@
+#include "src/train/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+std::vector<std::pair<float*, size_t>> ParamSpans(ModelWeights& w) {
+  std::vector<std::pair<float*, size_t>> spans;
+  auto add_matrix = [&spans](Matrix& m) {
+    spans.emplace_back(m.data().data(), m.data().size());
+  };
+  auto add_vec = [&spans](std::vector<float>& v) { spans.emplace_back(v.data(), v.size()); };
+  add_matrix(w.embedding);
+  for (auto& layer : w.layers) {
+    add_matrix(layer.wq);
+    add_matrix(layer.wk);
+    add_matrix(layer.wv);
+    add_matrix(layer.wo);
+    add_matrix(layer.w_gate);
+    add_matrix(layer.w_up);
+    add_matrix(layer.w_down);
+    add_vec(layer.attn_norm);
+    add_vec(layer.mlp_norm);
+  }
+  add_vec(w.final_norm);
+  add_matrix(w.lm_head);
+  return spans;
+}
+
+AdamModel::AdamModel(const ModelWeights& shape, const AdamConfig& config)
+    : config_(config),
+      m_(ModelWeights::ZerosLike(shape)),
+      v_(ModelWeights::ZerosLike(shape)) {}
+
+void AdamModel::Step(ModelWeights& weights, ModelWeights& grads) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  auto w_spans = ParamSpans(weights);
+  auto g_spans = ParamSpans(grads);
+  auto m_spans = ParamSpans(m_);
+  auto v_spans = ParamSpans(v_);
+  DZ_CHECK_EQ(w_spans.size(), g_spans.size());
+  for (size_t s = 0; s < w_spans.size(); ++s) {
+    float* w = w_spans[s].first;
+    const float* g = g_spans[s].first;
+    float* m = m_spans[s].first;
+    float* v = v_spans[s].first;
+    const size_t n = w_spans[s].second;
+    DZ_CHECK_EQ(n, g_spans[s].second);
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                            config_.weight_decay * w[i]);
+    }
+  }
+}
+
+AdamMatrix::AdamMatrix(int rows, int cols, const AdamConfig& config)
+    : config_(config), m_(rows, cols), v_(rows, cols) {}
+
+void AdamMatrix::Step(Matrix& w, const Matrix& grad) {
+  DZ_CHECK_EQ(w.rows(), m_.rows());
+  DZ_CHECK_EQ(w.cols(), m_.cols());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < w.data().size(); ++i) {
+    const float g = grad.data()[i];
+    m_.data()[i] = config_.beta1 * m_.data()[i] + (1.0f - config_.beta1) * g;
+    v_.data()[i] = config_.beta2 * v_.data()[i] + (1.0f - config_.beta2) * g * g;
+    const float mhat = m_.data()[i] / bc1;
+    const float vhat = v_.data()[i] / bc2;
+    w.data()[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                                 config_.weight_decay * w.data()[i]);
+  }
+}
+
+}  // namespace dz

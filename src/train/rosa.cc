@@ -1,0 +1,189 @@
+#include "src/train/rosa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/ops.h"
+#include "src/train/optimizer.h"
+#include "src/util/check.h"
+
+namespace dz {
+
+Matrix CooMatrix::ToDense() const {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < values.size(); ++i) {
+    m.at(row_idx[i], col_idx[i]) = values[i];
+  }
+  return m;
+}
+
+Matrix CooMatrix::MatmulNT(const Matrix& x) const {
+  DZ_CHECK_EQ(x.cols(), cols);
+  Matrix y(x.rows(), rows);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int out_row = row_idx[i];
+    const int in_col = col_idx[i];
+    const float v = values[i];
+    for (int b = 0; b < x.rows(); ++b) {
+      y.at(b, out_row) += x.at(b, in_col) * v;
+    }
+  }
+  return y;
+}
+
+ModelWeights RosaAdapter::MergedWith(const ModelWeights& base) const {
+  ModelWeights merged = lora.MergedWith(base);
+  for (auto& layer : merged.LinearLayers()) {
+    const auto it = sparse.find(layer.name);
+    if (it != sparse.end()) {
+      layer.weight->AddInPlace(it->second.ToDense());
+    }
+  }
+  return merged;
+}
+
+LinearOverlay RosaAdapter::MakeOverlay(const ModelWeights& base) const {
+  LinearOverlay overlay = lora.MakeOverlay(base);
+  for (const auto& layer : base.LinearLayers()) {
+    const auto it = sparse.find(layer.name);
+    if (it == sparse.end()) {
+      continue;
+    }
+    const CooMatrix* coo = &it->second;
+    // Wrap the LoRA op (or the plain dense op) with the sparse term.
+    auto inner = overlay.ops.count(layer.name) > 0
+                     ? overlay.ops[layer.name]
+                     : [w = layer.weight](const Matrix& x) { return MatmulNT(x, *w); };
+    overlay.ops[layer.name] = [inner, coo](const Matrix& x) {
+      Matrix y = inner(x);
+      y.AddInPlace(coo->MatmulNT(x));
+      return y;
+    };
+  }
+  return overlay;
+}
+
+size_t RosaAdapter::Fp16ByteSize() const {
+  size_t bytes = lora.Fp16ByteSize();
+  for (const auto& [name, coo] : sparse) {
+    bytes += coo.nnz() * (2 + 4 + 4);  // fp16 value + two int32 coordinates
+  }
+  return bytes;
+}
+
+namespace {
+
+// One gradient probe on the frozen base to select the sparse support.
+ModelWeights ProbeGradients(const Transformer& base, const Task& task, int batch,
+                            Rng& rng) {
+  ModelWeights grads = ModelWeights::ZerosLike(base.weights());
+  for (int b = 0; b < batch; ++b) {
+    const Example ex = task.Sample(rng);
+    ForwardCache cache;
+    const Matrix logits = base.Forward(ex.tokens, &cache);
+    std::vector<int> targets(ex.tokens.size(), -1);
+    targets.back() = ex.target;
+    Matrix dlogits;
+    CrossEntropy(logits, targets, dlogits);
+    base.Backward(cache, dlogits, grads);
+  }
+  return grads;
+}
+
+}  // namespace
+
+RosaAdapter FineTuneRosa(const Transformer& base, const Task& task, int rank, float alpha,
+                         double density, const FineTuneConfig& config, Rng& rng) {
+  DZ_CHECK_GT(density, 0.0);
+  DZ_CHECK_LT(density, 1.0);
+  RosaAdapter adapter;
+  adapter.density = density;
+  adapter.lora = LoraAdapter::Init(base.weights(), rank, alpha, rng);
+
+  // Support selection: largest |grad| coordinates per layer.
+  const ModelWeights probe = ProbeGradients(base, task, 16, rng);
+  for (const auto& layer : probe.LinearLayers()) {
+    const Matrix& g = *layer.weight;
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(density * static_cast<double>(g.size())));
+    std::vector<size_t> order(g.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k), order.end(),
+                      [&](size_t a, size_t b) {
+                        return std::abs(g.data()[a]) > std::abs(g.data()[b]);
+                      });
+    CooMatrix coo;
+    coo.rows = g.rows();
+    coo.cols = g.cols();
+    for (size_t i = 0; i < k; ++i) {
+      coo.row_idx.push_back(static_cast<int>(order[i] / g.cols()));
+      coo.col_idx.push_back(static_cast<int>(order[i] % g.cols()));
+      coo.values.push_back(0.0f);  // starts as identity
+    }
+    adapter.sparse.emplace(layer.name, std::move(coo));
+  }
+
+  // Joint training: dense grads of the merged model project onto LoRA factors and
+  // scatter onto the sparse support.
+  std::map<std::string, std::pair<AdamMatrix, AdamMatrix>> lora_opt;
+  std::map<std::string, AdamMatrix> sparse_opt;
+  AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  for (const auto& [name, f] : adapter.lora.factors) {
+    lora_opt.emplace(name,
+                     std::make_pair(AdamMatrix(f.a.rows(), f.a.cols(), adam_config),
+                                    AdamMatrix(f.b.rows(), f.b.cols(), adam_config)));
+    sparse_opt.emplace(
+        name, AdamMatrix(1, static_cast<int>(adapter.sparse.at(name).nnz()), adam_config));
+  }
+  const float s = adapter.lora.scale();
+
+  for (int step = 0; step < config.steps; ++step) {
+    Transformer merged(adapter.MergedWith(base.weights()));
+    ModelWeights grads = ModelWeights::ZerosLike(merged.weights());
+    for (int b = 0; b < config.batch; ++b) {
+      const Example ex = task.Sample(rng);
+      ForwardCache cache;
+      const Matrix logits = merged.Forward(ex.tokens, &cache);
+      std::vector<int> targets(ex.tokens.size(), -1);
+      targets.back() = ex.target;
+      Matrix dlogits;
+      CrossEntropy(logits, targets, dlogits);
+      merged.Backward(cache, dlogits, grads);
+    }
+    grads.Scale(1.0f / static_cast<float>(config.batch));
+
+    for (auto& grad_layer : grads.LinearLayers()) {
+      const auto lit = adapter.lora.factors.find(grad_layer.name);
+      if (lit == adapter.lora.factors.end()) {
+        continue;
+      }
+      LoraFactors& f = lit->second;
+      const Matrix& dw = *grad_layer.weight;
+      Matrix db = MatmulNT(dw, f.a);
+      db.ScaleInPlace(s);
+      Matrix da = Matmul(f.b.Transposed(), dw);
+      da.ScaleInPlace(s);
+      auto& [opt_a, opt_b] = lora_opt.at(grad_layer.name);
+      opt_a.Step(f.a, da);
+      opt_b.Step(f.b, db);
+
+      CooMatrix& coo = adapter.sparse.at(grad_layer.name);
+      Matrix vals(1, static_cast<int>(coo.nnz()));
+      Matrix gvals(1, static_cast<int>(coo.nnz()));
+      for (size_t i = 0; i < coo.nnz(); ++i) {
+        vals.at(0, static_cast<int>(i)) = coo.values[i];
+        gvals.at(0, static_cast<int>(i)) = dw.at(coo.row_idx[i], coo.col_idx[i]);
+      }
+      sparse_opt.at(grad_layer.name).Step(vals, gvals);
+      for (size_t i = 0; i < coo.nnz(); ++i) {
+        coo.values[i] = vals.at(0, static_cast<int>(i));
+      }
+    }
+  }
+  return adapter;
+}
+
+}  // namespace dz

@@ -1,0 +1,53 @@
+// RoSA-style robust adaptation: a low-rank adapter plus a *sparse* full-rank component
+// (Nikdan et al., cited by the paper in §8 as a PEFT method existing LoRA-only serving
+// systems cannot handle). DeltaZip's decoupled-overlay architecture serves it directly:
+//     y = x·Wᵀ + s·(x·Aᵀ)·Bᵀ + x·Sᵀ
+// where S is a coordinate-sparse matrix whose support is picked from the largest
+// task-gradient magnitudes and whose values are trained.
+#ifndef SRC_TRAIN_ROSA_H_
+#define SRC_TRAIN_ROSA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/train/finetune.h"
+#include "src/train/lora.h"
+#include "src/train/task.h"
+
+namespace dz {
+
+// Coordinate-list sparse matrix, the adapter's full-rank component.
+struct CooMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> row_idx;
+  std::vector<int> col_idx;
+  std::vector<float> values;
+
+  size_t nnz() const { return values.size(); }
+  Matrix ToDense() const;
+  // y = x·Sᵀ touching only stored coordinates.
+  Matrix MatmulNT(const Matrix& x) const;
+};
+
+struct RosaAdapter {
+  LoraAdapter lora;
+  std::map<std::string, CooMatrix> sparse;  // keyed by linear-layer name
+  double density = 0.0;
+
+  ModelWeights MergedWith(const ModelWeights& base) const;
+  LinearOverlay MakeOverlay(const ModelWeights& base) const;
+  // fp16 values + 2x int32 coordinates per nonzero, plus the LoRA factors.
+  size_t Fp16ByteSize() const;
+};
+
+// Trains a RoSA adapter: support selection from one gradient probe on the frozen base,
+// then joint training of LoRA factors and sparse values (materialize-and-project, like
+// FineTuneLora).
+RosaAdapter FineTuneRosa(const Transformer& base, const Task& task, int rank, float alpha,
+                         double density, const FineTuneConfig& config, Rng& rng);
+
+}  // namespace dz
+
+#endif  // SRC_TRAIN_ROSA_H_

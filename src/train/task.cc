@@ -1,0 +1,223 @@
+#include "src/train/task.h"
+
+#include <algorithm>
+
+#include "src/nn/transformer.h"
+#include "src/util/check.h"
+
+namespace dz {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kSentiment:
+      return "sentiment-review";
+    case TaskKind::kPalindrome:
+      return "palindrome";
+    case TaskKind::kNli:
+      return "nli-classification";
+    case TaskKind::kTeacher:
+      return "boolq-teacher";
+    case TaskKind::kArithmetic:
+      return "math-mod-arith";
+  }
+  return "?";
+}
+
+std::vector<Example> Task::MakeEvalSet(int n, uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<Example> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Sample(rng));
+  }
+  return out;
+}
+
+namespace {
+
+class SentimentTask : public Task {
+ public:
+  Example Sample(Rng& rng) const override {
+    Example ex;
+    const int len = 9;  // odd so majority is never tied
+    int positive = 0;
+    for (int i = 0; i < len; ++i) {
+      // ~40% positive, ~40% negative, 20% neutral filler.
+      const double u = rng.NextDouble();
+      int tok = 0;
+      if (u < 0.4) {
+        tok = Vocab::kPositive0 + static_cast<int>(rng.NextBelow(20));
+        ++positive;
+      } else if (u < 0.8) {
+        tok = Vocab::kNegative0 + static_cast<int>(rng.NextBelow(20));
+        --positive;
+      } else {
+        tok = Vocab::kNeutral0 + static_cast<int>(rng.NextBelow(20));
+      }
+      ex.tokens.push_back(tok);
+    }
+    if (positive == 0) {  // break ties with one more positive word
+      ex.tokens.push_back(Vocab::kPositive0);
+      positive = 1;
+    }
+    ex.tokens.push_back(Vocab::kQuery);
+    ex.target = positive > 0 ? Vocab::kLabelYes : Vocab::kLabelNo;
+    return ex;
+  }
+
+  std::vector<int> label_tokens() const override {
+    return {Vocab::kLabelYes, Vocab::kLabelNo};
+  }
+  std::string name() const override { return TaskKindName(TaskKind::kSentiment); }
+};
+
+class PalindromeTask : public Task {
+ public:
+  Example Sample(Rng& rng) const override {
+    Example ex;
+    const int half = 3 + static_cast<int>(rng.NextBelow(2));  // 3..4
+    std::vector<int> digits;
+    for (int i = 0; i < half; ++i) {
+      digits.push_back(Vocab::kDigit0 + static_cast<int>(rng.NextBelow(10)));
+    }
+    const bool is_pal = rng.NextDouble() < 0.5;
+    std::vector<int> tail(digits.rbegin(), digits.rend());
+    if (!is_pal) {
+      // Corrupt one mirrored digit so it is definitely not a palindrome.
+      const size_t idx = rng.NextBelow(tail.size());
+      tail[idx] = Vocab::kDigit0 + ((tail[idx] - Vocab::kDigit0 + 1 +
+                                     static_cast<int>(rng.NextBelow(9))) %
+                                    10);
+    }
+    ex.tokens = digits;
+    ex.tokens.insert(ex.tokens.end(), tail.begin(), tail.end());
+    ex.tokens.push_back(Vocab::kQuery);
+    // Re-derive the label (corruption could accidentally form another palindrome for
+    // even lengths — the +1..9 shift guarantees mismatch at that index, so it cannot).
+    ex.target = is_pal ? Vocab::kLabelYes : Vocab::kLabelNo;
+    return ex;
+  }
+
+  std::vector<int> label_tokens() const override {
+    return {Vocab::kLabelYes, Vocab::kLabelNo};
+  }
+  std::string name() const override { return TaskKindName(TaskKind::kPalindrome); }
+};
+
+class NliTask : public Task {
+ public:
+  Example Sample(Rng& rng) const override {
+    Example ex;
+    const int len = 5;
+    std::vector<int> premise;
+    for (int i = 0; i < len; ++i) {
+      premise.push_back(Vocab::kNeutral0 + static_cast<int>(rng.NextBelow(20)));
+    }
+    const int relation = static_cast<int>(rng.NextBelow(3));
+    std::vector<int> hypothesis;
+    switch (relation) {
+      case 0:  // entailment: exact copy
+        hypothesis = premise;
+        ex.target = Vocab::kLabelEntail;
+        break;
+      case 1:  // contradiction: reversal
+        hypothesis.assign(premise.rbegin(), premise.rend());
+        ex.target = Vocab::kLabelContra;
+        break;
+      default: {  // neutral: fresh random segment
+        for (int i = 0; i < len; ++i) {
+          hypothesis.push_back(Vocab::kNeutral0 + static_cast<int>(rng.NextBelow(20)));
+        }
+        ex.target = Vocab::kLabelNeutral;
+        break;
+      }
+    }
+    ex.tokens = premise;
+    ex.tokens.push_back(Vocab::kSep);
+    ex.tokens.insert(ex.tokens.end(), hypothesis.begin(), hypothesis.end());
+    ex.tokens.push_back(Vocab::kQuery);
+    return ex;
+  }
+
+  std::vector<int> label_tokens() const override {
+    return {Vocab::kLabelEntail, Vocab::kLabelContra, Vocab::kLabelNeutral};
+  }
+  std::string name() const override { return TaskKindName(TaskKind::kNli); }
+};
+
+class TeacherTask : public Task {
+ public:
+  TeacherTask(const ModelConfig& config, uint64_t seed) {
+    // A frozen random transformer defines the labeling function. Its decision boundary
+    // is a generic full-rank function of the input, which is what makes this the
+    // "complex" regime where low-rank adaptation underperforms (paper Fig. 2).
+    ModelConfig tc = config;
+    tc.n_layers = 2;
+    Rng rng(seed ^ 0x7E4CE201ull);
+    teacher_ = std::make_unique<Transformer>(ModelWeights::RandomInit(tc, rng));
+  }
+
+  Example Sample(Rng& rng) const override {
+    Example ex;
+    const int len = 8;
+    for (int i = 0; i < len; ++i) {
+      ex.tokens.push_back(Vocab::kNeutral0 + static_cast<int>(rng.NextBelow(20)));
+    }
+    ex.tokens.push_back(Vocab::kQuery);
+    const Matrix logits = teacher_->Forward(ex.tokens);
+    const float* last = logits.row(logits.rows() - 1);
+    ex.target =
+        last[Vocab::kLabelYes] >= last[Vocab::kLabelNo] ? Vocab::kLabelYes : Vocab::kLabelNo;
+    return ex;
+  }
+
+  std::vector<int> label_tokens() const override {
+    return {Vocab::kLabelYes, Vocab::kLabelNo};
+  }
+  std::string name() const override { return TaskKindName(TaskKind::kTeacher); }
+
+ private:
+  std::unique_ptr<Transformer> teacher_;
+};
+
+class ArithmeticTask : public Task {
+ public:
+  Example Sample(Rng& rng) const override {
+    Example ex;
+    const int a = static_cast<int>(rng.NextBelow(10));
+    const int b = static_cast<int>(rng.NextBelow(10));
+    ex.tokens = {Vocab::kDigit0 + a, Vocab::kSep, Vocab::kDigit0 + b, Vocab::kQuery};
+    ex.target = Vocab::kDigit0 + (a + b) % 10;
+    return ex;
+  }
+
+  std::vector<int> label_tokens() const override {
+    std::vector<int> labels(10);
+    for (int i = 0; i < 10; ++i) {
+      labels[static_cast<size_t>(i)] = Vocab::kDigit0 + i;
+    }
+    return labels;
+  }
+  std::string name() const override { return TaskKindName(TaskKind::kArithmetic); }
+};
+
+}  // namespace
+
+std::unique_ptr<Task> MakeTask(TaskKind kind, const ModelConfig& config, uint64_t seed) {
+  DZ_CHECK_GE(config.vocab_size, 120);
+  switch (kind) {
+    case TaskKind::kSentiment:
+      return std::make_unique<SentimentTask>();
+    case TaskKind::kPalindrome:
+      return std::make_unique<PalindromeTask>();
+    case TaskKind::kNli:
+      return std::make_unique<NliTask>();
+    case TaskKind::kTeacher:
+      return std::make_unique<TeacherTask>(config, seed);
+    case TaskKind::kArithmetic:
+      return std::make_unique<ArithmeticTask>();
+  }
+  return nullptr;
+}
+
+}  // namespace dz

@@ -1,0 +1,86 @@
+// Synthetic downstream tasks standing in for the paper's evaluation suites.
+//
+// The paper evaluates fine-tuned-model quality on natural-instruction tasks (Amazon
+// Review, Palindrome, Yes/No; paper Table 1) and harder suites (GSM8K math, BoolQ, NLI;
+// paper Table 2, Fig. 2). We have no datasets offline, so each task is a *generative*
+// synthetic analogue with a controllable difficulty profile:
+//
+//   kSentiment  — majority-vote sentiment of word tokens (≈ Amazon Review; "easy",
+//                 learnable by near-low-rank updates, the regime where LoRA ≈ FMT).
+//   kPalindrome — palindrome detection over digit strings (≈ Synthetic Palindrome).
+//   kNli        — 3-way relation between two segments: copy / reversal / random
+//                 (≈ NLI classification).
+//   kTeacher    — binary labels produced by a frozen random transformer teacher
+//                 (≈ BoolQ/LogiQA; requires full-rank adaptation, where FMT > LoRA).
+//   kArithmetic — (a + b) mod 10 over digit operands (≈ GSM8K math; memorization-heavy,
+//                 the paper's canonical "complex task" where LoRA lags FMT).
+//
+// Every task formats an example as a token sequence whose *last* position is supervised
+// with a label token; accuracy is argmax-over-label-tokens at that position, mirroring
+// multiple-choice scoring in lm-eval-harness.
+#ifndef SRC_TRAIN_TASK_H_
+#define SRC_TRAIN_TASK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/config.h"
+#include "src/util/rng.h"
+
+namespace dz {
+
+struct Example {
+  std::vector<int> tokens;  // includes a trailing query position
+  int target = 0;           // label token expected at the last position
+};
+
+enum class TaskKind {
+  kSentiment,
+  kPalindrome,
+  kNli,
+  kTeacher,
+  kArithmetic,
+};
+
+const char* TaskKindName(TaskKind kind);
+
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  virtual Example Sample(Rng& rng) const = 0;
+  virtual std::vector<int> label_tokens() const = 0;
+  virtual std::string name() const = 0;
+
+  // Deterministic evaluation set.
+  std::vector<Example> MakeEvalSet(int n, uint64_t seed) const;
+};
+
+// Vocabulary layout shared by all tasks (within ModelConfig::vocab_size >= 128):
+//   0..9     digit tokens
+//   20..39   positive-sentiment words     40..59  negative-sentiment words
+//   60..79   neutral filler words
+//   100      SEP    101 QUERY (the supervised position reads this token)
+//   110..119 label tokens (yes/no/neutral/entail/contra/...)
+struct Vocab {
+  static constexpr int kDigit0 = 0;
+  static constexpr int kPositive0 = 20;
+  static constexpr int kNegative0 = 40;
+  static constexpr int kNeutral0 = 60;
+  static constexpr int kSep = 100;
+  static constexpr int kQuery = 101;
+  static constexpr int kLabelYes = 110;
+  static constexpr int kLabelNo = 111;
+  static constexpr int kLabelNeutral = 112;
+  static constexpr int kLabelEntail = 113;
+  static constexpr int kLabelContra = 114;
+};
+
+// Creates a task. `config` sizes the teacher for kTeacher; `seed` fixes any internal
+// task parameters (e.g., teacher weights) so train and eval see the same task.
+std::unique_ptr<Task> MakeTask(TaskKind kind, const ModelConfig& config, uint64_t seed);
+
+}  // namespace dz
+
+#endif  // SRC_TRAIN_TASK_H_

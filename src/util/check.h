@@ -1,0 +1,56 @@
+// Lightweight assertion macros, active in all build types.
+//
+// DZ_CHECK(cond)            — abort with message if cond is false.
+// DZ_CHECK_{EQ,NE,LT,LE,GT,GE}(a, b) — comparison forms that print both operands.
+//
+// These are for programmer errors (violated invariants / preconditions); recoverable
+// runtime failures should be reported through return values instead.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dz {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& detail) {
+  std::fprintf(stderr, "DZ_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               detail.empty() ? "" : " — ", detail.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace dz
+
+#define DZ_CHECK(cond)                                       \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::dz::CheckFailed(__FILE__, __LINE__, #cond, "");      \
+    }                                                        \
+  } while (0)
+
+#define DZ_CHECK_OP(op, a, b)                                                        \
+  do {                                                                               \
+    if (!((a)op(b))) {                                                               \
+      ::dz::CheckFailed(__FILE__, __LINE__, #a " " #op " " #b,                       \
+                        ::dz::FormatOperands((a), (b)));                             \
+    }                                                                                \
+  } while (0)
+
+#define DZ_CHECK_EQ(a, b) DZ_CHECK_OP(==, a, b)
+#define DZ_CHECK_NE(a, b) DZ_CHECK_OP(!=, a, b)
+#define DZ_CHECK_LT(a, b) DZ_CHECK_OP(<, a, b)
+#define DZ_CHECK_LE(a, b) DZ_CHECK_OP(<=, a, b)
+#define DZ_CHECK_GT(a, b) DZ_CHECK_OP(>, a, b)
+#define DZ_CHECK_GE(a, b) DZ_CHECK_OP(>=, a, b)
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,123 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  DZ_CHECK_GE(p, 0.0);
+  DZ_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double FractionWithin(const std::vector<double>& values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t ok = 0;
+  for (double v : values) {
+    if (v <= threshold) {
+      ++ok;
+    }
+  }
+  return static_cast<double>(ok) / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  DZ_CHECK_GT(bins, 0);
+  DZ_CHECK_LT(lo, hi);
+}
+
+void Histogram::Add(double x) {
+  const int n = static_cast<int>(counts_.size());
+  int bin = static_cast<int>((x - lo_) / (hi_ - lo_) * n);
+  bin = std::clamp(bin, 0, n - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+int Histogram::bin_count(int i) const {
+  DZ_CHECK_GE(i, 0);
+  DZ_CHECK_LT(i, bins());
+  return counts_[i];
+}
+
+double Histogram::bin_lo(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / bins();
+}
+
+double Histogram::bin_hi(int i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / bins();
+}
+
+std::string Histogram::ToAscii(int width) const {
+  int max_count = 1;
+  for (int c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::ostringstream os;
+  for (int i = 0; i < bins(); ++i) {
+    const int bar = counts_[i] * width / max_count;
+    os << "[";
+    os.precision(4);
+    os << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    for (int j = 0; j < bar; ++j) {
+      os << '#';
+    }
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dz

@@ -1,0 +1,56 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// Used by the compressor (per-layer jobs) and by GEMM sharding in the tensor library.
+// Work items must not throw; failures should be reported through captured state.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dz {
+
+class ThreadPool {
+ public:
+  // threads == 0 means hardware_concurrency().
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have completed.
+  void Wait();
+
+  // Splits [0, n) into contiguous chunks and runs body(begin, end) across the pool,
+  // blocking until completion. Falls back to inline execution for tiny n.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+  size_t thread_count() const { return workers_.size(); }
+
+  // Process-wide shared pool (sized to hardware concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dz
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,150 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+const char* PopularityDistName(PopularityDist dist) {
+  switch (dist) {
+    case PopularityDist::kUniform:
+      return "uniform";
+    case PopularityDist::kZipf:
+      return "zipf";
+    case PopularityDist::kAzure:
+      return "azure";
+  }
+  return "?";
+}
+
+std::vector<int> Trace::ModelCounts() const {
+  std::vector<int> counts(static_cast<size_t>(n_models), 0);
+  for (const auto& r : requests) {
+    ++counts[static_cast<size_t>(r.model_id)];
+  }
+  return counts;
+}
+
+namespace {
+
+int SampleLognormalTokens(Rng& rng, double mean_tokens, double sigma, int max_tokens) {
+  // Parameterize so the lognormal's mean equals mean_tokens: mu = ln(m) - sigma²/2.
+  const double mu = std::log(mean_tokens) - sigma * sigma / 2.0;
+  const double v = std::exp(rng.Normal(mu, sigma));
+  return std::clamp(static_cast<int>(v), 4, max_tokens);
+}
+
+// Azure-like per-model bursty arrival schedule: models alternate ON/OFF phases; while
+// ON their rate is boosted. Popularity across models is heavy-tailed (zipf-2).
+struct BurstSchedule {
+  std::vector<std::pair<double, double>> on_windows;  // [start, end)
+
+  bool IsOn(double t) const {
+    for (const auto& [s, e] : on_windows) {
+      if (t >= s && t < e) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+BurstSchedule MakeBurstSchedule(const TraceConfig& config, Rng& rng) {
+  BurstSchedule sched;
+  double t = -rng.Exponential(1.0 / config.burst_off_mean_s);  // random phase offset
+  while (t < config.duration_s) {
+    const double on = rng.Exponential(1.0 / config.burst_on_mean_s);
+    sched.on_windows.emplace_back(std::max(0.0, t), t + on);
+    t += on + rng.Exponential(1.0 / config.burst_off_mean_s);
+  }
+  return sched;
+}
+
+}  // namespace
+
+Trace GenerateTrace(const TraceConfig& config) {
+  DZ_CHECK_GT(config.n_models, 0);
+  DZ_CHECK_GT(config.arrival_rate, 0.0);
+  DZ_CHECK_GT(config.duration_s, 0.0);
+  Rng rng(config.seed);
+
+  Trace trace;
+  trace.n_models = config.n_models;
+  trace.duration_s = config.duration_s;
+
+  // Static popularity weights.
+  std::vector<double> popularity(static_cast<size_t>(config.n_models), 1.0);
+  if (config.dist == PopularityDist::kZipf) {
+    for (int i = 0; i < config.n_models; ++i) {
+      popularity[static_cast<size_t>(i)] =
+          1.0 / std::pow(static_cast<double>(i + 1), config.zipf_alpha);
+    }
+  } else if (config.dist == PopularityDist::kAzure) {
+    for (int i = 0; i < config.n_models; ++i) {
+      popularity[static_cast<size_t>(i)] =
+          1.0 / std::pow(static_cast<double>(i + 1), 2.0);
+    }
+  }
+
+  std::vector<BurstSchedule> bursts;
+  if (config.dist == PopularityDist::kAzure) {
+    bursts.reserve(static_cast<size_t>(config.n_models));
+    for (int i = 0; i < config.n_models; ++i) {
+      bursts.push_back(MakeBurstSchedule(config, rng));
+    }
+  }
+
+  // Aggregate Poisson process; each arrival is assigned to a model by (possibly
+  // time-varying) weights. Model ranks are shuffled so model_id 0 is not always hot.
+  std::vector<int> rank_of(static_cast<size_t>(config.n_models));
+  for (int i = 0; i < config.n_models; ++i) {
+    rank_of[static_cast<size_t>(i)] = i;
+  }
+  rng.Shuffle(rank_of);
+
+  double t = 0.0;
+  int next_id = 0;
+  while (true) {
+    t += rng.Exponential(config.arrival_rate);
+    if (t >= config.duration_s) {
+      break;
+    }
+    std::vector<double> weights(static_cast<size_t>(config.n_models));
+    for (int m = 0; m < config.n_models; ++m) {
+      const int rank = rank_of[static_cast<size_t>(m)];
+      double w = popularity[static_cast<size_t>(rank)];
+      if (config.dist == PopularityDist::kAzure) {
+        w *= bursts[static_cast<size_t>(rank)].IsOn(t) ? config.burst_boost : 1.0;
+      }
+      weights[static_cast<size_t>(m)] = w;
+    }
+    TraceRequest req;
+    req.id = next_id++;
+    req.model_id = rng.Categorical(weights);
+    req.arrival_s = t;
+    req.prompt_tokens = SampleLognormalTokens(rng, config.prompt_mean_tokens,
+                                              config.prompt_sigma, config.prompt_max_tokens);
+    req.output_tokens = SampleLognormalTokens(rng, config.output_mean_tokens,
+                                              config.output_sigma, config.output_max_tokens);
+    trace.requests.push_back(req);
+  }
+  return trace;
+}
+
+std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window_s) {
+  DZ_CHECK_GT(window_s, 0.0);
+  const int windows =
+      static_cast<int>(std::ceil(trace.duration_s / window_s));
+  std::vector<std::vector<int>> counts(
+      static_cast<size_t>(trace.n_models),
+      std::vector<int>(static_cast<size_t>(std::max(windows, 1)), 0));
+  for (const auto& r : trace.requests) {
+    const int w = std::min(windows - 1, static_cast<int>(r.arrival_s / window_s));
+    ++counts[static_cast<size_t>(r.model_id)][static_cast<size_t>(w)];
+  }
+  return counts;
+}
+
+}  // namespace dz

@@ -1,0 +1,77 @@
+// Multi-variant serving traces (paper §6.1 "Workload traces").
+//
+// The paper drives its serving experiments with LMSys Chatbot-Arena prompts/responses
+// and uses Azure serverless-function traces as a proxy for bursty multi-model traffic.
+// Neither dataset ships offline, so this module generates statistically matched
+// synthetic traces:
+//   * kUniform — all variants equally popular,
+//   * kZipf    — popularity ∝ 1/rank^α (paper uses α = 1.5),
+//   * kAzure   — heavy-tailed popularity with Markov-modulated on/off bursts per model,
+//                matching the sporadic/dense invocation patterns in paper Fig. 1.
+// Prompt / output lengths follow clamped lognormals fit to LMSys-like conversational
+// traffic (~ hundreds of prompt tokens, ~200 output tokens).
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dz {
+
+struct TraceRequest {
+  int id = 0;
+  int model_id = 0;       // which fine-tuned variant
+  double arrival_s = 0.0;
+  int prompt_tokens = 0;
+  int output_tokens = 0;
+};
+
+struct Trace {
+  std::vector<TraceRequest> requests;  // sorted by arrival
+  int n_models = 0;
+  double duration_s = 0.0;
+
+  double TotalRequests() const { return static_cast<double>(requests.size()); }
+  // Requests per model (histogram over model ids).
+  std::vector<int> ModelCounts() const;
+};
+
+enum class PopularityDist {
+  kUniform,
+  kZipf,
+  kAzure,
+};
+
+const char* PopularityDistName(PopularityDist dist);
+
+struct TraceConfig {
+  int n_models = 32;
+  double arrival_rate = 1.0;  // aggregate Poisson rate (req/s), as in §6.1
+  double duration_s = 300.0;
+  PopularityDist dist = PopularityDist::kZipf;
+  double zipf_alpha = 1.5;
+  // Azure-like burst parameters.
+  double burst_on_mean_s = 20.0;
+  double burst_off_mean_s = 60.0;
+  double burst_boost = 20.0;  // rate multiplier while a model is bursting
+  // Length distributions (lognormal, clamped).
+  double prompt_mean_tokens = 160.0;
+  double prompt_sigma = 0.8;
+  int prompt_max_tokens = 1024;
+  double output_mean_tokens = 200.0;
+  double output_sigma = 0.7;
+  int output_max_tokens = 768;
+  uint64_t seed = 0xDECAF;
+};
+
+Trace GenerateTrace(const TraceConfig& config);
+
+// Invocation counts per model per time window — regenerates the paper's Fig. 1 view.
+std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window_s);
+
+}  // namespace dz
+
+#endif  // SRC_WORKLOAD_TRACE_H_

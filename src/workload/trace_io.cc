@@ -1,0 +1,127 @@
+#include "src/workload/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace dz {
+
+namespace {
+
+// Minimal field extractor for our flat one-line JSON objects: finds "key": and parses
+// the number after it. Returns false if the key is absent or malformed.
+bool ExtractNumber(const std::string& line, const std::string& key, double& value) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  value = std::strtod(start, &end);
+  return end != start;
+}
+
+}  // namespace
+
+std::string TraceToJsonl(const Trace& trace) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":" << trace.n_models
+     << ",\"duration\":" << trace.duration_s << "}\n";
+  for (const auto& r : trace.requests) {
+    os << "{\"id\":" << r.id << ",\"model\":" << r.model_id << ",\"arrival\":"
+       << r.arrival_s << ",\"prompt\":" << r.prompt_tokens << ",\"output\":"
+       << r.output_tokens << "}\n";
+  }
+  return os.str();
+}
+
+bool TraceFromJsonl(const std::string& text, Trace& out) {
+  std::istringstream is(text);
+  std::string line;
+  bool have_header = false;
+  out = Trace();
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (!have_header) {
+      if (line.find("\"dz-trace\"") == std::string::npos) {
+        return false;
+      }
+      double version = 0;
+      double n_models = 0;
+      double duration = 0;
+      if (!ExtractNumber(line, "version", version) || version != 1.0 ||
+          !ExtractNumber(line, "n_models", n_models) ||
+          !ExtractNumber(line, "duration", duration)) {
+        return false;
+      }
+      out.n_models = static_cast<int>(n_models);
+      out.duration_s = duration;
+      have_header = true;
+      continue;
+    }
+    double id = 0;
+    double model = 0;
+    double arrival = 0;
+    double prompt = 0;
+    double output = 0;
+    if (!ExtractNumber(line, "id", id) || !ExtractNumber(line, "model", model) ||
+        !ExtractNumber(line, "arrival", arrival) ||
+        !ExtractNumber(line, "prompt", prompt) ||
+        !ExtractNumber(line, "output", output)) {
+      return false;
+    }
+    if (model < 0 || model >= out.n_models || prompt < 1 || output < 1 || arrival < 0) {
+      return false;
+    }
+    TraceRequest r;
+    r.id = static_cast<int>(id);
+    r.model_id = static_cast<int>(model);
+    r.arrival_s = arrival;
+    r.prompt_tokens = static_cast<int>(prompt);
+    r.output_tokens = static_cast<int>(output);
+    out.requests.push_back(r);
+  }
+  if (!have_header) {
+    return false;
+  }
+  std::sort(out.requests.begin(), out.requests.end(),
+            [](const TraceRequest& a, const TraceRequest& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  return true;
+}
+
+bool WriteTraceFile(const std::string& path, const Trace& trace) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string text = TraceToJsonl(trace);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+bool ReadTraceFile(const std::string& path, Trace& out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string text(static_cast<size_t>(std::max(0L, size)), '\0');
+  const size_t read = std::fread(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (read != text.size()) {
+    return false;
+  }
+  return TraceFromJsonl(text, out);
+}
+
+}  // namespace dz

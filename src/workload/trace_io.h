@@ -1,0 +1,28 @@
+// Trace (de)serialization in a JSONL format compatible in spirit with the paper
+// artifact's workload files (e.g. azure.ar=0.5.jsonl): one request per line,
+//   {"id":0,"model":3,"arrival":1.25,"prompt":160,"output":210}
+// plus a leading header line carrying trace-level metadata. Parsing is intentionally
+// strict: unknown layouts are rejected rather than guessed at.
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "src/workload/trace.h"
+
+namespace dz {
+
+// Renders the trace to JSONL text.
+std::string TraceToJsonl(const Trace& trace);
+
+// Parses JSONL text produced by TraceToJsonl (or hand-written in the same schema).
+// Returns false on malformed input; on success the requests are sorted by arrival.
+bool TraceFromJsonl(const std::string& text, Trace& out);
+
+// File helpers. Return false on I/O or parse failure.
+bool WriteTraceFile(const std::string& path, const Trace& trace);
+bool ReadTraceFile(const std::string& path, Trace& out);
+
+}  // namespace dz
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

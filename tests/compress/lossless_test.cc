@@ -1,0 +1,112 @@
+#include "src/compress/lossless.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+ByteBuffer RandomBytes(size_t n, Rng& rng) {
+  ByteBuffer b(n);
+  for (auto& v : b) {
+    v = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  return b;
+}
+
+ByteBuffer LowEntropyBytes(size_t n, Rng& rng) {
+  // Mostly zeros with occasional small values — similar to packed sparse deltas.
+  ByteBuffer b(n);
+  for (auto& v : b) {
+    v = rng.NextDouble() < 0.8 ? 0 : static_cast<uint8_t>(rng.NextBelow(16));
+  }
+  return b;
+}
+
+class CodecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecTest, GdeflateRoundTripRandom) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const ByteBuffer input = RandomBytes(static_cast<size_t>(GetParam()) * 977 + 3, rng);
+  const ByteBuffer compressed = GdeflateCompress(input);
+  EXPECT_EQ(GdeflateDecompress(compressed), input);
+}
+
+TEST_P(CodecTest, GdeflateRoundTripLowEntropy) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const ByteBuffer input =
+      LowEntropyBytes(static_cast<size_t>(GetParam()) * 1411 + 17, rng);
+  const ByteBuffer compressed = GdeflateCompress(input);
+  EXPECT_EQ(GdeflateDecompress(compressed), input);
+}
+
+TEST_P(CodecTest, RleRoundTrip) {
+  Rng rng(2000 + static_cast<uint64_t>(GetParam()));
+  ByteBuffer input = LowEntropyBytes(static_cast<size_t>(GetParam()) * 499 + 7, rng);
+  // Sprinkle escape bytes to exercise escaping.
+  for (size_t i = 0; i < input.size(); i += 37) {
+    input[i] = 0xE5;
+  }
+  const ByteBuffer compressed = RleCompress(input);
+  EXPECT_EQ(RleDecompress(compressed), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecTest, ::testing::Values(1, 2, 5, 13, 40));
+
+TEST(CodecTest, EmptyInput) {
+  const ByteBuffer empty;
+  EXPECT_EQ(GdeflateDecompress(GdeflateCompress(empty)), empty);
+  EXPECT_EQ(RleDecompress(RleCompress(empty)), empty);
+}
+
+TEST(CodecTest, SingleByte) {
+  const ByteBuffer one = {42};
+  EXPECT_EQ(GdeflateDecompress(GdeflateCompress(one)), one);
+  EXPECT_EQ(RleDecompress(RleCompress(one)), one);
+}
+
+TEST(CodecTest, AllSameByte) {
+  const ByteBuffer runs(10000, 7);
+  const ByteBuffer g = GdeflateCompress(runs);
+  EXPECT_EQ(GdeflateDecompress(g), runs);
+  EXPECT_LT(g.size(), runs.size() / 20) << "long runs must compress massively";
+  const ByteBuffer r = RleCompress(runs);
+  EXPECT_EQ(RleDecompress(r), runs);
+  EXPECT_LT(r.size(), runs.size() / 20);
+}
+
+TEST(CodecTest, RepeatedPatternCompresses) {
+  ByteBuffer input;
+  for (int i = 0; i < 500; ++i) {
+    for (uint8_t b : {1, 2, 3, 4, 5, 6, 7, 8}) {
+      input.push_back(b);
+    }
+  }
+  const ByteBuffer g = GdeflateCompress(input);
+  EXPECT_EQ(GdeflateDecompress(g), input);
+  EXPECT_LT(g.size(), input.size() / 4) << "LZ must exploit the repeated pattern";
+}
+
+TEST(CodecTest, OverlappingMatchDecodes) {
+  // Distance < length exercises the self-overlapping copy path.
+  ByteBuffer input = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 1, 2};
+  EXPECT_EQ(GdeflateDecompress(GdeflateCompress(input)), input);
+}
+
+TEST(CodecTest, RandomDataDoesNotExplode) {
+  Rng rng(77);
+  const ByteBuffer input = RandomBytes(50000, rng);
+  const ByteBuffer g = GdeflateCompress(input);
+  // Incompressible data: bounded expansion (header + ~1 bit/symbol overhead worst case).
+  EXPECT_LT(g.size(), input.size() * 9 / 8 + 1024);
+  EXPECT_EQ(GdeflateDecompress(g), input);
+}
+
+TEST(CodecTest, CompressionRatioHelper) {
+  EXPECT_DOUBLE_EQ(CompressionRatio(100, 50), 2.0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,121 @@
+#include "src/compress/obs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/sparse24.h"
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+TEST(ObsTest, OutputIs24SparseWhenRequested) {
+  Rng rng(1);
+  const Matrix w = Matrix::Random(16, 64, rng, 0.02f);
+  const Matrix x = Matrix::Random(128, 64, rng, 1.0f);
+  ObsConfig cfg;
+  cfg.bits = 4;
+  cfg.prune24 = true;
+  const Matrix c = ObsCompress(w, x, cfg);
+  EXPECT_TRUE(Is24Sparse(c));
+}
+
+TEST(ObsTest, DenseModeKeepsAllColumns) {
+  Rng rng(2);
+  const Matrix w = Matrix::Random(8, 32, rng, 0.02f);
+  const Matrix x = Matrix::Random(64, 32, rng, 1.0f);
+  ObsConfig cfg;
+  cfg.prune24 = false;
+  const Matrix c = ObsCompress(w, x, cfg);
+  int zeros = 0;
+  for (float v : c.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    }
+  }
+  EXPECT_LT(zeros, static_cast<int>(c.size() / 3));
+}
+
+TEST(ObsTest, BeatsRtnOnLayerOutputError) {
+  // The whole point of OBS error propagation: lower ||WX - W̃X|| than round-to-nearest
+  // under the same bit budget, on correlated inputs.
+  Rng rng(3);
+  const Matrix w = Matrix::Random(32, 64, rng, 0.02f);
+  // Correlated activations (random low-rank mix) make error propagation matter.
+  const Matrix basis = Matrix::Random(8, 64, rng, 1.0f);
+  const Matrix coef = Matrix::Random(256, 8, rng, 1.0f);
+  const Matrix x = Matmul(coef, basis);
+  ObsConfig cfg;
+  cfg.bits = 2;
+  cfg.group_size = 32;
+  cfg.prune24 = true;
+  const Matrix obs = ObsCompress(w, x, cfg);
+  const Matrix rtn = RtnCompress(w, cfg);
+  const double err_obs = LayerOutputError(w, obs, x);
+  const double err_rtn = LayerOutputError(w, rtn, x);
+  EXPECT_LT(err_obs, err_rtn) << "OBS should beat RTN";
+}
+
+TEST(ObsTest, MoreBitsLowerError) {
+  Rng rng(4);
+  const Matrix w = Matrix::Random(16, 32, rng, 0.02f);
+  const Matrix x = Matrix::Random(128, 32, rng, 1.0f);
+  double prev = 1e18;
+  for (int bits : {2, 4, 8}) {
+    ObsConfig cfg;
+    cfg.bits = bits;
+    cfg.prune24 = false;
+    const double err = LayerOutputError(w, ObsCompress(w, x, cfg), x);
+    EXPECT_LE(err, prev * 1.05) << bits;
+    prev = err;
+  }
+}
+
+TEST(ObsTest, ResultPacksLosslesslyIntoSparse24) {
+  Rng rng(5);
+  const Matrix w = Matrix::Random(8, 64, rng, 0.02f);
+  const Matrix x = Matrix::Random(64, 64, rng, 1.0f);
+  ObsConfig cfg;
+  cfg.bits = 4;
+  cfg.group_size = 32;
+  const Matrix c = ObsCompress(w, x, cfg);
+  const auto packed = Sparse24Matrix::Pack(c, cfg.bits, cfg.group_size);
+  // Repack error is at most one re-quantization step (values already near-grid).
+  EXPECT_LT(RelativeError(packed.Dequantize(), c), 0.15);
+}
+
+TEST(ObsTest, ZeroWeightStaysZero) {
+  Rng rng(6);
+  const Matrix w(8, 32);
+  const Matrix x = Matrix::Random(64, 32, rng, 1.0f);
+  ObsConfig cfg;
+  const Matrix c = ObsCompress(w, x, cfg);
+  EXPECT_EQ(c.FrobeniusNorm(), 0.0);
+}
+
+TEST(ObsTest, SmallDeltaCompressesBetterThanWideWeights) {
+  // Key paper insight (Fig. 3): narrow distributions quantize better. Same grid bits,
+  // delta-scale values should see smaller *relative* error than wide base-scale values.
+  Rng rng(7);
+  const Matrix x = Matrix::Random(128, 32, rng, 1.0f);
+  const Matrix delta = Matrix::Random(16, 32, rng, 0.01f);
+  Matrix wide = Matrix::Random(16, 32, rng, 0.1f);
+  // Add outliers to the wide matrix (trained weights have them; deltas mostly do not).
+  for (int r = 0; r < wide.rows(); ++r) {
+    wide.at(r, static_cast<int>(rng.NextBelow(32))) += 0.8f;
+  }
+  ObsConfig cfg;
+  cfg.bits = 2;
+  cfg.prune24 = true;
+  const double rel_delta =
+      std::sqrt(LayerOutputError(delta, ObsCompress(delta, x, cfg), x)) /
+      delta.FrobeniusNorm();
+  const double rel_wide =
+      std::sqrt(LayerOutputError(wide, ObsCompress(wide, x, cfg), x)) /
+      wide.FrobeniusNorm();
+  EXPECT_LT(rel_delta, rel_wide);
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,142 @@
+#include "src/compress/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/train/finetune.h"
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+// Builds a small genuine artifact once for all round-trip tests.
+class SerializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const ModelConfig cfg = ModelConfig::Tiny();
+    Rng rng(321);
+    base_ = new Transformer(ModelWeights::RandomInit(cfg, rng));
+    PretrainConfig pre;
+    pre.steps = 20;
+    pre.batch = 4;
+    pre.seq_len = 10;
+    Pretrain(*base_, pre, rng);
+    const auto task = MakeTask(TaskKind::kSentiment, cfg, 5);
+    Transformer finetuned(base_->weights());
+    FineTuneConfig ft;
+    ft.steps = 30;
+    ft.batch = 4;
+    FineTuneFmt(finetuned, *task, ft, rng);
+    std::vector<std::vector<int>> calib;
+    for (int i = 0; i < 4; ++i) {
+      calib.push_back(task->Sample(rng).tokens);
+    }
+    DeltaCompressConfig dc;
+    dc.bits = 4;
+    delta_ = new CompressedDelta(
+        DeltaCompress(base_->weights(), finetuned.weights(), calib, dc));
+    DeltaCompressConfig dense_dc;
+    dense_dc.bits = 2;
+    dense_dc.sparse24 = false;
+    dense_delta_ = new CompressedDelta(
+        DeltaCompress(base_->weights(), finetuned.weights(), calib, dense_dc));
+  }
+
+  static void TearDownTestSuite() {
+    delete base_;
+    delete delta_;
+    delete dense_delta_;
+  }
+
+  static Transformer* base_;
+  static CompressedDelta* delta_;
+  static CompressedDelta* dense_delta_;
+};
+
+Transformer* SerializeTest::base_ = nullptr;
+CompressedDelta* SerializeTest::delta_ = nullptr;
+CompressedDelta* SerializeTest::dense_delta_ = nullptr;
+
+TEST_F(SerializeTest, RoundTripPreservesReconstruction) {
+  const ByteBuffer encoded = EncodeDelta(*delta_);
+  CompressedDelta decoded;
+  ASSERT_TRUE(DecodeDelta(encoded, decoded));
+  ASSERT_EQ(decoded.layers.size(), delta_->layers.size());
+  // The decoded artifact must produce bit-identical merged weights.
+  const ModelWeights a = delta_->ApplyTo(base_->weights());
+  const ModelWeights b = decoded.ApplyTo(base_->weights());
+  for (size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(RelativeError(a.layers[i].wq, b.layers[i].wq), 0.0) << i;
+    EXPECT_EQ(RelativeError(a.layers[i].w_down, b.layers[i].w_down), 0.0) << i;
+  }
+  EXPECT_EQ(RelativeError(a.embedding, b.embedding), 0.0);
+}
+
+TEST_F(SerializeTest, RoundTripDenseFormat) {
+  const ByteBuffer encoded = EncodeDelta(*dense_delta_);
+  CompressedDelta decoded;
+  ASSERT_TRUE(DecodeDelta(encoded, decoded));
+  EXPECT_FALSE(decoded.layers.front().is_sparse);
+  const ModelWeights a = dense_delta_->ApplyTo(base_->weights());
+  const ModelWeights b = decoded.ApplyTo(base_->weights());
+  EXPECT_EQ(RelativeError(a.layers[0].wo, b.layers[0].wo), 0.0);
+}
+
+TEST_F(SerializeTest, DecodedConfigMatches) {
+  CompressedDelta decoded;
+  ASSERT_TRUE(DecodeDelta(EncodeDelta(*delta_), decoded));
+  EXPECT_EQ(decoded.config.bits, delta_->config.bits);
+  EXPECT_EQ(decoded.config.sparse24, delta_->config.sparse24);
+  EXPECT_EQ(decoded.config.group_size, delta_->config.group_size);
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  ByteBuffer encoded = EncodeDelta(*delta_);
+  encoded[0] ^= 0xFF;
+  CompressedDelta decoded;
+  EXPECT_FALSE(DecodeDelta(encoded, decoded));
+}
+
+TEST_F(SerializeTest, RejectsTruncation) {
+  const ByteBuffer encoded = EncodeDelta(*delta_);
+  for (size_t cut : {encoded.size() / 4, encoded.size() / 2, encoded.size() - 3}) {
+    ByteBuffer truncated(encoded.begin(), encoded.begin() + static_cast<long>(cut));
+    CompressedDelta decoded;
+    EXPECT_FALSE(DecodeDelta(truncated, decoded)) << "cut=" << cut;
+  }
+}
+
+TEST_F(SerializeTest, RejectsTrailingGarbage) {
+  ByteBuffer encoded = EncodeDelta(*delta_);
+  encoded.push_back(0xAB);
+  CompressedDelta decoded;
+  EXPECT_FALSE(DecodeDelta(encoded, decoded));
+}
+
+TEST_F(SerializeTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dz_artifact.bin";
+  ASSERT_TRUE(WriteDeltaFile(path, *delta_));
+  CompressedDelta decoded;
+  ASSERT_TRUE(ReadDeltaFile(path, decoded));
+  EXPECT_EQ(decoded.layers.size(), delta_->layers.size());
+  EXPECT_EQ(decoded.StoredByteSize(), delta_->StoredByteSize());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeTest, ReadMissingFileFails) {
+  CompressedDelta decoded;
+  EXPECT_FALSE(ReadDeltaFile("/nonexistent/dir/artifact.bin", decoded));
+}
+
+TEST_F(SerializeTest, LosslessComposesWithEncoding) {
+  // The on-disk artifact can additionally ride the lossless codec.
+  const ByteBuffer encoded = EncodeDelta(*delta_);
+  const ByteBuffer packed = GdeflateCompress(encoded);
+  CompressedDelta decoded;
+  ASSERT_TRUE(DecodeDelta(GdeflateDecompress(packed), decoded));
+  EXPECT_EQ(decoded.layers.size(), delta_->layers.size());
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,199 @@
+#include "src/nn/transformer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/ops.h"
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+Transformer MakeTinyModel(uint64_t seed) {
+  Rng rng(seed);
+  return Transformer(ModelWeights::RandomInit(ModelConfig::Tiny(), rng));
+}
+
+TEST(TransformerTest, ForwardShapeAndFiniteness) {
+  const Transformer model = MakeTinyModel(1);
+  const std::vector<int> tokens = {1, 5, 9, 2};
+  const Matrix logits = model.Forward(tokens);
+  EXPECT_EQ(logits.rows(), 4);
+  EXPECT_EQ(logits.cols(), model.config().vocab_size);
+  for (float v : logits.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(TransformerTest, ForwardIsDeterministic) {
+  const Transformer model = MakeTinyModel(2);
+  const std::vector<int> tokens = {0, 3, 8};
+  const Matrix a = model.Forward(tokens);
+  const Matrix b = model.Forward(tokens);
+  EXPECT_EQ(RelativeError(a, b), 0.0);
+}
+
+TEST(TransformerTest, CausalityPrefixInvariance) {
+  // Logits at position i must not depend on tokens after i.
+  const Transformer model = MakeTinyModel(3);
+  const std::vector<int> full = {4, 7, 1, 9, 2};
+  const std::vector<int> prefix = {4, 7, 1};
+  const Matrix lf = model.Forward(full);
+  const Matrix lp = model.Forward(prefix);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < lf.cols(); ++j) {
+      EXPECT_NEAR(lf.at(i, j), lp.at(i, j), 1e-4f) << i << "," << j;
+    }
+  }
+}
+
+TEST(TransformerTest, DecodeMatchesFullForward) {
+  const Transformer model = MakeTinyModel(4);
+  const std::vector<int> tokens = {2, 11, 5, 8, 3};
+  const Matrix full = model.Forward(tokens);
+  KVCache kv = model.MakeKVCache();
+  Matrix last;
+  for (int t : tokens) {
+    last = model.DecodeStep(t, kv);
+  }
+  EXPECT_EQ(kv.len, 5);
+  for (int j = 0; j < full.cols(); ++j) {
+    EXPECT_NEAR(last.at(0, j), full.at(full.rows() - 1, j), 1e-4f) << j;
+  }
+}
+
+TEST(TransformerTest, GradCheckSpotSamples) {
+  // Finite-difference validation of the full backward pass through every op type.
+  Transformer model = MakeTinyModel(5);
+  const std::vector<int> tokens = {1, 2, 3, 4, 5, 6};
+  std::vector<int> targets(tokens.size(), -1);
+  targets.back() = 7;
+  targets[2] = 11;
+
+  ForwardCache cache;
+  const Matrix logits = model.Forward(tokens, &cache);
+  Matrix dlogits;
+  CrossEntropy(logits, targets, dlogits);
+  ModelWeights grads = ModelWeights::ZerosLike(model.weights());
+  model.Backward(cache, dlogits, grads);
+
+  auto loss_at = [&](Transformer& m) {
+    const Matrix l = m.Forward(tokens);
+    return CrossEntropyLoss(l, targets);
+  };
+
+  struct Probe {
+    const char* what;
+    std::function<float*(ModelWeights&)> get;
+  };
+  Rng pick(99);
+  std::vector<Probe> probes;
+  auto add_probe = [&](const char* what, auto accessor) {
+    probes.push_back({what, accessor});
+  };
+  const int d = model.config().d_model;
+  add_probe("wq", [&](ModelWeights& w) { return &w.layers[0].wq.at(1, 2); });
+  add_probe("wo", [&](ModelWeights& w) { return &w.layers[1].wo.at(0, 3); });
+  add_probe("w_gate", [&](ModelWeights& w) { return &w.layers[0].w_gate.at(5, 1); });
+  add_probe("w_down", [&](ModelWeights& w) { return &w.layers[1].w_down.at(2, 7); });
+  add_probe("wk", [&](ModelWeights& w) { return &w.layers[1].wk.at(3, 3); });
+  add_probe("wv", [&](ModelWeights& w) { return &w.layers[0].wv.at(d - 1, 0); });
+  add_probe("w_up", [&](ModelWeights& w) { return &w.layers[0].w_up.at(0, 0); });
+  add_probe("attn_norm", [&](ModelWeights& w) { return &w.layers[0].attn_norm[2]; });
+  add_probe("mlp_norm", [&](ModelWeights& w) { return &w.layers[1].mlp_norm[5]; });
+  add_probe("final_norm", [&](ModelWeights& w) { return &w.final_norm[1]; });
+  add_probe("lm_head", [&](ModelWeights& w) { return &w.lm_head.at(7, 4); });
+  add_probe("embedding", [&](ModelWeights& w) { return &w.embedding.at(3, 1); });
+
+  const float eps = 1e-2f;
+  for (const auto& probe : probes) {
+    const float analytic = *probe.get(grads);
+    float* param = probe.get(model.mutable_weights());
+    const float orig = *param;
+    *param = orig + eps;
+    const double lp = loss_at(model);
+    *param = orig - eps;
+    const double lm = loss_at(model);
+    *param = orig;
+    const double fd = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(analytic, fd, 5e-2 * std::max(0.05, std::abs(fd))) << probe.what;
+  }
+}
+
+TEST(TransformerTest, OverlayIdentityMatchesBaseline) {
+  const Transformer model = MakeTinyModel(6);
+  const std::vector<int> tokens = {3, 1, 4, 1, 5};
+  // Overlay that recomputes the same dense matmul must not change results.
+  LinearOverlay overlay;
+  const Matrix& wq0 = model.weights().layers[0].wq;
+  overlay.ops[LinearLayerName(0, "wq")] = [&wq0](const Matrix& x) {
+    return MatmulNT(x, wq0);
+  };
+  const Matrix a = model.Forward(tokens);
+  const Matrix b = model.Forward(tokens, nullptr, &overlay);
+  EXPECT_LT(RelativeError(a, b), 1e-7);
+}
+
+TEST(TransformerTest, OverlayIsActuallyInvoked) {
+  const Transformer model = MakeTinyModel(7);
+  const std::vector<int> tokens = {1, 2};
+  LinearOverlay overlay;
+  int calls = 0;
+  const Matrix& wq0 = model.weights().layers[0].wq;
+  overlay.ops[LinearLayerName(0, "wq")] = [&](const Matrix& x) {
+    ++calls;
+    return MatmulNT(x, wq0);
+  };
+  model.Forward(tokens, nullptr, &overlay);
+  EXPECT_EQ(calls, 1);
+  KVCache kv = model.MakeKVCache();
+  model.DecodeStep(1, kv, &overlay);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(TransformerTest, GenerateGreedyRespectsLimitsAndEos) {
+  const Transformer model = MakeTinyModel(8);
+  const std::vector<int> prompt = {1, 2, 3};
+  const auto out = model.GenerateGreedy(prompt, 5);
+  EXPECT_LE(out.size(), 5u);
+  EXPECT_FALSE(out.empty());
+  for (int t : out) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, model.config().vocab_size);
+  }
+  // Greedy decode is deterministic.
+  EXPECT_EQ(model.GenerateGreedy(prompt, 5), out);
+}
+
+TEST(ModelWeightsTest, LinearLayersEnumeration) {
+  Rng rng(9);
+  ModelWeights w = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  const auto layers = w.LinearLayers();
+  EXPECT_EQ(layers.size(), 7u * static_cast<size_t>(w.config.n_layers));
+  EXPECT_EQ(layers[0].name, "layer0.wq");
+  EXPECT_EQ(layers.back().name,
+            LinearLayerName(w.config.n_layers - 1, "w_down"));
+}
+
+TEST(ModelWeightsTest, ByteSizeAccounting) {
+  Rng rng(10);
+  ModelWeights w = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  EXPECT_EQ(w.Fp16ByteSize(), w.ParamCount() * 2);
+  EXPECT_LT(w.LinearFp16ByteSize(), w.Fp16ByteSize());
+  EXPECT_GT(w.LinearFp16ByteSize(), 0u);
+}
+
+TEST(ModelWeightsTest, AxpyAndScale) {
+  Rng rng(11);
+  ModelWeights a = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  ModelWeights b = a;
+  a.Axpy(-1.0f, b);
+  EXPECT_EQ(a.layers[0].wq.FrobeniusNorm(), 0.0);
+  EXPECT_EQ(a.embedding.FrobeniusNorm(), 0.0);
+  b.Scale(0.0f);
+  EXPECT_EQ(b.lm_head.FrobeniusNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,107 @@
+#include "src/serving/artifact_store.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+ArtifactStoreConfig SmallConfig() {
+  ArtifactStoreConfig cfg;
+  cfg.artifact_bytes = 100;
+  cfg.gpu_budget_bytes = 300;  // 3 slots
+  cfg.cpu_budget_bytes = 500;  // 5 slots
+  cfg.disk_read_s = 1.0;
+  cfg.h2d_s = 0.1;
+  return cfg;
+}
+
+TEST(ArtifactStoreTest, InitiallyNothingResident) {
+  ArtifactStore store(SmallConfig(), 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(store.IsResident(i, 0.0));
+  }
+  EXPECT_EQ(store.GpuCapacity(), 3);
+}
+
+TEST(ArtifactStoreTest, LoadFromDiskTakesDiskPlusH2D) {
+  ArtifactStore store(SmallConfig(), 8);
+  const double ready = store.RequestLoad(0, 0.0, {});
+  EXPECT_DOUBLE_EQ(ready, 1.1);
+  EXPECT_FALSE(store.IsResident(0, 0.5));
+  EXPECT_TRUE(store.IsLoading(0, 0.5));
+  EXPECT_TRUE(store.IsResident(0, 1.2));
+}
+
+TEST(ArtifactStoreTest, LoadsSerializeOnChannels) {
+  ArtifactStore store(SmallConfig(), 8);
+  const double r0 = store.RequestLoad(0, 0.0, {});
+  const double r1 = store.RequestLoad(1, 0.0, {});
+  EXPECT_GT(r1, r0);  // second disk read queues behind the first
+  EXPECT_GE(r1, 2.0);
+}
+
+TEST(ArtifactStoreTest, RepeatLoadRequestIsIdempotent) {
+  ArtifactStore store(SmallConfig(), 8);
+  const double r0 = store.RequestLoad(0, 0.0, {});
+  EXPECT_DOUBLE_EQ(store.RequestLoad(0, 0.5, {}), r0);
+  // After landing, a further request returns its existing residency.
+  EXPECT_DOUBLE_EQ(store.RequestLoad(0, 2.0, {}), r0);
+}
+
+TEST(ArtifactStoreTest, EvictsLruWhenFull) {
+  ArtifactStore store(SmallConfig(), 8);
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    t = store.RequestLoad(i, t, {});
+    store.Touch(i, t);
+  }
+  EXPECT_EQ(store.GpuCount(t), 3);
+  // Touch 0 and 2 so 1 is LRU.
+  store.Touch(0, t + 1);
+  store.Touch(2, t + 2);
+  const double r3 = store.RequestLoad(3, t + 3, {});
+  EXPECT_GT(r3, 0.0);
+  EXPECT_EQ(store.GpuCount(t + 3), 3);       // 1 was evicted to make room
+  EXPECT_FALSE(store.IsResident(1, t + 10));  // victim gone
+}
+
+TEST(ArtifactStoreTest, PinnedArtifactsSurviveEviction) {
+  ArtifactStore store(SmallConfig(), 8);
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    t = store.RequestLoad(i, t, {});
+    store.Touch(i, t);
+  }
+  // Pin all three: no room for a fourth.
+  const double r = store.RequestLoad(3, t + 1, {0, 1, 2});
+  EXPECT_LT(r, 0.0);
+}
+
+TEST(ArtifactStoreTest, EvictedToHostReloadsWithoutDisk) {
+  ArtifactStore store(SmallConfig(), 8);
+  double t = store.RequestLoad(0, 0.0, {});
+  store.Touch(0, t);
+  for (int i = 1; i <= 3; ++i) {
+    t = store.RequestLoad(i, t, {});
+    store.Touch(i, t);
+  }
+  // Artifact 0 was evicted (LRU) to the host cache; reloading takes only the H2D leg.
+  EXPECT_FALSE(store.IsResident(0, t));
+  const double start = t + 5.0;
+  const double ready = store.RequestLoad(0, start, {});
+  EXPECT_LT(ready - start, 0.2);  // no 1 s disk read
+  EXPECT_EQ(store.disk_loads(), 4);
+}
+
+TEST(ArtifactStoreTest, NextLoadReadyTracksInFlight) {
+  ArtifactStore store(SmallConfig(), 8);
+  EXPECT_TRUE(std::isinf(store.NextLoadReady(0.0)));
+  const double ready = store.RequestLoad(0, 0.0, {});
+  EXPECT_DOUBLE_EQ(store.NextLoadReady(0.0), ready);
+  EXPECT_TRUE(std::isinf(store.NextLoadReady(ready + 0.01)));
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,59 @@
+#include "src/serving/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+RequestRecord MakeRecord(int id, double arrival, double sched, double start,
+                         double first, double finish, int output) {
+  RequestRecord r;
+  r.id = id;
+  r.arrival_s = arrival;
+  r.sched_attempt_s = sched;
+  r.start_s = start;
+  r.first_token_s = first;
+  r.finish_s = finish;
+  r.output_tokens = output;
+  return r;
+}
+
+TEST(RequestRecordTest, DerivedMetrics) {
+  const RequestRecord r = MakeRecord(0, 1.0, 2.0, 3.0, 4.0, 11.0, 5);
+  EXPECT_DOUBLE_EQ(r.E2eLatency(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Ttft(), 3.0);
+  EXPECT_DOUBLE_EQ(r.QueueingTime(), 1.0);
+  EXPECT_DOUBLE_EQ(r.LoadingTime(), 1.0);
+  EXPECT_DOUBLE_EQ(r.InferenceTime(), 8.0);
+  EXPECT_DOUBLE_EQ(r.TimePerToken(), 2.0);
+}
+
+TEST(ServeReportTest, AggregatesOverRecords) {
+  ServeReport report;
+  report.records.push_back(MakeRecord(0, 0.0, 0.0, 0.0, 1.0, 2.0, 10));
+  report.records.push_back(MakeRecord(1, 1.0, 1.0, 1.0, 3.0, 5.0, 30));
+  report.makespan_s = 5.0;
+  EXPECT_DOUBLE_EQ(report.ThroughputRps(), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(report.TokenThroughput(), 40.0 / 5.0);
+  EXPECT_DOUBLE_EQ(report.MeanE2e(), (2.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(report.MeanTtft(), (1.0 + 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(report.SloAttainmentE2e(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(report.SloAttainmentE2e(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(report.SloAttainmentTtft(1.5), 0.5);
+}
+
+TEST(ServeReportTest, EmptyReportIsZero) {
+  ServeReport report;
+  EXPECT_EQ(report.ThroughputRps(), 0.0);
+  EXPECT_EQ(report.TokenThroughput(), 0.0);
+  EXPECT_EQ(report.MeanE2e(), 0.0);
+  EXPECT_EQ(report.SloAttainmentE2e(10.0), 0.0);
+}
+
+TEST(RequestRecordTest, ZeroOutputTokensSafe) {
+  const RequestRecord r = MakeRecord(0, 0.0, 0.0, 0.0, 1.0, 2.0, 0);
+  EXPECT_DOUBLE_EQ(r.TimePerToken(), 2.0);  // falls back to E2E
+}
+
+}  // namespace
+}  // namespace dz

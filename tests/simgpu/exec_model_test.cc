@@ -1,0 +1,138 @@
+#include "src/simgpu/exec_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+ExecModel Make13B(int tp = 4) {
+  ExecModelConfig cfg;
+  cfg.shape = ModelShape::Llama13B();
+  cfg.gpu = GpuSpec::A800();
+  cfg.tp = tp;
+  return ExecModel(cfg);
+}
+
+TEST(ExecModelTest, DecodeIterScalesSubLinearlyWithBatch) {
+  // Weight reads dominate decode: doubling the batch must NOT double iteration time.
+  const ExecModel em = Make13B();
+  const double t1 = em.DecodeIterTime(1, 256);
+  const double t16 = em.DecodeIterTime(16, 256);
+  EXPECT_LT(t16, t1 * 4.0);
+  EXPECT_GT(t16, t1);
+}
+
+TEST(ExecModelTest, DeltaIterMuchCheaperThanFullModelIter) {
+  // The core serving win: a delta pass reads ~8x fewer weight bytes.
+  const ExecModel em = Make13B();
+  const double base_iter = em.DecodeIterTime(8, 256);
+  const double delta_iter = em.DeltaDecodeIterTime({8});
+  EXPECT_LT(delta_iter, base_iter);
+}
+
+TEST(ExecModelTest, DeltaIterGrowsWithActiveDeltas) {
+  const ExecModel em = Make13B();
+  const double one = em.DeltaDecodeIterTime({8, 0, 0, 0});
+  const double four = em.DeltaDecodeIterTime({2, 2, 2, 2});
+  EXPECT_GT(four, one);  // same total requests, more weight streams + launches
+}
+
+TEST(ExecModelTest, PrefillScalesWithTokens) {
+  const ExecModel em = Make13B();
+  const double t128 = em.PrefillTime(128);
+  const double t1024 = em.PrefillTime(1024);
+  EXPECT_GT(t1024, t128 * 2.0);
+  EXPECT_EQ(em.PrefillTime(0), 0.0);
+}
+
+TEST(ExecModelTest, TensorParallelismReducesIterTime) {
+  const ExecModel tp1 = Make13B(1);
+  const ExecModel tp4 = Make13B(4);
+  EXPECT_LT(tp4.DecodeIterTime(8, 256), tp1.DecodeIterTime(8, 256));
+  // But adds all-reduce overhead, so the speedup is < 4x.
+  EXPECT_GT(tp4.DecodeIterTime(8, 256) * 4.0, tp1.DecodeIterTime(8, 256));
+}
+
+TEST(ExecModelTest, SlowInterconnectHurtsTensorParallelism) {
+  // Fig. 18's observation: scaling helps more on A800 (NVLink) than RTX 3090 (PCIe).
+  ExecModelConfig a800;
+  a800.shape = ModelShape::Llama7B();
+  a800.gpu = GpuSpec::A800();
+  a800.tp = 2;
+  ExecModelConfig r3090 = a800;
+  r3090.gpu = GpuSpec::Rtx3090();
+  ExecModelConfig a800_tp1 = a800;
+  a800_tp1.tp = 1;
+  ExecModelConfig r3090_tp1 = r3090;
+  r3090_tp1.tp = 1;
+  const double speedup_a800 = ExecModel(a800_tp1).DecodeIterTime(8, 256) /
+                              ExecModel(a800).DecodeIterTime(8, 256);
+  const double speedup_3090 = ExecModel(r3090_tp1).DecodeIterTime(8, 256) /
+                              ExecModel(r3090).DecodeIterTime(8, 256);
+  EXPECT_GT(speedup_a800, speedup_3090);
+}
+
+TEST(ExecModelTest, LoraCheaperThanDelta) {
+  const ExecModel em = Make13B();
+  const double lora = em.LoraDecodeIterTime({8}, 16);
+  const double delta = em.DeltaDecodeIterTime({8});
+  EXPECT_LT(lora, delta);
+  EXPECT_LT(em.LoraBytesPerGpu(16), em.DeltaBytesPerGpu());
+}
+
+TEST(ExecModelTest, LoadTimesOrdering) {
+  const ExecModel em = Make13B();
+  // Full-model swap must dwarf delta swap (the paper's 5–10x loading reduction).
+  EXPECT_GT(em.LoadFullModelFromHost() / em.LoadDeltaFromHost(), 4.0);
+  EXPECT_GT(em.LoadFullModelFromDisk(), em.LoadFullModelFromHost());
+  EXPECT_GT(em.LoadLoraFromHost(64), em.LoadLoraFromHost(16) / 8.0);
+}
+
+TEST(ExecModelTest, KvSwapScalesWithContext) {
+  const ExecModel em = Make13B();
+  EXPECT_GT(em.KvSwapTime(2048), em.KvSwapTime(128));
+}
+
+TEST(ExecModelTest, MemoryAccountingDividesByTp) {
+  const ExecModel tp1 = Make13B(1);
+  const ExecModel tp4 = Make13B(4);
+  EXPECT_EQ(tp1.BaseWeightBytesPerGpu(), tp4.BaseWeightBytesPerGpu() * 4);
+  EXPECT_EQ(tp1.DeltaBytesPerGpu(), tp4.DeltaBytesPerGpu() * 4);
+}
+
+}  // namespace
+}  // namespace dz
+
+namespace dz {
+namespace {
+
+TEST(ExecModelTest, DecoupledPathCostsMoreThanDedicatedModel) {
+  // Paper §8 limitation: with one variant fully resident, decoupled base+delta
+  // inference is slower than serving the merged FMT model directly — DeltaZip's win
+  // comes from multiplexing, not single-model latency.
+  ExecModelConfig cfg;
+  cfg.shape = ModelShape::Llama13B();
+  cfg.gpu = GpuSpec::A800();
+  cfg.tp = 1;
+  const ExecModel em(cfg);
+  const double dedicated = em.DecodeIterTime(4, 256);
+  const double decoupled = em.DecodeIterTime(4, 256) + em.DeltaDecodeIterTime({4});
+  EXPECT_GT(decoupled, dedicated);
+}
+
+TEST(ExecModelTest, DeltaFormatAffectsFootprintAndLoad) {
+  ExecModelConfig cfg4;
+  cfg4.shape = ModelShape::Llama13B();
+  cfg4.gpu = GpuSpec::A800();
+  cfg4.delta_format = WeightFormat::kSparseInt4;
+  ExecModelConfig cfg2 = cfg4;
+  cfg2.delta_format = WeightFormat::kSparseInt2;
+  const ExecModel em4(cfg4);
+  const ExecModel em2(cfg2);
+  EXPECT_LT(em2.DeltaBytesPerGpu(), em4.DeltaBytesPerGpu());
+  EXPECT_LT(em2.LoadDeltaFromDisk(), em4.LoadDeltaFromDisk());
+  EXPECT_LT(em2.LoadDeltaFromHost(), em4.LoadDeltaFromHost());
+}
+
+}  // namespace
+}  // namespace dz

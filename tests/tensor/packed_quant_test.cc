@@ -1,0 +1,132 @@
+#include "src/tensor/packed_quant.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+class PackedQuantParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PackedQuantParamTest, RoundTripErrorBounded) {
+  const int bits = std::get<0>(GetParam());
+  const int group = std::get<1>(GetParam());
+  Rng rng(100 + bits * 10 + group);
+  const Matrix w = Matrix::Random(16, 128, rng, 0.02f);
+  const auto q = PackedQuantMatrix::Quantize(w, bits, group);
+  const Matrix d = q.Dequantize();
+  ASSERT_EQ(d.rows(), w.rows());
+  ASSERT_EQ(d.cols(), w.cols());
+  // Per-element error must be <= scale (one quantization step) for in-range values.
+  for (int r = 0; r < w.rows(); ++r) {
+    for (int c = 0; c < w.cols(); ++c) {
+      const float err = std::abs(d.at(r, c) - w.at(r, c));
+      // Bound: full range / (2^bits - 1), computed from actual group extremes + fp16
+      // rounding slop on the scale.
+      float lo = 0.0f;
+      float hi = 0.0f;
+      const int g0 = (c / group) * group;
+      for (int cc = g0; cc < std::min(w.cols(), g0 + group); ++cc) {
+        lo = std::min(lo, w.at(r, cc));
+        hi = std::max(hi, w.at(r, cc));
+      }
+      const float step = (hi - lo) / static_cast<float>((1 << bits) - 1);
+      EXPECT_LE(err, step * 1.1f + 1e-6f) << "bits=" << bits << " r=" << r << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackedQuantParamTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(32, 64, 128)));
+
+TEST(PackedQuantTest, HigherBitsLowerError) {
+  Rng rng(7);
+  const Matrix w = Matrix::Random(8, 256, rng, 0.05f);
+  double prev_err = 1e9;
+  for (int bits : {2, 4, 8}) {
+    const auto q = PackedQuantMatrix::Quantize(w, bits, 64);
+    const double err = RelativeError(q.Dequantize(), w);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(PackedQuantTest, ZeroMatrixIsExact) {
+  const Matrix w(4, 32);
+  const auto q = PackedQuantMatrix::Quantize(w, 4, 32);
+  EXPECT_EQ(q.Dequantize().FrobeniusNorm(), 0.0);
+}
+
+TEST(PackedQuantTest, ZeroIsAlwaysRepresentable) {
+  // A matrix with scattered zeros: dequantized zeros must stay small relative to scale.
+  Rng rng(8);
+  Matrix w = Matrix::Random(4, 64, rng, 0.1f);
+  for (int r = 0; r < w.rows(); ++r) {
+    w.at(r, 7) = 0.0f;
+  }
+  const auto q = PackedQuantMatrix::Quantize(w, 4, 64);
+  const Matrix d = q.Dequantize();
+  for (int r = 0; r < w.rows(); ++r) {
+    EXPECT_NEAR(d.at(r, 7), 0.0f, 0.02f);
+  }
+}
+
+TEST(PackedQuantTest, ByteSizeMatchesFormula) {
+  const Matrix w(16, 128);
+  const auto q4 = PackedQuantMatrix::Quantize(w, 4, 128);
+  // 128 cols * 4 bits = 64 bytes/row packed; 1 group/row → 2B scale + 1B zero.
+  EXPECT_EQ(q4.ByteSize(), 16u * (64 + 2 + 1));
+  const auto q2 = PackedQuantMatrix::Quantize(w, 2, 128);
+  EXPECT_EQ(q2.ByteSize(), 16u * (32 + 2 + 1));
+}
+
+TEST(PackedQuantTest, CompressionRatioVsFp16) {
+  const Matrix w(64, 1024);
+  const size_t fp16_bytes = static_cast<size_t>(64) * 1024 * 2;
+  const auto q4 = PackedQuantMatrix::Quantize(w, 4, 128);
+  const double ratio = static_cast<double>(fp16_bytes) / q4.ByteSize();
+  EXPECT_GT(ratio, 3.8);  // ~4x minus scale overhead
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(PackedQuantTest, MatmulMatchesDequantizedDense) {
+  Rng rng(9);
+  const Matrix w = Matrix::Random(24, 64, rng, 0.02f);
+  const Matrix x = Matrix::Random(5, 64, rng, 1.0f);
+  const auto q = PackedQuantMatrix::Quantize(w, 4, 32);
+  const Matrix y_fused = q.MatmulNT(x);
+  const Matrix y_dense = MatmulNT(x, q.Dequantize());
+  EXPECT_LT(RelativeError(y_fused, y_dense), 1e-5);
+}
+
+TEST(PackedQuantTest, CodesWithinRange) {
+  Rng rng(10);
+  const Matrix w = Matrix::Random(4, 64, rng, 0.1f);
+  for (int bits : {2, 4}) {
+    const auto q = PackedQuantMatrix::Quantize(w, bits, 16);
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 64; ++c) {
+        EXPECT_LT(q.CodeAt(r, c), 1u << bits);
+      }
+    }
+  }
+}
+
+TEST(QuantParamsTest, DegenerateRange) {
+  const QuantParams p = ComputeQuantParams(0.0f, 0.0f, 4);
+  EXPECT_EQ(QuantizeValue(0.0f, p), 0.0f);
+}
+
+TEST(QuantParamsTest, QuantizeValueClamps) {
+  const QuantParams p = ComputeQuantParams(-1.0f, 1.0f, 2);
+  // Far out-of-range input clamps to an edge level, never explodes.
+  EXPECT_LE(std::abs(QuantizeValue(100.0f, p)), 1.5f);
+  EXPECT_LE(std::abs(QuantizeValue(-100.0f, p)), 1.5f);
+}
+
+}  // namespace
+}  // namespace dz

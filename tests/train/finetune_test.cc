@@ -1,0 +1,224 @@
+#include "src/train/finetune.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/ops.h"
+#include "src/train/optimizer.h"
+
+namespace dz {
+namespace {
+
+TEST(OptimizerTest, AdamReducesQuadraticLoss) {
+  // Minimize ||W||² on a single matrix via AdamMatrix.
+  Rng rng(1);
+  Matrix w = Matrix::Random(4, 4, rng, 1.0f);
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  AdamMatrix opt(4, 4, cfg);
+  const double before = w.FrobeniusNorm();
+  for (int i = 0; i < 200; ++i) {
+    Matrix grad = w;  // d(||W||²/2)/dW = W
+    opt.Step(w, grad);
+  }
+  EXPECT_LT(w.FrobeniusNorm(), before * 0.05);
+}
+
+TEST(OptimizerTest, ParamSpansCoverAllParams) {
+  Rng rng(2);
+  ModelWeights w = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  size_t total = 0;
+  for (const auto& [ptr, n] : ParamSpans(w)) {
+    EXPECT_NE(ptr, nullptr);
+    total += n;
+  }
+  EXPECT_EQ(total, w.ParamCount());
+}
+
+TEST(OptimizerTest, AdamModelStepChangesAllSpans) {
+  Rng rng(3);
+  ModelWeights w = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  const ModelWeights before = w;
+  ModelWeights grads = ModelWeights::ZerosLike(w);
+  // Nonzero gradient everywhere.
+  for (auto& [ptr, n] : ParamSpans(grads)) {
+    for (size_t i = 0; i < n; ++i) {
+      ptr[i] = 0.1f;
+    }
+  }
+  AdamConfig cfg;
+  AdamModel adam(w, cfg);
+  adam.Step(w, grads);
+  auto before_spans = ParamSpans(const_cast<ModelWeights&>(before));
+  auto after_spans = ParamSpans(w);
+  for (size_t s = 0; s < after_spans.size(); ++s) {
+    bool changed = false;
+    for (size_t i = 0; i < after_spans[s].second; ++i) {
+      if (after_spans[s].first[i] != before_spans[s].first[i]) {
+        changed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(changed) << "span " << s << " untouched by optimizer";
+  }
+}
+
+TEST(TrainTest, PretrainReducesLoss) {
+  Rng rng(4);
+  Transformer model(ModelWeights::RandomInit(ModelConfig::Tiny(), rng));
+  PretrainConfig cfg;
+  cfg.steps = 40;
+  cfg.batch = 4;
+  cfg.seq_len = 12;
+  const double final_loss = Pretrain(model, cfg, rng);
+  // Random init gives ~log(vocab)=4.16; training must make clear progress.
+  EXPECT_LT(final_loss, std::log(model.config().vocab_size) * 0.9);
+}
+
+TEST(TrainTest, FmtFineTuningImprovesTaskAccuracy) {
+  Rng rng(5);
+  const ModelConfig cfg = ModelConfig::Tiny();
+  Transformer model(ModelWeights::RandomInit(cfg, rng));
+  PretrainConfig pre;
+  pre.steps = 30;
+  pre.batch = 4;
+  pre.seq_len = 12;
+  Pretrain(model, pre, rng);
+  const auto task = MakeTask(TaskKind::kSentiment, cfg, 77);
+  const double before = EvaluateAccuracy(model, *task, 100, 123);
+  FineTuneConfig ft;
+  ft.steps = 150;
+  ft.batch = 8;
+  ft.lr = 2e-3f;
+  FineTuneFmt(model, *task, ft, rng);
+  const double after = EvaluateAccuracy(model, *task, 100, 123);
+  EXPECT_GT(after, before + 0.1) << "before=" << before << " after=" << after;
+  EXPECT_GT(after, 0.72);
+}
+
+TEST(TrainTest, FineTuningKeepsDeltasSmall) {
+  // The paper's core observation (Fig. 3): FMT deltas have much smaller magnitude than
+  // the weights themselves.
+  Rng rng(6);
+  const ModelConfig cfg = ModelConfig::Tiny();
+  Transformer model(ModelWeights::RandomInit(cfg, rng));
+  PretrainConfig pre;
+  pre.steps = 30;
+  pre.batch = 4;
+  pre.seq_len = 12;
+  Pretrain(model, pre, rng);
+  const ModelWeights base = model.weights();
+  const auto task = MakeTask(TaskKind::kSentiment, cfg, 77);
+  FineTuneConfig ft;
+  ft.steps = 40;
+  ft.batch = 8;
+  FineTuneFmt(model, *task, ft, rng);
+  const Matrix delta = Sub(model.weights().layers[0].wq, base.layers[0].wq);
+  EXPECT_LT(delta.MeanAbs(), base.layers[0].wq.MeanAbs());
+}
+
+TEST(LoraTest, InitIsIdentity) {
+  Rng rng(7);
+  const ModelWeights base = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  const LoraAdapter adapter = LoraAdapter::Init(base, 4, 8.0f, rng);
+  const ModelWeights merged = adapter.MergedWith(base);
+  // B = 0 → merged == base.
+  EXPECT_EQ(RelativeError(merged.layers[0].wq, base.layers[0].wq), 0.0);
+}
+
+TEST(LoraTest, OverlayMatchesMergedWeights) {
+  Rng rng(8);
+  const ModelWeights base = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  LoraAdapter adapter = LoraAdapter::Init(base, 4, 8.0f, rng);
+  // Give B nonzero values so the adapter does something.
+  for (auto& [name, f] : adapter.factors) {
+    f.b = Matrix::Random(f.b.rows(), f.b.cols(), rng, 0.05f);
+  }
+  const Transformer base_model(base);
+  const Transformer merged_model(adapter.MergedWith(base));
+  const LinearOverlay overlay = adapter.MakeOverlay(base_model.weights());
+  const std::vector<int> tokens = {1, 2, 3, 4};
+  const Matrix via_overlay = base_model.Forward(tokens, nullptr, &overlay);
+  const Matrix via_merge = merged_model.Forward(tokens);
+  EXPECT_LT(RelativeError(via_overlay, via_merge), 1e-4);
+}
+
+TEST(LoraTest, ByteSizeScalesWithRank) {
+  Rng rng(9);
+  const ModelWeights base = ModelWeights::RandomInit(ModelConfig::Tiny(), rng);
+  const auto r4 = LoraAdapter::Init(base, 4, 8.0f, rng);
+  const auto r16 = LoraAdapter::Init(base, 16, 8.0f, rng);
+  EXPECT_EQ(r16.Fp16ByteSize(), r4.Fp16ByteSize() * 4);
+  EXPECT_LT(r16.Fp16ByteSize(), base.LinearFp16ByteSize());
+}
+
+TEST(LoraTest, TrainingImprovesEasyTask) {
+  Rng rng(10);
+  const ModelConfig cfg = ModelConfig::Tiny();
+  Transformer base(ModelWeights::RandomInit(cfg, rng));
+  PretrainConfig pre;
+  pre.steps = 30;
+  pre.batch = 4;
+  pre.seq_len = 12;
+  Pretrain(base, pre, rng);
+  const auto task = MakeTask(TaskKind::kSentiment, cfg, 55);
+  const double before = EvaluateAccuracy(base, *task, 100, 321);
+  FineTuneConfig ft;
+  ft.steps = 50;
+  ft.batch = 8;
+  ft.lr = 3e-3f;
+  const LoraAdapter adapter = FineTuneLora(base, *task, 8, 16.0f, ft, rng);
+  const LinearOverlay overlay = adapter.MakeOverlay(base.weights());
+  const double after = EvaluateAccuracy(base, *task, 100, 321, &overlay);
+  EXPECT_GT(after, before) << "LoRA training did not improve accuracy";
+}
+
+TEST(VariantSuiteTest, BuildsSharedBaseVariants) {
+  PretrainConfig pre;
+  pre.steps = 10;
+  pre.batch = 2;
+  pre.seq_len = 8;
+  FineTuneConfig ft;
+  ft.steps = 5;
+  ft.batch = 2;
+  const VariantSuite suite = BuildVariantSuite(
+      ModelConfig::Tiny(), {TaskKind::kSentiment, TaskKind::kArithmetic}, pre, ft, 42);
+  ASSERT_NE(suite.base, nullptr);
+  ASSERT_EQ(suite.variants.size(), 2u);
+  // Variants share architecture with base but have diverged weights.
+  for (const auto& v : suite.variants) {
+    EXPECT_GT(
+        Sub(v.model->weights().layers[0].wq, suite.base->weights().layers[0].wq)
+            .FrobeniusNorm(),
+        0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dz
+
+namespace dz {
+namespace {
+
+TEST(TrainTest, FreezeEmbeddingsKeepsEmbeddingAndHead) {
+  Rng rng(20);
+  const ModelConfig cfg = ModelConfig::Tiny();
+  Transformer model(ModelWeights::RandomInit(cfg, rng));
+  const Matrix emb_before = model.weights().embedding;
+  const Matrix head_before = model.weights().lm_head;
+  const Matrix wq_before = model.weights().layers[0].wq;
+  const auto task = MakeTask(TaskKind::kSentiment, cfg, 7);
+  FineTuneConfig ft;
+  ft.steps = 10;
+  ft.batch = 2;
+  ft.freeze_embeddings = true;
+  FineTuneFmt(model, *task, ft, rng);
+  EXPECT_EQ(RelativeError(model.weights().embedding, emb_before), 0.0);
+  EXPECT_EQ(RelativeError(model.weights().lm_head, head_before), 0.0);
+  // Trunk weights must still train.
+  EXPECT_GT(Sub(model.weights().layers[0].wq, wq_before).FrobeniusNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,96 @@
+#include "src/train/rosa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/train/finetune.h"
+
+namespace dz {
+namespace {
+
+TEST(CooMatrixTest, DenseAndSparseMatmulAgree) {
+  CooMatrix coo;
+  coo.rows = 4;
+  coo.cols = 6;
+  coo.row_idx = {0, 2, 3};
+  coo.col_idx = {1, 5, 0};
+  coo.values = {2.0f, -1.5f, 0.5f};
+  Rng rng(1);
+  const Matrix x = Matrix::Random(3, 6, rng, 1.0f);
+  const Matrix via_coo = coo.MatmulNT(x);
+  const Matrix via_dense = MatmulNT(x, coo.ToDense());
+  EXPECT_LT(RelativeError(via_coo, via_dense), 1e-6);
+}
+
+class RosaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const ModelConfig cfg = ModelConfig::Tiny();
+    Rng rng(77);
+    base_ = new Transformer(ModelWeights::RandomInit(cfg, rng));
+    PretrainConfig pre;
+    pre.steps = 30;
+    pre.batch = 4;
+    pre.seq_len = 12;
+    Pretrain(*base_, pre, rng);
+    task_ = MakeTask(TaskKind::kSentiment, cfg, 9).release();
+    FineTuneConfig ft;
+    ft.steps = 130;
+    ft.batch = 8;
+    ft.lr = 3e-3f;
+    Rng train_rng = rng.Fork();
+    adapter_ = new RosaAdapter(
+        FineTuneRosa(*base_, *task_, /*rank=*/4, 8.0f, /*density=*/0.05, ft, train_rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete base_;
+    delete task_;
+    delete adapter_;
+  }
+
+  static Transformer* base_;
+  static Task* task_;
+  static RosaAdapter* adapter_;
+};
+
+Transformer* RosaTest::base_ = nullptr;
+Task* RosaTest::task_ = nullptr;
+RosaAdapter* RosaTest::adapter_ = nullptr;
+
+TEST_F(RosaTest, SupportRespectsDensity) {
+  for (const auto& [name, coo] : adapter_->sparse) {
+    const size_t total = static_cast<size_t>(coo.rows) * coo.cols;
+    EXPECT_LE(coo.nnz(), total / 10) << name;
+    EXPECT_GE(coo.nnz(), 1u) << name;
+  }
+}
+
+TEST_F(RosaTest, OverlayMatchesMergedWeights) {
+  // RoSA adds a full-rank sparse term LoRA-only systems cannot represent; DeltaZip's
+  // overlay serves it and must match merged-weight inference.
+  const LinearOverlay overlay = adapter_->MakeOverlay(base_->weights());
+  const Transformer merged(adapter_->MergedWith(base_->weights()));
+  Rng rng(3);
+  const Example ex = task_->Sample(rng);
+  const Matrix via_overlay = base_->Forward(ex.tokens, nullptr, &overlay);
+  const Matrix via_merged = merged.Forward(ex.tokens);
+  EXPECT_LT(RelativeError(via_overlay, via_merged), 1e-4);
+}
+
+TEST_F(RosaTest, TrainingImprovesTask) {
+  const double before = EvaluateAccuracy(*base_, *task_, 150, 42);
+  const LinearOverlay overlay = adapter_->MakeOverlay(base_->weights());
+  const double after = EvaluateAccuracy(*base_, *task_, 150, 42, &overlay);
+  EXPECT_GT(after, before + 0.05) << "RoSA training did not improve the task";
+}
+
+TEST_F(RosaTest, ArtifactBiggerThanLoraSmallerThanDelta) {
+  // RoSA sits between pure LoRA and a full compressed delta in footprint.
+  Rng rng(5);
+  const LoraAdapter plain = LoraAdapter::Init(base_->weights(), 4, 8.0f, rng);
+  EXPECT_GT(adapter_->Fp16ByteSize(), plain.Fp16ByteSize());
+  EXPECT_LT(adapter_->Fp16ByteSize(), base_->weights().LinearFp16ByteSize());
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,124 @@
+#include "src/train/task.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+class TaskParamTest : public ::testing::TestWithParam<TaskKind> {};
+
+TEST_P(TaskParamTest, SamplesAreWellFormed) {
+  const ModelConfig cfg = ModelConfig::Small();
+  const auto task = MakeTask(GetParam(), cfg, 42);
+  ASSERT_NE(task, nullptr);
+  Rng rng(1);
+  const auto labels = task->label_tokens();
+  ASSERT_GE(labels.size(), 2u);
+  const std::set<int> label_set(labels.begin(), labels.end());
+  for (int i = 0; i < 200; ++i) {
+    const Example ex = task->Sample(rng);
+    EXPECT_FALSE(ex.tokens.empty());
+    EXPECT_LE(static_cast<int>(ex.tokens.size()), cfg.max_seq);
+    for (int t : ex.tokens) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, cfg.vocab_size);
+    }
+    EXPECT_TRUE(label_set.count(ex.target)) << "target outside label set";
+    EXPECT_EQ(ex.tokens.back(), Vocab::kQuery);
+  }
+}
+
+TEST_P(TaskParamTest, EvalSetIsDeterministic) {
+  const ModelConfig cfg = ModelConfig::Small();
+  const auto task = MakeTask(GetParam(), cfg, 42);
+  const auto a = task->MakeEvalSet(20, 7);
+  const auto b = task->MakeEvalSet(20, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tokens, b[i].tokens);
+    EXPECT_EQ(a[i].target, b[i].target);
+  }
+}
+
+TEST_P(TaskParamTest, BothClassesAppear) {
+  const ModelConfig cfg = ModelConfig::Small();
+  const auto task = MakeTask(GetParam(), cfg, 42);
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(task->Sample(rng).target);
+  }
+  EXPECT_GE(seen.size(), 2u) << "degenerate task: only one label ever sampled";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskParamTest,
+                         ::testing::Values(TaskKind::kSentiment, TaskKind::kPalindrome,
+                                           TaskKind::kNli, TaskKind::kTeacher,
+                                           TaskKind::kArithmetic));
+
+TEST(TaskTest, SentimentLabelMatchesMajority) {
+  const auto task = MakeTask(TaskKind::kSentiment, ModelConfig::Small(), 1);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Example ex = task->Sample(rng);
+    int score = 0;
+    for (int t : ex.tokens) {
+      if (t >= Vocab::kPositive0 && t < Vocab::kPositive0 + 20) {
+        ++score;
+      } else if (t >= Vocab::kNegative0 && t < Vocab::kNegative0 + 20) {
+        --score;
+      }
+    }
+    EXPECT_EQ(ex.target, score > 0 ? Vocab::kLabelYes : Vocab::kLabelNo);
+    EXPECT_NE(score, 0);
+  }
+}
+
+TEST(TaskTest, PalindromeLabelIsCorrect) {
+  const auto task = MakeTask(TaskKind::kPalindrome, ModelConfig::Small(), 1);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Example ex = task->Sample(rng);
+    // Strip trailing QUERY; check the digit string.
+    std::vector<int> digits(ex.tokens.begin(), ex.tokens.end() - 1);
+    bool is_pal = true;
+    for (size_t a = 0, b = digits.size() - 1; a < b; ++a, --b) {
+      if (digits[a] != digits[b]) {
+        is_pal = false;
+        break;
+      }
+    }
+    EXPECT_EQ(ex.target, is_pal ? Vocab::kLabelYes : Vocab::kLabelNo);
+  }
+}
+
+TEST(TaskTest, ArithmeticLabelIsSumMod10) {
+  const auto task = MakeTask(TaskKind::kArithmetic, ModelConfig::Small(), 1);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Example ex = task->Sample(rng);
+    ASSERT_EQ(ex.tokens.size(), 4u);
+    const int a = ex.tokens[0] - Vocab::kDigit0;
+    const int b = ex.tokens[2] - Vocab::kDigit0;
+    EXPECT_EQ(ex.target, Vocab::kDigit0 + (a + b) % 10);
+  }
+}
+
+TEST(TaskTest, TeacherIsDeterministicGivenSeed) {
+  const ModelConfig cfg = ModelConfig::Small();
+  const auto t1 = MakeTask(TaskKind::kTeacher, cfg, 99);
+  const auto t2 = MakeTask(TaskKind::kTeacher, cfg, 99);
+  Rng r1(4);
+  Rng r2(4);
+  for (int i = 0; i < 50; ++i) {
+    const Example a = t1->Sample(r1);
+    const Example b = t2->Sample(r2);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_EQ(a.target, b.target);
+  }
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,95 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 10; ++i) {
+    a.Add(i);
+    all.Add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.Add(i * 0.5);
+    all.Add(i * 0.5);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90), 9.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(FractionWithinTest, CountsInclusive) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(FractionWithin(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionWithin(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(FractionWithin(v, 4.0), 1.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 9
+  h.Add(-5.0);   // clamped to bin 0
+  h.Add(100.0);  // clamped to bin 9
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(9), 2);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(HistogramTest, AsciiRenders) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.1);
+  h.Add(0.9);
+  const std::string s = h.ToAscii();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,31 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+TEST(TableTest, AsciiContainsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1.5"});
+  t.AddRow({"beta", "2"});
+  const std::string s = t.ToAscii();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvFormat) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dz

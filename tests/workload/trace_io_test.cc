@@ -1,0 +1,99 @@
+#include "src/workload/trace_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+Trace SampleTrace() {
+  TraceConfig cfg;
+  cfg.n_models = 6;
+  cfg.arrival_rate = 2.0;
+  cfg.duration_s = 30.0;
+  cfg.seed = 12;
+  return GenerateTrace(cfg);
+}
+
+TEST(TraceIoTest, JsonlRoundTrip) {
+  const Trace trace = SampleTrace();
+  Trace decoded;
+  ASSERT_TRUE(TraceFromJsonl(TraceToJsonl(trace), decoded));
+  EXPECT_EQ(decoded.n_models, trace.n_models);
+  EXPECT_DOUBLE_EQ(decoded.duration_s, trace.duration_s);
+  ASSERT_EQ(decoded.requests.size(), trace.requests.size());
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(decoded.requests[i].id, trace.requests[i].id);
+    EXPECT_EQ(decoded.requests[i].model_id, trace.requests[i].model_id);
+    EXPECT_EQ(decoded.requests[i].prompt_tokens, trace.requests[i].prompt_tokens);
+    EXPECT_EQ(decoded.requests[i].output_tokens, trace.requests[i].output_tokens);
+    EXPECT_NEAR(decoded.requests[i].arrival_s, trace.requests[i].arrival_s, 1e-6);
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const Trace trace = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/trace.jsonl";
+  ASSERT_TRUE(WriteTraceFile(path, trace));
+  Trace decoded;
+  ASSERT_TRUE(ReadTraceFile(path, decoded));
+  EXPECT_EQ(decoded.requests.size(), trace.requests.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl("{\"id\":0,\"model\":0,\"arrival\":1}\n", decoded));
+  EXPECT_FALSE(TraceFromJsonl("", decoded));
+}
+
+TEST(TraceIoTest, RejectsWrongVersion) {
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl(
+      "{\"type\":\"dz-trace\",\"version\":2,\"n_models\":4,\"duration\":10}\n", decoded));
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeModel) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"duration\":10}\n"
+      "{\"id\":0,\"model\":5,\"arrival\":1.0,\"prompt\":10,\"output\":10}\n";
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl(text, decoded));
+}
+
+TEST(TraceIoTest, RejectsMalformedLine) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"duration\":10}\n"
+      "{\"id\":0,\"model\":1,\"arrival\":1.0}\n";  // missing prompt/output
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl(text, decoded));
+}
+
+TEST(TraceIoTest, SortsByArrival) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"duration\":10}\n"
+      "{\"id\":1,\"model\":1,\"arrival\":5.0,\"prompt\":8,\"output\":8}\n"
+      "{\"id\":0,\"model\":0,\"arrival\":2.0,\"prompt\":8,\"output\":8}\n";
+  Trace decoded;
+  ASSERT_TRUE(TraceFromJsonl(text, decoded));
+  ASSERT_EQ(decoded.requests.size(), 2u);
+  EXPECT_EQ(decoded.requests[0].id, 0);
+  EXPECT_EQ(decoded.requests[1].id, 1);
+}
+
+TEST(TraceIoTest, HandComposedTraceDrivesEngine) {
+  // Hand-written JSONL can drive the serving engines directly (the paper-AE workflow).
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":3,\"duration\":5}\n"
+      "{\"id\":0,\"model\":0,\"arrival\":0.1,\"prompt\":32,\"output\":16}\n"
+      "{\"id\":1,\"model\":1,\"arrival\":0.2,\"prompt\":32,\"output\":16}\n"
+      "{\"id\":2,\"model\":2,\"arrival\":0.3,\"prompt\":32,\"output\":16}\n";
+  Trace trace;
+  ASSERT_TRUE(TraceFromJsonl(text, trace));
+  EXPECT_EQ(trace.requests.size(), 3u);
+  EXPECT_EQ(trace.n_models, 3);
+}
+
+}  // namespace
+}  // namespace dz

@@ -1,0 +1,130 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+TraceConfig BaseConfig() {
+  TraceConfig cfg;
+  cfg.n_models = 16;
+  cfg.arrival_rate = 5.0;
+  cfg.duration_s = 120.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class TraceDistTest : public ::testing::TestWithParam<PopularityDist> {};
+
+TEST_P(TraceDistTest, WellFormedAndSorted) {
+  TraceConfig cfg = BaseConfig();
+  cfg.dist = GetParam();
+  const Trace trace = GenerateTrace(cfg);
+  EXPECT_EQ(trace.n_models, cfg.n_models);
+  EXPECT_GT(trace.requests.size(), 100u);
+  double prev = 0.0;
+  for (const auto& r : trace.requests) {
+    EXPECT_GE(r.arrival_s, prev);
+    prev = r.arrival_s;
+    EXPECT_LT(r.arrival_s, cfg.duration_s);
+    EXPECT_GE(r.model_id, 0);
+    EXPECT_LT(r.model_id, cfg.n_models);
+    EXPECT_GE(r.prompt_tokens, 4);
+    EXPECT_LE(r.prompt_tokens, cfg.prompt_max_tokens);
+    EXPECT_GE(r.output_tokens, 4);
+    EXPECT_LE(r.output_tokens, cfg.output_max_tokens);
+  }
+}
+
+TEST_P(TraceDistTest, DeterministicForSeed) {
+  TraceConfig cfg = BaseConfig();
+  cfg.dist = GetParam();
+  const Trace a = GenerateTrace(cfg);
+  const Trace b = GenerateTrace(cfg);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].model_id, b.requests[i].model_id);
+    EXPECT_DOUBLE_EQ(a.requests[i].arrival_s, b.requests[i].arrival_s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dists, TraceDistTest,
+                         ::testing::Values(PopularityDist::kUniform, PopularityDist::kZipf,
+                                           PopularityDist::kAzure));
+
+TEST(TraceTest, ArrivalRateApproximatelyHonored) {
+  TraceConfig cfg = BaseConfig();
+  cfg.arrival_rate = 3.0;
+  cfg.duration_s = 400.0;
+  const Trace trace = GenerateTrace(cfg);
+  const double rate = trace.requests.size() / cfg.duration_s;
+  EXPECT_NEAR(rate, 3.0, 0.35);
+}
+
+TEST(TraceTest, UniformIsBalancedZipfIsSkewed) {
+  TraceConfig cfg = BaseConfig();
+  cfg.duration_s = 600.0;
+  cfg.dist = PopularityDist::kUniform;
+  const auto uniform_counts = GenerateTrace(cfg).ModelCounts();
+  cfg.dist = PopularityDist::kZipf;
+  const auto zipf_counts = GenerateTrace(cfg).ModelCounts();
+
+  auto spread = [](std::vector<int> c) {
+    std::sort(c.begin(), c.end());
+    return static_cast<double>(c.back()) / std::max(1, c.front());
+  };
+  EXPECT_LT(spread(uniform_counts), 2.0);
+  EXPECT_GT(spread(zipf_counts), 5.0);
+}
+
+TEST(TraceTest, AzureIsBursty) {
+  // Burstiness: the per-window count variance of a hot model should far exceed a
+  // Poisson process of the same mean (index of dispersion >> 1).
+  TraceConfig cfg = BaseConfig();
+  cfg.dist = PopularityDist::kAzure;
+  cfg.duration_s = 900.0;
+  cfg.arrival_rate = 4.0;
+  const Trace trace = GenerateTrace(cfg);
+  const auto matrix = InvocationMatrix(trace, 10.0);
+  // Find the hottest model.
+  size_t hot = 0;
+  int best = -1;
+  for (size_t m = 0; m < matrix.size(); ++m) {
+    int total = 0;
+    for (int c : matrix[m]) {
+      total += c;
+    }
+    if (total > best) {
+      best = total;
+      hot = m;
+    }
+  }
+  double mean = 0.0;
+  for (int c : matrix[hot]) {
+    mean += c;
+  }
+  mean /= matrix[hot].size();
+  double var = 0.0;
+  for (int c : matrix[hot]) {
+    var += (c - mean) * (c - mean);
+  }
+  var /= matrix[hot].size();
+  EXPECT_GT(var / std::max(mean, 1e-9), 1.5) << "azure trace should be over-dispersed";
+}
+
+TEST(TraceTest, InvocationMatrixCountsEverything) {
+  const Trace trace = GenerateTrace(BaseConfig());
+  const auto matrix = InvocationMatrix(trace, 5.0);
+  size_t total = 0;
+  for (const auto& row : matrix) {
+    for (int c : row) {
+      total += static_cast<size_t>(c);
+    }
+  }
+  EXPECT_EQ(total, trace.requests.size());
+}
+
+}  // namespace
+}  // namespace dz

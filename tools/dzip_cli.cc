@@ -1,0 +1,223 @@
+// dzip — operator command-line tool for the DeltaZip reproduction.
+//
+//   dzip trace    --out t.jsonl [--models 32] [--rate 1.0] [--duration 300]
+//                 [--dist uniform|zipf|azure] [--alpha 1.5] [--seed 7]
+//       Generates a multi-variant serving trace and writes it as JSONL.
+//
+//   dzip simulate --trace t.jsonl [--engine deltazip|vllm-scb|lora]
+//                 [--model 7b|13b|70b|pythia] [--gpu a800|3090] [--tp 4] [--n 8]
+//                 [--bits 4|2] [--rank 16]
+//       Replays the trace against the serving simulator and prints the report.
+//
+//   dzip inspect  --artifact delta.bin
+//       Prints a summary of an on-disk compressed-delta artifact.
+//
+// Exit status: 0 on success, 1 on usage errors or I/O failures.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/compress/serialize.h"
+#include "src/serving/engine.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/workload/trace_io.h"
+
+namespace dz {
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+// Parses "--key value" pairs after the subcommand. Returns false on stray tokens.
+bool ParseArgs(int argc, char** argv, int start, ArgMap& args) {
+  for (int i = start; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "error: expected --key value pairs, got '%s'\n", key.c_str());
+      return false;
+    }
+    args[key.substr(2)] = argv[i + 1];
+  }
+  return true;
+}
+
+std::string Get(const ArgMap& args, const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+double GetNum(const ArgMap& args, const std::string& key, double fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+int CmdTrace(const ArgMap& args) {
+  const std::string out = Get(args, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: trace requires --out <file.jsonl>\n");
+    return 1;
+  }
+  TraceConfig cfg;
+  cfg.n_models = static_cast<int>(GetNum(args, "models", 32));
+  cfg.arrival_rate = GetNum(args, "rate", 1.0);
+  cfg.duration_s = GetNum(args, "duration", 300.0);
+  cfg.zipf_alpha = GetNum(args, "alpha", 1.5);
+  cfg.seed = static_cast<uint64_t>(GetNum(args, "seed", 7));
+  const std::string dist = Get(args, "dist", "zipf");
+  if (dist == "uniform") {
+    cfg.dist = PopularityDist::kUniform;
+  } else if (dist == "zipf") {
+    cfg.dist = PopularityDist::kZipf;
+  } else if (dist == "azure") {
+    cfg.dist = PopularityDist::kAzure;
+  } else {
+    std::fprintf(stderr, "error: unknown --dist '%s'\n", dist.c_str());
+    return 1;
+  }
+  const Trace trace = GenerateTrace(cfg);
+  if (!WriteTraceFile(out, trace)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu requests over %.0f s (%d models, %s) to %s\n",
+              trace.requests.size(), trace.duration_s, trace.n_models, dist.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdSimulate(const ArgMap& args) {
+  const std::string trace_path = Get(args, "trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "error: simulate requires --trace <file.jsonl>\n");
+    return 1;
+  }
+  Trace trace;
+  if (!ReadTraceFile(trace_path, trace)) {
+    std::fprintf(stderr, "error: cannot read trace %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  EngineConfig cfg;
+  const std::string model = Get(args, "model", "13b");
+  if (model == "7b") {
+    cfg.exec.shape = ModelShape::Llama7B();
+  } else if (model == "13b") {
+    cfg.exec.shape = ModelShape::Llama13B();
+  } else if (model == "70b") {
+    cfg.exec.shape = ModelShape::Llama70B();
+  } else if (model == "pythia") {
+    cfg.exec.shape = ModelShape::Pythia2p8B();
+  } else {
+    std::fprintf(stderr, "error: unknown --model '%s'\n", model.c_str());
+    return 1;
+  }
+  const std::string gpu = Get(args, "gpu", "a800");
+  if (gpu == "a800") {
+    cfg.exec.gpu = GpuSpec::A800();
+  } else if (gpu == "3090") {
+    cfg.exec.gpu = GpuSpec::Rtx3090();
+  } else {
+    std::fprintf(stderr, "error: unknown --gpu '%s'\n", gpu.c_str());
+    return 1;
+  }
+  cfg.exec.tp = static_cast<int>(GetNum(args, "tp", 4));
+  cfg.max_concurrent_deltas = static_cast<int>(GetNum(args, "n", 8));
+  cfg.lora_rank = static_cast<int>(GetNum(args, "rank", 16));
+  if (static_cast<int>(GetNum(args, "bits", 4)) == 2) {
+    cfg.exec.delta_format = WeightFormat::kSparseInt2;
+  }
+
+  const std::string engine_name = Get(args, "engine", "deltazip");
+  std::unique_ptr<ServingEngine> engine;
+  if (engine_name == "deltazip") {
+    engine = MakeDeltaZipEngine(cfg);
+  } else if (engine_name == "lora") {
+    cfg.artifact = ArtifactKind::kLoraAdapter;
+    engine = MakeDeltaZipEngine(cfg);
+  } else if (engine_name == "vllm-scb") {
+    cfg.artifact = ArtifactKind::kFullModel;
+    engine = MakeVllmScbEngine(cfg);
+  } else {
+    std::fprintf(stderr, "error: unknown --engine '%s'\n", engine_name.c_str());
+    return 1;
+  }
+
+  const ServeReport report = engine->Serve(trace);
+  Table table({"metric", "value"});
+  table.AddRow({"engine", report.engine_name});
+  table.AddRow({"requests", std::to_string(report.completed())});
+  table.AddRow({"makespan (s)", Table::Num(report.makespan_s, 1)});
+  table.AddRow({"throughput (req/s)", Table::Num(report.ThroughputRps(), 3)});
+  table.AddRow({"token throughput (tok/s)", Table::Num(report.TokenThroughput(), 1)});
+  table.AddRow({"mean E2E (s)", Table::Num(report.MeanE2e(), 2)});
+  table.AddRow({"P90 E2E (s)", Table::Num(Percentile(report.E2es(), 90), 2)});
+  table.AddRow({"mean TTFT (s)", Table::Num(report.MeanTtft(), 3)});
+  table.AddRow({"P90 TTFT (s)", Table::Num(Percentile(report.Ttfts(), 90), 3)});
+  std::printf("%s", table.ToAscii().c_str());
+  return 0;
+}
+
+int CmdInspect(const ArgMap& args) {
+  const std::string path = Get(args, "artifact", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: inspect requires --artifact <file.bin>\n");
+    return 1;
+  }
+  CompressedDelta delta;
+  if (!ReadDeltaFile(path, delta)) {
+    std::fprintf(stderr, "error: %s is not a valid DeltaZip artifact\n", path.c_str());
+    return 1;
+  }
+  std::printf("artifact: %s\n", path.c_str());
+  std::printf("config: %d-bit, %s, group %d, lossless=%s, solver=%s\n", delta.config.bits,
+              delta.config.sparse24 ? "2:4 sparse" : "dense", delta.config.group_size,
+              delta.config.lossless ? "on" : "off",
+              delta.config.use_obs ? "OBS" : "RTN");
+  std::printf("layers: %zu compressed linear deltas\n", delta.layers.size());
+  size_t layer_bytes = 0;
+  for (const auto& layer : delta.layers) {
+    layer_bytes += layer.ByteSize();
+  }
+  std::printf("payload: %zu B linear deltas, %zu B total packed\n", layer_bytes,
+              delta.PackedByteSize());
+  std::printf("embedding delta: %s\n",
+              delta.embedding_delta.FrobeniusNorm() == 0.0 ? "unchanged (elided)"
+                                                           : "stored fp16");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dzip <trace|simulate|inspect> [--key value ...]\n"
+               "  dzip trace    --out t.jsonl [--models N] [--rate R] [--dist D]\n"
+               "  dzip simulate --trace t.jsonl [--engine E] [--model M] [--gpu G]\n"
+               "  dzip inspect  --artifact delta.bin\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  ArgMap args;
+  if (!ParseArgs(argc, argv, 2, args)) {
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "trace") {
+    return CmdTrace(args);
+  }
+  if (cmd == "simulate") {
+    return CmdSimulate(args);
+  }
+  if (cmd == "inspect") {
+    return CmdInspect(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dz
+
+int main(int argc, char** argv) { return dz::Main(argc, argv); }
