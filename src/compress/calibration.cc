@@ -1,12 +1,13 @@
 #include "src/compress/calibration.h"
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace dz {
 
 Matrix CaptureLayerInput(const Transformer& model,
                          const std::vector<std::vector<int>>& calibration,
-                         const std::string& layer_name) {
+                         const std::string& layer_name, ThreadPool* pool) {
   DZ_CHECK(!calibration.empty());
   // Find the weight so the overlay can still produce the layer's normal output.
   const Matrix* weight = nullptr;
@@ -18,26 +19,40 @@ Matrix CaptureLayerInput(const Transformer& model,
   }
   DZ_CHECK(weight != nullptr);
 
-  std::vector<Matrix> captured;
-  LinearOverlay overlay;
-  overlay.ops[layer_name] = [weight, &captured](const Matrix& x) {
-    captured.push_back(x);
-    return MatmulNT(x, *weight);
-  };
-  for (const auto& tokens : calibration) {
-    model.Forward(tokens, nullptr, &overlay);
-  }
+  // Forward passes over the calibration sequences are independent; run them
+  // across the pool, each with its own overlay capturing into its own slot so
+  // the stacked result is in calibration order regardless of thread count.
+  std::vector<std::vector<Matrix>> captured(calibration.size());
+  ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::Global();
+  workers.ParallelFor(
+      calibration.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          std::vector<Matrix>* slot = &captured[i];
+          LinearOverlay overlay;
+          overlay.ops[layer_name] = [weight, slot](const Matrix& x) {
+            slot->push_back(x);
+            return MatmulNT(x, *weight);
+          };
+          model.Forward(calibration[i], nullptr, &overlay);
+        }
+      });
 
   int total_rows = 0;
-  for (const Matrix& m : captured) {
-    total_rows += m.rows();
+  int cols = 0;
+  for (const auto& per_seq : captured) {
+    for (const Matrix& m : per_seq) {
+      total_rows += m.rows();
+      cols = m.cols();
+    }
   }
   DZ_CHECK_GT(total_rows, 0);
-  Matrix stacked(total_rows, captured.front().cols());
+  Matrix stacked(total_rows, cols);
   int row = 0;
-  for (const Matrix& m : captured) {
-    for (int r = 0; r < m.rows(); ++r) {
-      std::copy(m.row(r), m.row(r) + m.cols(), stacked.row(row++));
+  for (const auto& per_seq : captured) {
+    for (const Matrix& m : per_seq) {
+      for (int r = 0; r < m.rows(); ++r) {
+        std::copy(m.row(r), m.row(r) + m.cols(), stacked.row(row++));
+      }
     }
   }
   return stacked;

@@ -6,6 +6,7 @@
 #include "src/tensor/half.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace dz {
 
@@ -207,7 +208,8 @@ Matrix MatrixDeltaFp16(const Matrix& ft, const Matrix& base) {
 
 CompressedDelta DeltaCompress(const ModelWeights& base, const ModelWeights& finetuned,
                               const std::vector<std::vector<int>>& calibration,
-                              const DeltaCompressConfig& config) {
+                              const DeltaCompressConfig& config,
+                              ThreadPool* pool_override) {
   DZ_CHECK_EQ(base.config.n_layers, finetuned.config.n_layers);
   CompressedDelta out;
   out.config = config;
@@ -222,14 +224,26 @@ CompressedDelta DeltaCompress(const ModelWeights& base, const ModelWeights& fine
   // its reconstruction w_base + Δ̃ before later layers are calibrated (Alg. 1 line 6).
   ModelWeights work = finetuned;
 
+  // Alg. 1 is sequential across groups (each group's calibration inputs depend
+  // on the reconstructions of everything before it), but the members of one
+  // group share the same input x and are independent of each other — compress
+  // them concurrently on the global pool. Results land in per-member slots and
+  // are committed in member order, so the artifact is bit-identical for any
+  // thread count. The capture itself parallelizes across calibration sequences
+  // inside CaptureLayerInput.
+  ThreadPool& pool =
+      pool_override != nullptr ? *pool_override : ThreadPool::Global();
   for (int li = 0; li < base.config.n_layers; ++li) {
     for (const LayerGroup& group : BlockGroups()) {
       const std::string capture_name = LinearLayerName(li, group.members.front());
       const Transformer snapshot(work);
-      const Matrix x = CaptureLayerInput(snapshot, calibration, capture_name);
+      const Matrix x = CaptureLayerInput(snapshot, calibration, capture_name, &pool);
 
-      for (const char* member : group.members) {
-        const std::string name = LinearLayerName(li, member);
+      const size_t n_members = group.members.size();
+      std::vector<CompressedDeltaLayer> group_layers(n_members);
+      std::vector<Matrix> group_reconstructed(n_members);
+      pool.ForEachTask(n_members, [&](size_t mi) {
+        const std::string name = LinearLayerName(li, group.members[mi]);
         const Matrix* w_base = FindWeight(base, name);
         const Matrix* w_ft = FindWeight(finetuned, name);
         const Matrix delta = Sub(*w_ft, *w_base);
@@ -242,7 +256,8 @@ CompressedDelta DeltaCompress(const ModelWeights& base, const ModelWeights& fine
         layer.name = name;
         layer.is_sparse = config.sparse24;
         if (config.sparse24) {
-          layer.sparse = Sparse24Matrix::Pack(compressed, config.bits, config.group_size);
+          layer.sparse =
+              Sparse24Matrix::Pack(compressed, config.bits, config.group_size);
         } else {
           layer.dense =
               PackedQuantMatrix::Quantize(compressed, config.bits, config.group_size);
@@ -250,8 +265,13 @@ CompressedDelta DeltaCompress(const ModelWeights& base, const ModelWeights& fine
         // Reconstruct with exactly what will be served (packed → dequantized).
         Matrix reconstructed = layer.Dequantize();
         reconstructed.AddInPlace(*w_base);
-        *FindWeight(work, name) = std::move(reconstructed);
-        out.layers.push_back(std::move(layer));
+        group_reconstructed[mi] = std::move(reconstructed);
+        group_layers[mi] = std::move(layer);
+      });
+      for (size_t mi = 0; mi < n_members; ++mi) {
+        *FindWeight(work, LinearLayerName(li, group.members[mi])) =
+            std::move(group_reconstructed[mi]);
+        out.layers.push_back(std::move(group_layers[mi]));
       }
     }
   }

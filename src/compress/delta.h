@@ -28,6 +28,8 @@
 
 namespace dz {
 
+class ThreadPool;
+
 struct DeltaCompressConfig {
   int bits = 4;
   bool sparse24 = true;   // structured 2:4 pruning (step 2)
@@ -85,10 +87,13 @@ struct CompressedDelta {
 };
 
 // Runs the ΔCompress pipeline. `calibration` holds token sequences (the paper uses a
-// few hundred samples of the fine-tuning data).
+// few hundred samples of the fine-tuning data). Per-group layer compression and
+// calibration capture fan out across `pool` (ThreadPool::Global() when null); the
+// artifact is bit-identical for any thread count.
 CompressedDelta DeltaCompress(const ModelWeights& base, const ModelWeights& finetuned,
                               const std::vector<std::vector<int>>& calibration,
-                              const DeltaCompressConfig& config);
+                              const DeltaCompressConfig& config,
+                              ThreadPool* pool = nullptr);
 
 // Baselines (paper Table 1): compress the fine-tuned model itself, layer by layer with
 // reconstruction, no delta. Returns the resulting effective weights; the compressed

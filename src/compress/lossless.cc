@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <queue>
 
 #include "src/util/check.h"
@@ -421,7 +422,8 @@ ByteBuffer RleDecompress(const ByteBuffer& compressed) {
 
 double CompressionRatio(size_t input_bytes, size_t output_bytes) {
   if (output_bytes == 0) {
-    return 1.0;
+    return input_bytes == 0 ? 0.0
+                            : std::numeric_limits<double>::infinity();
   }
   return static_cast<double>(input_bytes) / static_cast<double>(output_bytes);
 }

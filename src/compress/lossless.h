@@ -27,7 +27,10 @@ ByteBuffer GdeflateDecompress(const ByteBuffer& compressed);
 ByteBuffer RleCompress(const ByteBuffer& input);
 ByteBuffer RleDecompress(const ByteBuffer& compressed);
 
-// Convenience: achieved ratio (input / output), 1.0 for empty input.
+// Convenience: achieved ratio (input / output). Conventions for the degenerate
+// cases: 0/0 (nothing in, nothing out) is 0.0, not parity; a non-empty input
+// that compresses to zero bytes is +infinity, since any finite value would
+// understate the (unbounded) ratio.
 double CompressionRatio(size_t input_bytes, size_t output_bytes);
 
 }  // namespace dz

@@ -11,6 +11,9 @@ DeltaZipService::DeltaZipService(Transformer base, const DeltaZipOptions& option
 int DeltaZipService::RegisterFmtModel(const ModelWeights& finetuned,
                                       const std::vector<std::vector<int>>& calibration,
                                       const std::string& name) {
+  // DeltaCompress fans per-group layer compression and calibration capture out
+  // across ThreadPool::Global(); registration scales with cores (DZ_THREADS
+  // overrides) and the artifact is bit-identical for any thread count.
   CompressedDelta delta =
       DeltaCompress(base_.weights(), finetuned, calibration, options_.compress);
   return RegisterCompressedDelta(std::move(delta), name);

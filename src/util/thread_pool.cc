@@ -1,14 +1,42 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/util/check.h"
 
 namespace dz {
 
+namespace {
+
+// Container CI runners routinely report either 0 (unknown) or the host's full
+// core count while the cgroup only grants a couple of cores; an uncapped
+// default then oversubscribes badly. The cap applies only to the inferred
+// default — an explicit constructor argument or DZ_THREADS is honored as-is
+// (modulo a sanity clamp).
+constexpr size_t kMaxDefaultThreads = 16;
+constexpr size_t kMaxEnvThreads = 256;
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("DZ_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::min(static_cast<size_t>(parsed), kMaxEnvThreads);
+    }
+  }
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    return 1;
+  }
+  return std::min(hw, kMaxDefaultThreads);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
-    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    threads = DefaultThreadCount();
   }
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
@@ -35,11 +63,38 @@ void ThreadPool::Submit(std::function<void()> task) {
     ++in_flight_;
   }
   task_available_.notify_one();
+  // Wake helping waiters too: a thread blocked in Wait() must see new work,
+  // otherwise a task submitted from inside a pool task can strand a nested Wait.
+  all_done_.notify_all();
 }
 
 void ThreadPool::Wait() {
+  // Waiting for everything is the pending-counter wait applied to the global
+  // in-flight count (helping included).
+  HelpUntil(&in_flight_);
+}
+
+void ThreadPool::HelpUntil(const size_t* pending) {
   std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  while (*pending > 0) {
+    if (!tasks_.empty()) {
+      // Execute queued work (ours or anyone's) while our jobs are outstanding.
+      // Waiting only on *pending — never the global in-flight count — is what
+      // makes nested use safe: a pool task's own in-flight entry can't retire
+      // until this returns, so it must not be part of the wait condition.
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop();
+      lock.unlock();
+      task();
+      lock.lock();
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+      continue;
+    }
+    all_done_.wait(lock, [this, pending] { return *pending == 0 || !tasks_.empty(); });
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
@@ -52,11 +107,39 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t, size_t)>
     return;
   }
   const size_t chunk = (n + workers - 1) / workers;
+  size_t pending = (n + chunk - 1) / chunk;
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    Submit([&body, begin, end] { body(begin, end); });
+    Submit([this, &body, &pending, begin, end] {
+      body(begin, end);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending == 0) {
+        all_done_.notify_all();
+      }
+    });
   }
-  Wait();
+  HelpUntil(&pending);
+}
+
+void ThreadPool::ForEachTask(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  size_t pending = n;
+  for (size_t i = 0; i < n; ++i) {
+    Submit([this, &fn, &pending, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending == 0) {
+        all_done_.notify_all();
+      }
+    });
+  }
+  HelpUntil(&pending);
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -17,7 +17,9 @@ namespace dz {
 
 class ThreadPool {
  public:
-  // threads == 0 means hardware_concurrency().
+  // threads == 0 picks a default: the DZ_THREADS environment variable when set
+  // to a positive integer, otherwise hardware_concurrency() capped to a sane
+  // bound (containers report 0 or the host's full core count).
   explicit ThreadPool(size_t threads = 0);
   ~ThreadPool();
 
@@ -27,20 +29,35 @@ class ThreadPool {
   // Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  // Blocks until all submitted tasks have completed.
+  // Blocks until ALL submitted tasks have completed. The waiting thread helps
+  // drain the queue. Must not be called from inside a pool task: the caller's
+  // own task counts as in-flight and can never retire while it waits. Inside a
+  // task, use ParallelFor/ForEachTask, which wait only on their own work.
   void Wait();
 
   // Splits [0, n) into contiguous chunks and runs body(begin, end) across the pool,
-  // blocking until completion. Falls back to inline execution for tiny n.
+  // blocking until completion. Falls back to inline execution for tiny n. Waits
+  // only on its own chunks (helping with queued work meanwhile), so it is safe
+  // to call from inside a pool task.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+  // Runs fn(i) for each i in [0, n) as one task per index, blocking until all
+  // complete. Unlike ParallelFor there is no inline fallback for small n — this
+  // is for a handful of heavy, independent jobs that must actually overlap.
+  // Safe to call from inside a pool task (same helping wait as ParallelFor).
+  void ForEachTask(size_t n, const std::function<void(size_t)>& fn);
 
   size_t thread_count() const { return workers_.size(); }
 
-  // Process-wide shared pool (sized to hardware concurrency).
+  // Process-wide shared pool (default-sized: DZ_THREADS when set, otherwise
+  // hardware_concurrency() capped to a sane bound — see the constructor).
   static ThreadPool& Global();
 
  private:
   void WorkerLoop();
+  // Runs queued tasks until *pending drops to 0 (pending is decremented by the
+  // submitted tasks themselves, under mu_). Blocks when the queue is empty.
+  void HelpUntil(const size_t* pending);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -5,6 +5,7 @@
 #include "src/compress/calibration.h"
 #include "src/train/finetune.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace dz {
 namespace {
@@ -190,6 +191,25 @@ TEST_F(DeltaCompressTest, AwqBaselineRuns) {
   const double acc = EvaluateAccuracy(awq_model, *task_, 150, 558);
   const double acc_fmt = EvaluateAccuracy(*finetuned_, *task_, 150, 558);
   EXPECT_GT(acc, acc_fmt - 0.2) << "4-bit AWQ should stay in the ballpark of FMT";
+}
+
+TEST_F(DeltaCompressTest, ParallelCompressionIsBitIdentical) {
+  // Registration must not depend on thread count: the serialized artifact from a
+  // 1-thread pool and an N-thread pool must match byte for byte.
+  DeltaCompressConfig cfg;
+  ThreadPool serial(1);
+  ThreadPool threaded(4);
+  const CompressedDelta one = DeltaCompress(base_->weights(), finetuned_->weights(),
+                                            *calibration_, cfg, &serial);
+  const CompressedDelta many = DeltaCompress(base_->weights(), finetuned_->weights(),
+                                             *calibration_, cfg, &threaded);
+  EXPECT_EQ(one.layers.size(), many.layers.size());
+  for (size_t i = 0; i < one.layers.size(); ++i) {
+    EXPECT_EQ(one.layers[i].name, many.layers[i].name) << i;
+  }
+  EXPECT_EQ(one.PackedByteSize(), many.PackedByteSize());
+  EXPECT_EQ(one.StoredByteSize(), many.StoredByteSize());
+  EXPECT_EQ(one.Serialize(), many.Serialize());
 }
 
 TEST(CalibrationTest, CapturesExpectedShape) {

@@ -1,5 +1,7 @@
 #include "src/compress/lossless.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/util/rng.h"
@@ -105,7 +107,12 @@ TEST(CodecTest, RandomDataDoesNotExplode) {
 
 TEST(CodecTest, CompressionRatioHelper) {
   EXPECT_DOUBLE_EQ(CompressionRatio(100, 50), 2.0);
-  EXPECT_DOUBLE_EQ(CompressionRatio(0, 0), 1.0);
+  // Degenerate cases: nothing-in/nothing-out is 0.0 (not parity); a non-empty
+  // input compressed to zero bytes is an unbounded ratio.
+  EXPECT_DOUBLE_EQ(CompressionRatio(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(CompressionRatio(100, 0)));
+  EXPECT_GT(CompressionRatio(100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(0, 10), 0.0);
 }
 
 }  // namespace

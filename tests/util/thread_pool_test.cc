@@ -1,7 +1,9 @@
 #include "src/util/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,101 @@ TEST(ThreadPoolTest, WaitWithNothingPendingReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not deadlock
   SUCCEED();
+}
+
+// Saves and restores DZ_THREADS so these tests cannot leak a mutated (or
+// erased) override into pools constructed by later tests.
+class DzThreadsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* current = std::getenv("DZ_THREADS");
+    had_value_ = current != nullptr;
+    if (had_value_) {
+      saved_ = current;
+    }
+  }
+  void TearDown() override {
+    if (had_value_) {
+      setenv("DZ_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("DZ_THREADS");
+    }
+  }
+
+ private:
+  bool had_value_ = false;
+  std::string saved_;
+};
+
+TEST_F(DzThreadsEnvTest, DzThreadsEnvOverridesDefault) {
+  setenv("DZ_THREADS", "3", 1);
+  ThreadPool pool;  // threads == 0 → default path
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST_F(DzThreadsEnvTest, InvalidDzThreadsFallsBackToCappedDefault) {
+  for (const char* bad : {"not-a-number", "-4", "0", "7seven"}) {
+    setenv("DZ_THREADS", bad, 1);
+    ThreadPool pool;
+    EXPECT_GE(pool.thread_count(), 1u) << bad;
+    EXPECT_LE(pool.thread_count(), 16u) << bad;
+  }
+}
+
+TEST_F(DzThreadsEnvTest, DefaultThreadCountIsCapped) {
+  unsetenv("DZ_THREADS");
+  // Whatever hardware_concurrency() reports (including 0 in containers), the
+  // inferred default must land in [1, 16].
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_LE(pool.thread_count(), 16u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // ParallelFor from inside a pool task must complete even when every worker is
+  // occupied by an outer task: Wait() helps drain the queue.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(4, [&](size_t ib, size_t ie) {
+        total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ForEachTaskRunsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(5);
+  pool.ForEachTask(5, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ForEachTaskNestsInsideParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ForEachTask(3, [&](size_t) { total.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(total.load(), 24);
+}
+
+TEST(ThreadPoolTest, SubmitFromTaskWithConcurrentWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&pool, &counter] {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure + build + test from a clean or incremental tree.
+# Exits nonzero on the first failing step or any failing test.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+cd build
+ctest --output-on-failure -j "$JOBS"
