@@ -1,0 +1,149 @@
+#include "src/cluster/cluster_report.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace dz {
+
+std::vector<GpuLoadStats> ClusterReport::PerGpuStats() const {
+  std::vector<GpuLoadStats> stats;
+  stats.reserve(per_gpu.size());
+  for (size_t g = 0; g < per_gpu.size(); ++g) {
+    const ServeReport& r = per_gpu[g];
+    GpuLoadStats s;
+    s.gpu = static_cast<int>(g);
+    s.requests = r.records.size();
+    for (const RequestRecord& rec : r.records) {
+      s.output_tokens += rec.output_tokens;
+    }
+    s.busy_span_s = r.makespan_s;
+    s.utilization = merged.makespan_s > 0.0 ? r.makespan_s / merged.makespan_s : 0.0;
+    s.total_loads = r.total_loads;
+    s.disk_loads = r.disk_loads;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+namespace {
+
+double LoadImbalanceOf(const std::vector<GpuLoadStats>& stats) {
+  if (stats.empty()) {
+    return 0.0;
+  }
+  double max_tokens = 0.0;
+  double total_tokens = 0.0;
+  for (const GpuLoadStats& s : stats) {
+    max_tokens = std::max(max_tokens, static_cast<double>(s.output_tokens));
+    total_tokens += static_cast<double>(s.output_tokens);
+  }
+  if (total_tokens <= 0.0) {
+    return 0.0;
+  }
+  return max_tokens / (total_tokens / static_cast<double>(stats.size()));
+}
+
+double MeanUtilizationOf(const std::vector<GpuLoadStats>& stats) {
+  if (stats.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const GpuLoadStats& s : stats) {
+    sum += s.utilization;
+  }
+  return sum / static_cast<double>(stats.size());
+}
+
+}  // namespace
+
+double ClusterReport::LoadImbalance() const { return LoadImbalanceOf(PerGpuStats()); }
+
+double ClusterReport::MeanUtilization() const {
+  return MeanUtilizationOf(PerGpuStats());
+}
+
+int ClusterReport::TotalLoads() const {
+  int n = 0;
+  for (const ServeReport& r : per_gpu) {
+    n += r.total_loads;
+  }
+  return n;
+}
+
+int ClusterReport::TotalDiskLoads() const {
+  int n = 0;
+  for (const ServeReport& r : per_gpu) {
+    n += r.disk_loads;
+  }
+  return n;
+}
+
+std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
+  const std::vector<GpuLoadStats> stats = PerGpuStats();
+  Table agg({"metric", "value"});
+  agg.AddRow({"cluster", cluster_name});
+  agg.AddRow({"policy", PlacementPolicyName(policy)});
+  agg.AddRow({"GPUs", std::to_string(n_gpus)});
+  agg.AddRow({"requests", std::to_string(completed())});
+  agg.AddRow({"makespan (s)", Table::Num(makespan_s(), 1)});
+  agg.AddRow({"throughput (req/s)", Table::Num(AggregateThroughputRps(), 3)});
+  agg.AddRow({"token throughput (tok/s)", Table::Num(AggregateTokenThroughput(), 1)});
+  agg.AddRow({"mean E2E (s)", Table::Num(MeanE2e(), 2)});
+  agg.AddRow({"P90 E2E (s)", Table::Num(Percentile(merged.E2es(), 90), 2)});
+  agg.AddRow({"mean TTFT (s)", Table::Num(MeanTtft(), 3)});
+  agg.AddRow({"SLO attain E2E<=" + Table::Num(slo_e2e_s, 0) + "s",
+              Table::Num(SloAttainmentE2e(slo_e2e_s), 3)});
+  agg.AddRow({"SLO attain TTFT<=" + Table::Num(slo_ttft_s, 0) + "s",
+              Table::Num(SloAttainmentTtft(slo_ttft_s), 3)});
+  agg.AddRow({"load imbalance (max/mean)", Table::Num(LoadImbalanceOf(stats), 2)});
+  agg.AddRow({"mean GPU utilization", Table::Num(MeanUtilizationOf(stats), 3)});
+  agg.AddRow({"artifact loads (PCIe)", std::to_string(TotalLoads())});
+  agg.AddRow({"artifact loads (disk)", std::to_string(TotalDiskLoads())});
+
+  Table per({"gpu", "requests", "out tokens", "busy (s)", "util", "loads", "disk"});
+  for (const GpuLoadStats& s : stats) {
+    per.AddRow({std::to_string(s.gpu), std::to_string(s.requests),
+                std::to_string(s.output_tokens), Table::Num(s.busy_span_s, 1),
+                Table::Num(s.utilization, 3), std::to_string(s.total_loads),
+                std::to_string(s.disk_loads)});
+  }
+  return agg.ToAscii() + "\n" + per.ToAscii();
+}
+
+ClusterReport BuildClusterReport(std::string cluster_name, PlacementPolicy policy,
+                                 std::vector<ServeReport> per_gpu) {
+  DZ_CHECK(!per_gpu.empty());
+  ClusterReport report;
+  report.cluster_name = std::move(cluster_name);
+  report.policy = policy;
+  report.n_gpus = static_cast<int>(per_gpu.size());
+  report.merged.engine_name = per_gpu.front().engine_name;
+
+  // Merge the per-GPU records by finish time: concatenate in GPU order, then
+  // stable-sort, so ties resolve to the lowest GPU index and each worker's
+  // finish order is preserved — a single-GPU cluster reproduces its worker's
+  // report verbatim.
+  size_t total = 0;
+  for (const ServeReport& r : per_gpu) {
+    total += r.records.size();
+    report.merged.makespan_s = std::max(report.merged.makespan_s, r.makespan_s);
+    report.merged.total_loads += r.total_loads;
+    report.merged.disk_loads += r.disk_loads;
+  }
+  report.merged.records.reserve(total);
+  for (const ServeReport& r : per_gpu) {
+    report.merged.records.insert(report.merged.records.end(), r.records.begin(),
+                                 r.records.end());
+  }
+  std::stable_sort(report.merged.records.begin(), report.merged.records.end(),
+                   [](const RequestRecord& a, const RequestRecord& b) {
+                     return a.finish_s < b.finish_s;
+                   });
+  report.per_gpu = std::move(per_gpu);
+  return report;
+}
+
+}  // namespace dz

@@ -1,0 +1,66 @@
+// Cluster-level serving metrics: the per-GPU ServeReports merged into one view
+// (aggregate throughput, SLO attainment over all requests, per-GPU utilization,
+// load imbalance, and total artifact-movement traffic).
+#ifndef SRC_CLUSTER_CLUSTER_REPORT_H_
+#define SRC_CLUSTER_CLUSTER_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/placement.h"
+#include "src/serving/report.h"
+
+namespace dz {
+
+// Per-GPU load summary derived from that GPU's ServeReport.
+struct GpuLoadStats {
+  int gpu = 0;
+  size_t requests = 0;
+  long long output_tokens = 0;
+  double busy_span_s = 0.0;  // when this GPU finished its last request
+  double utilization = 0.0;  // busy_span_s / cluster makespan (0 when idle cluster)
+  int total_loads = 0;       // PCIe (H2D) artifact transfers on this GPU
+  int disk_loads = 0;        // loads that additionally paid the disk read
+};
+
+struct ClusterReport {
+  std::string cluster_name;  // e.g. "deltazip x4 [delta-affinity]"
+  PlacementPolicy policy = PlacementPolicy::kRoundRobin;
+  int n_gpus = 1;
+  std::vector<ServeReport> per_gpu;  // indexed by GPU id
+  // All per-GPU records merged by finish time (stable by GPU at ties). For a
+  // 1-GPU cluster this is exactly the worker's report, so cluster and direct
+  // engine runs compare bit-identically.
+  ServeReport merged;
+
+  size_t completed() const { return merged.records.size(); }
+  double makespan_s() const { return merged.makespan_s; }
+  double AggregateThroughputRps() const { return merged.ThroughputRps(); }
+  double AggregateTokenThroughput() const { return merged.TokenThroughput(); }
+  double MeanE2e() const { return merged.MeanE2e(); }
+  double MeanTtft() const { return merged.MeanTtft(); }
+  double SloAttainmentE2e(double slo_s) const { return merged.SloAttainmentE2e(slo_s); }
+  double SloAttainmentTtft(double slo_s) const {
+    return merged.SloAttainmentTtft(slo_s);
+  }
+
+  std::vector<GpuLoadStats> PerGpuStats() const;
+  // max / mean per-GPU served output tokens; 1.0 is perfectly balanced. GPUs that
+  // served nothing count toward the mean. 0 when the cluster served nothing.
+  double LoadImbalance() const;
+  double MeanUtilization() const;
+  int TotalLoads() const;
+  int TotalDiskLoads() const;
+
+  // Aligned ASCII rendering: cluster aggregates plus a per-GPU breakdown
+  // (shared by `dzip_cli cluster` and the scaling bench).
+  std::string Summary(double slo_e2e_s, double slo_ttft_s) const;
+};
+
+// Builds the merged view from per-GPU worker reports (per_gpu[i] belongs to GPU i).
+ClusterReport BuildClusterReport(std::string cluster_name, PlacementPolicy policy,
+                                 std::vector<ServeReport> per_gpu);
+
+}  // namespace dz
+
+#endif  // SRC_CLUSTER_CLUSTER_REPORT_H_

@@ -1,0 +1,153 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kLeastOutstanding:
+      return "least-outstanding";
+    case PlacementPolicy::kDeltaAffinity:
+      return "delta-affinity";
+  }
+  return "?";
+}
+
+bool ParsePlacementPolicy(const std::string& name, PlacementPolicy& out) {
+  for (PlacementPolicy p :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstanding,
+        PlacementPolicy::kDeltaAffinity}) {
+    if (name == PlacementPolicyName(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// SplitMix64 — cheap, well-mixed 64-bit hash; the standard choice for seeding
+// and consistent-hash rings.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Placer::Placer(const PlacerConfig& config)
+    : config_(config), backlog_(static_cast<size_t>(config.n_gpus), 0.0) {
+  DZ_CHECK_GT(config_.n_gpus, 0);
+  DZ_CHECK_GE(config_.drain_tokens_per_s, 0.0);
+  if (config_.policy == PlacementPolicy::kDeltaAffinity) {
+    DZ_CHECK_GT(config_.virtual_nodes, 0);
+    DZ_CHECK_GE(config_.bounded_load_factor, 1.0);
+    ring_.reserve(static_cast<size_t>(config_.n_gpus) *
+                  static_cast<size_t>(config_.virtual_nodes));
+    for (int gpu = 0; gpu < config_.n_gpus; ++gpu) {
+      for (int v = 0; v < config_.virtual_nodes; ++v) {
+        const uint64_t point = SplitMix64(
+            config_.hash_seed ^
+            (static_cast<uint64_t>(gpu) * 0x10001ULL + static_cast<uint64_t>(v) + 1));
+        ring_.push_back({point, gpu});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a, const RingPoint& b) {
+      return a.hash != b.hash ? a.hash < b.hash : a.gpu < b.gpu;
+    });
+  }
+}
+
+void Placer::DrainBacklogs(double now) {
+  DZ_CHECK_GE(now, last_now_);
+  const double drained = (now - last_now_) * config_.drain_tokens_per_s;
+  if (drained > 0.0) {
+    for (double& b : backlog_) {
+      b = std::max(0.0, b - drained);
+    }
+  }
+  last_now_ = now;
+}
+
+int Placer::AssignAffinity(const TraceRequest& req, double cost) {
+  // Home position: the first ring point at or after the variant's hash.
+  const uint64_t h = SplitMix64(config_.hash_seed ^
+                                (0xD000000000000000ULL | static_cast<uint64_t>(req.model_id)));
+  size_t idx = std::lower_bound(ring_.begin(), ring_.end(), h,
+                                [](const RingPoint& p, uint64_t key) {
+                                  return p.hash < key;
+                                }) -
+               ring_.begin();
+  if (idx == ring_.size()) {
+    idx = 0;  // wrap
+  }
+  // Bounded load: walk the ring until a GPU whose *existing* backlog is under
+  // c × cluster-mean (mean includes the new request, so the least-loaded GPU
+  // always qualifies and an idle cluster never spills).
+  double total = cost;
+  for (double b : backlog_) {
+    total += b;
+  }
+  const double bound =
+      config_.bounded_load_factor * total / static_cast<double>(config_.n_gpus);
+  int tried = 0;
+  std::vector<bool> seen(static_cast<size_t>(config_.n_gpus), false);
+  for (size_t step = 0; step < ring_.size() && tried < config_.n_gpus; ++step) {
+    const int gpu = ring_[(idx + step) % ring_.size()].gpu;
+    if (seen[static_cast<size_t>(gpu)]) {
+      continue;
+    }
+    seen[static_cast<size_t>(gpu)] = true;
+    ++tried;
+    if (backlog_[static_cast<size_t>(gpu)] <= bound) {
+      return gpu;
+    }
+  }
+  // Unreachable in practice (the argmin backlog is always ≤ mean ≤ bound), but
+  // keep a deterministic fallback rather than an invariant crash.
+  return static_cast<int>(std::min_element(backlog_.begin(), backlog_.end()) -
+                          backlog_.begin());
+}
+
+int Placer::Assign(const TraceRequest& req) {
+  DrainBacklogs(req.arrival_s);
+  const double cost = static_cast<double>(req.prompt_tokens + req.output_tokens);
+  int gpu = 0;
+  switch (config_.policy) {
+    case PlacementPolicy::kRoundRobin:
+      gpu = rr_next_;
+      rr_next_ = (rr_next_ + 1) % config_.n_gpus;
+      break;
+    case PlacementPolicy::kLeastOutstanding:
+      gpu = static_cast<int>(std::min_element(backlog_.begin(), backlog_.end()) -
+                             backlog_.begin());
+      break;
+    case PlacementPolicy::kDeltaAffinity:
+      gpu = AssignAffinity(req, cost);
+      break;
+  }
+  backlog_[static_cast<size_t>(gpu)] += cost;
+  return gpu;
+}
+
+std::vector<int> AssignTrace(const Trace& trace, const PlacerConfig& config) {
+  DZ_CHECK(trace.IsArrivalSorted());
+  Placer placer(config);
+  std::vector<int> shard_of;
+  shard_of.reserve(trace.requests.size());
+  for (const TraceRequest& req : trace.requests) {
+    shard_of.push_back(placer.Assign(req));
+  }
+  return shard_of;
+}
+
+}  // namespace dz

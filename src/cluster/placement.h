@@ -1,0 +1,86 @@
+// Request → GPU placement policies for the cluster router (paper §5.4
+// "Scalability": serving many variants behind one endpoint means deciding which
+// replica owns which delta).
+//
+// Three policies, in increasing awareness of the delta-swap cost the paper
+// measures:
+//   * kRoundRobin        — oblivious cycling; every GPU ends up serving every
+//                          variant, so every ArtifactStore churns.
+//   * kLeastOutstanding  — classic least-outstanding-work: per-GPU token backlog
+//                          (drained at a configurable rate between arrivals),
+//                          assign to the argmin. Balances load, ignores affinity.
+//   * kDeltaAffinity     — consistent hashing of the variant id onto a virtual-
+//                          node ring with bounded load (CH-BL): a variant's
+//                          compressed delta stays hot on one (or few) GPUs, and a
+//                          GPU whose backlog exceeds c × cluster mean is skipped
+//                          so a bursting variant spills instead of hotspotting.
+#ifndef SRC_CLUSTER_PLACEMENT_H_
+#define SRC_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/trace.h"
+
+namespace dz {
+
+enum class PlacementPolicy {
+  kRoundRobin,
+  kLeastOutstanding,
+  kDeltaAffinity,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+// Parses the names printed by PlacementPolicyName ("round-robin",
+// "least-outstanding", "delta-affinity"). Returns false on unknown names.
+bool ParsePlacementPolicy(const std::string& name, PlacementPolicy& out);
+
+struct PlacerConfig {
+  int n_gpus = 1;
+  PlacementPolicy policy = PlacementPolicy::kRoundRobin;
+  // Load-aware policies model each GPU's backlog in token units, drained at this
+  // rate between arrivals — a coarse stand-in for per-GPU decode throughput.
+  double drain_tokens_per_s = 1000.0;
+  // Delta-affinity knobs: ring replicas per GPU, the bounded-load factor c
+  // (a GPU is skipped while its backlog exceeds c × cluster-mean backlog), and
+  // the hash-stream seed.
+  int virtual_nodes = 64;
+  double bounded_load_factor = 1.25;
+  uint64_t hash_seed = 0x5EED5EEDULL;
+};
+
+class Placer {
+ public:
+  explicit Placer(const PlacerConfig& config);
+
+  // Assigns one request to a GPU in [0, n_gpus). Must be called in trace order
+  // (non-decreasing arrival_s): the placer maintains per-GPU backlog online.
+  int Assign(const TraceRequest& req);
+
+  // Current per-GPU backlog estimates (token units), exposed for tests.
+  const std::vector<double>& backlogs() const { return backlog_; }
+
+ private:
+  struct RingPoint {
+    uint64_t hash = 0;
+    int gpu = 0;
+  };
+
+  void DrainBacklogs(double now);
+  int AssignAffinity(const TraceRequest& req, double cost);
+
+  PlacerConfig config_;
+  std::vector<double> backlog_;  // token units, decayed between arrivals
+  double last_now_ = 0.0;
+  int rr_next_ = 0;
+  std::vector<RingPoint> ring_;  // sorted by hash; empty unless kDeltaAffinity
+};
+
+// Convenience: per-request GPU assignments for a whole trace, aligned with
+// trace.requests (the shard_of vector SplitTrace expects).
+std::vector<int> AssignTrace(const Trace& trace, const PlacerConfig& config);
+
+}  // namespace dz
+
+#endif  // SRC_CLUSTER_PLACEMENT_H_

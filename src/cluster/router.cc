@@ -1,0 +1,54 @@
+#include "src/cluster/router.h"
+
+#include <memory>
+
+#include "src/util/check.h"
+#include "src/util/thread_pool.h"
+
+namespace dz {
+
+Router::Router(const PlacerConfig& config) : config_(config) {
+  DZ_CHECK_GT(config_.n_gpus, 0);
+}
+
+std::vector<int> Router::Assign(const Trace& trace) const {
+  return AssignTrace(trace, config_);
+}
+
+std::vector<Trace> Router::Split(const Trace& trace) const {
+  return SplitTrace(trace, Assign(trace), config_.n_gpus);
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  DZ_CHECK_GT(config_.placer.n_gpus, 0);
+}
+
+std::string Cluster::name() const {
+  const char* engine = config_.vllm_baseline ? "vllm-scb" : "deltazip";
+  return std::string(engine) + " x" + std::to_string(config_.placer.n_gpus) + " [" +
+         PlacementPolicyName(config_.placer.policy) + "]";
+}
+
+ClusterReport Cluster::Serve(const Trace& trace) const {
+  trace.CheckWellFormed();
+  const Router router(config_.placer);
+  const std::vector<Trace> shards = router.Split(trace);
+
+  std::vector<ServeReport> reports(static_cast<size_t>(config_.placer.n_gpus));
+  auto run_worker = [&](size_t gpu) {
+    std::unique_ptr<ServingEngine> engine =
+        config_.vllm_baseline ? MakeVllmScbEngine(config_.engine)
+                              : MakeDeltaZipEngine(config_.engine);
+    reports[gpu] = engine->Serve(shards[gpu]);
+  };
+  if (config_.parallel_workers && reports.size() > 1) {
+    ThreadPool::Global().ForEachTask(reports.size(), run_worker);
+  } else {
+    for (size_t gpu = 0; gpu < reports.size(); ++gpu) {
+      run_worker(gpu);
+    }
+  }
+  return BuildClusterReport(name(), config_.placer.policy, std::move(reports));
+}
+
+}  // namespace dz

@@ -1,0 +1,65 @@
+// Multi-GPU cluster serving simulator (paper §5.4 "Scalability" scaled out).
+//
+// A Router splits one incoming Trace across n_gpus worker engines under a
+// pluggable placement policy; each worker replays its shard on the global clock
+// with its own ServingEngine (DeltaZipEngine or VllmScbEngine) and its own
+// ArtifactStore, and the per-GPU ServeReports merge into a ClusterReport.
+// Workers are independent simulations, so the cluster result is deterministic
+// regardless of how many threads run them.
+#ifndef SRC_CLUSTER_ROUTER_H_
+#define SRC_CLUSTER_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_report.h"
+#include "src/cluster/placement.h"
+#include "src/serving/engine.h"
+#include "src/workload/trace.h"
+
+namespace dz {
+
+class Router {
+ public:
+  explicit Router(const PlacerConfig& config);
+
+  // Per-request GPU assignments for the trace (arrival order, online policy state).
+  std::vector<int> Assign(const Trace& trace) const;
+  // Assigns and shards in one step: result[g] is GPU g's sub-trace, with ids and
+  // absolute arrival times preserved.
+  std::vector<Trace> Split(const Trace& trace) const;
+
+  const PlacerConfig& config() const { return config_; }
+
+ private:
+  PlacerConfig config_;
+};
+
+struct ClusterConfig {
+  // Cluster size, policy, and placement knobs (placer.n_gpus is the worker count).
+  PlacerConfig placer;
+  // Per-worker engine configuration. `engine.exec.tp` is the model-parallel
+  // degree *within* one worker (paper Fig. 18); placer.n_gpus counts workers, so
+  // the hardware total is n_gpus × tp GPUs.
+  EngineConfig engine;
+  bool vllm_baseline = false;    // use the vLLM+SCB engine instead of DeltaZip
+  bool parallel_workers = true;  // simulate workers on the global thread pool
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  // Routes the trace, runs every worker engine on its shard, merges the reports.
+  ClusterReport Serve(const Trace& trace) const;
+
+  // e.g. "deltazip x4 [delta-affinity]".
+  std::string name() const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace dz
+
+#endif  // SRC_CLUSTER_ROUTER_H_

@@ -70,18 +70,19 @@ bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned) {
   return true;
 }
 
-double ArtifactStore::RequestLoad(int id, double now, const std::vector<int>& pinned) {
+ArtifactStore::LoadResult ArtifactStore::RequestLoad(int id, double now,
+                                                     const std::vector<int>& pinned) {
   Entry& e = entries_[static_cast<size_t>(id)];
   if (e.tier == Tier::kGpu) {
-    return e.ready_at;  // resident or already arriving
+    return {true, e.ready_at};  // resident or already arriving
   }
   if (e.in_flight) {
-    return e.ready_at;
+    return {true, e.ready_at};
   }
   // Make room.
   while (GpuCount(now) >= GpuCapacity()) {
     if (!EvictOne(now, pinned)) {
-      return -1.0;
+      return {false, 0.0};
     }
   }
   double ready = now;
@@ -100,7 +101,7 @@ double ArtifactStore::RequestLoad(int id, double now, const std::vector<int>& pi
   e.ready_at = ready;
   e.last_use = now;
   ++total_loads_;
-  return ready;
+  return {true, ready};
 }
 
 void ArtifactStore::Touch(int id, double now) {

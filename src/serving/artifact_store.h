@@ -30,10 +30,17 @@ class ArtifactStore {
   // True when a load has been issued and is still in flight.
   bool IsLoading(int id, double now) const;
 
-  // Ensures a load toward GPU is in flight (no-op if resident/loading). Returns the
-  // time at which the artifact becomes GPU-resident, or a negative value if there is
-  // no GPU space even after evicting every idle artifact.
-  double RequestLoad(int id, double now, const std::vector<int>& pinned);
+  // Outcome of RequestLoad. `ok == false` means no GPU space could be made even
+  // after evicting every idle artifact (every slot pinned or mid-transfer);
+  // `ready_at` is meaningful only when `ok` is true.
+  struct LoadResult {
+    bool ok = false;
+    double ready_at = 0.0;
+  };
+
+  // Ensures a load toward GPU is in flight (no-op if resident/loading). On success
+  // returns {true, t} where t is the time the artifact becomes GPU-resident.
+  LoadResult RequestLoad(int id, double now, const std::vector<int>& pinned);
 
   // Marks use for LRU bookkeeping.
   void Touch(int id, double now);

@@ -180,8 +180,8 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         it->sched_attempt_s = now;
       }
       if (!store.IsResident(variant, now)) {
-        const double ready = store.RequestLoad(variant, now, pinned);
-        if (ready >= 0.0) {
+        const ArtifactStore::LoadResult load = store.RequestLoad(variant, now, pinned);
+        if (load.ok) {
           selected.insert(variant);  // the slot is claimed while loading
           pinned.push_back(variant);
         }
@@ -330,6 +330,8 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   for (const auto& r : report.records) {
     report.makespan_s = std::max(report.makespan_s, r.finish_s);
   }
+  report.total_loads = store.total_loads();
+  report.disk_loads = store.disk_loads();
   return report;
 }
 

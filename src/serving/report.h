@@ -34,6 +34,10 @@ struct ServeReport {
   std::string engine_name;
   std::vector<RequestRecord> records;
   double makespan_s = 0.0;  // time when the last request finished
+  // Artifact-movement totals from the engine's ArtifactStore: every load crosses
+  // PCIe (host → device); `disk_loads` additionally paid the disk → host read.
+  int total_loads = 0;  // PCIe (H2D) transfers
+  int disk_loads = 0;   // loads that started from disk
 
   size_t completed() const { return records.size(); }
   double ThroughputRps() const;

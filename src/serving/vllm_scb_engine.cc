@@ -125,8 +125,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
             ++it;  // every slot is actively serving; wait for one to drain
             continue;
           }
-          const double ready = store.RequestLoad(model, now, pinned);
-          if (ready >= 0.0) {
+          if (store.RequestLoad(model, now, pinned).ok) {
             load_in_flight = true;
           }
         }
@@ -228,6 +227,8 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   for (const auto& r : report.records) {
     report.makespan_s = std::max(report.makespan_s, r.finish_s);
   }
+  report.total_loads = store.total_loads();
+  report.disk_loads = store.disk_loads();
   return report;
 }
 

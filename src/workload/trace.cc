@@ -27,6 +27,28 @@ std::vector<int> Trace::ModelCounts() const {
   return counts;
 }
 
+bool Trace::IsArrivalSorted() const {
+  for (size_t i = 1; i < requests.size(); ++i) {
+    if (requests[i].arrival_s < requests[i - 1].arrival_s) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Trace::CheckWellFormed() const {
+  DZ_CHECK(IsArrivalSorted());
+  std::vector<int> ids;
+  ids.reserve(requests.size());
+  for (const auto& r : requests) {
+    DZ_CHECK_GE(r.model_id, 0);
+    DZ_CHECK_LT(r.model_id, n_models);
+    ids.push_back(r.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  DZ_CHECK(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+}
+
 namespace {
 
 int SampleLognormalTokens(Rng& rng, double mean_tokens, double sigma, int max_tokens) {
@@ -130,7 +152,63 @@ Trace GenerateTrace(const TraceConfig& config) {
                                               config.output_sigma, config.output_max_tokens);
     trace.requests.push_back(req);
   }
+  // Arrival times are generated increasing, but guarantee it regardless of the
+  // arrival process (a stable sort of sorted input is the identity, so this is
+  // bit-identical for the Poisson path) and enforce the shared invariants.
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const TraceRequest& a, const TraceRequest& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  trace.CheckWellFormed();
   return trace;
+}
+
+std::vector<Trace> SplitTrace(const Trace& trace, const std::vector<int>& shard_of,
+                              int n_shards) {
+  DZ_CHECK_GT(n_shards, 0);
+  DZ_CHECK_EQ(shard_of.size(), trace.requests.size());
+  DZ_CHECK(trace.IsArrivalSorted());
+  std::vector<Trace> shards(static_cast<size_t>(n_shards));
+  for (Trace& shard : shards) {
+    shard.n_models = trace.n_models;
+    shard.duration_s = trace.duration_s;
+  }
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    const int s = shard_of[i];
+    DZ_CHECK_GE(s, 0);
+    DZ_CHECK_LT(s, n_shards);
+    shards[static_cast<size_t>(s)].requests.push_back(trace.requests[i]);
+  }
+  for (const Trace& shard : shards) {
+    shard.CheckWellFormed();
+  }
+  return shards;
+}
+
+Trace MergeTraces(const std::vector<Trace>& shards) {
+  DZ_CHECK(!shards.empty());
+  Trace merged;
+  merged.n_models = shards.front().n_models;
+  size_t total = 0;
+  for (const Trace& shard : shards) {
+    DZ_CHECK_EQ(shard.n_models, merged.n_models);
+    DZ_CHECK(shard.IsArrivalSorted());
+    merged.duration_s = std::max(merged.duration_s, shard.duration_s);
+    total += shard.requests.size();
+  }
+  merged.requests.reserve(total);
+  // Concatenate in shard order, then stable-sort by arrival: ties resolve to the
+  // lowest shard index and each shard's internal order is preserved.
+  for (const Trace& shard : shards) {
+    merged.requests.insert(merged.requests.end(), shard.requests.begin(),
+                           shard.requests.end());
+  }
+  std::stable_sort(merged.requests.begin(), merged.requests.end(),
+                   [](const TraceRequest& a, const TraceRequest& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  merged.CheckWellFormed();
+  return merged;
 }
 
 std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window_s) {

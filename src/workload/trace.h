@@ -37,6 +37,11 @@ struct Trace {
   double TotalRequests() const { return static_cast<double>(requests.size()); }
   // Requests per model (histogram over model ids).
   std::vector<int> ModelCounts() const;
+  // True when requests are non-decreasing in arrival time.
+  bool IsArrivalSorted() const;
+  // DZ_CHECKs the trace invariants every producer must uphold: arrival-sorted,
+  // model ids in [0, n_models), and ids unique. Splitting/merging preserves them.
+  void CheckWellFormed() const;
 };
 
 enum class PopularityDist {
@@ -71,6 +76,20 @@ Trace GenerateTrace(const TraceConfig& config);
 
 // Invocation counts per model per time window — regenerates the paper's Fig. 1 view.
 std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window_s);
+
+// Splits `trace` into `n_shards` sub-traces; request i goes to shard_of[i]
+// (shard_of is aligned with trace.requests and every value is in [0, n_shards)).
+// Requests keep their original ids and absolute arrival times, and each shard
+// inherits the trace's n_models/duration, so per-shard replay stays on the global
+// clock and shard reports can be merged back by id. Relative order is preserved,
+// hence every shard is arrival-sorted by construction (checked).
+std::vector<Trace> SplitTrace(const Trace& trace, const std::vector<int>& shard_of,
+                              int n_shards);
+
+// Merges arrival-sorted shards (as produced by SplitTrace) back into one
+// arrival-sorted trace with the original ids untouched. All shards must agree on
+// n_models; the merge is stable across shards at equal arrival times.
+Trace MergeTraces(const std::vector<Trace>& shards);
 
 }  // namespace dz
 

@@ -93,6 +93,17 @@ bool TraceFromJsonl(const std::string& text, Trace& out) {
             [](const TraceRequest& a, const TraceRequest& b) {
               return a.arrival_s < b.arrival_s;
             });
+  // Ids must be unique: downstream consumers (shard merging, report joins) key
+  // on them, and the serving/cluster layers DZ_CHECK the invariant.
+  std::vector<int> ids;
+  ids.reserve(out.requests.size());
+  for (const auto& r : out.requests) {
+    ids.push_back(r.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+    return false;
+  }
   return true;
 }
 

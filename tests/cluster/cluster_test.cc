@@ -1,0 +1,180 @@
+#include "src/cluster/router.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+EngineConfig WorkerConfig() {
+  EngineConfig cfg;
+  cfg.exec.shape = ModelShape::Llama13B();
+  cfg.exec.gpu = GpuSpec::A800();
+  cfg.exec.tp = 4;
+  cfg.max_batch = 32;
+  cfg.max_concurrent_deltas = 8;
+  return cfg;
+}
+
+TraceConfig SmallTraceConfig() {
+  TraceConfig cfg;
+  cfg.n_models = 12;
+  cfg.arrival_rate = 0.8;
+  cfg.duration_s = 60.0;
+  cfg.dist = PopularityDist::kZipf;
+  cfg.output_mean_tokens = 60.0;
+  cfg.output_max_tokens = 200;
+  cfg.seed = 17;
+  return cfg;
+}
+
+void ExpectRecordsIdentical(const std::vector<RequestRecord>& a,
+                            const std::vector<RequestRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << i;
+    EXPECT_EQ(a[i].model_id, b[i].model_id) << i;
+    EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens) << i;
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens) << i;
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s) << i;
+    EXPECT_DOUBLE_EQ(a[i].sched_attempt_s, b[i].sched_attempt_s) << i;
+    EXPECT_DOUBLE_EQ(a[i].start_s, b[i].start_s) << i;
+    EXPECT_DOUBLE_EQ(a[i].first_token_s, b[i].first_token_s) << i;
+    EXPECT_DOUBLE_EQ(a[i].finish_s, b[i].finish_s) << i;
+    EXPECT_EQ(a[i].preemptions, b[i].preemptions) << i;
+  }
+}
+
+class SingleGpuParityTest : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(SingleGpuParityTest, MatchesDirectEngineRunBitIdentically) {
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  const ServeReport direct = MakeDeltaZipEngine(WorkerConfig())->Serve(trace);
+
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 1;
+  cfg.placer.policy = GetParam();
+  cfg.engine = WorkerConfig();
+  const ClusterReport report = Cluster(cfg).Serve(trace);
+
+  EXPECT_EQ(report.merged.engine_name, direct.engine_name);
+  EXPECT_DOUBLE_EQ(report.makespan_s(), direct.makespan_s);
+  EXPECT_EQ(report.TotalLoads(), direct.total_loads);
+  EXPECT_EQ(report.TotalDiskLoads(), direct.disk_loads);
+  ExpectRecordsIdentical(report.merged.records, direct.records);
+  EXPECT_DOUBLE_EQ(report.LoadImbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(report.MeanUtilization(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SingleGpuParityTest,
+    ::testing::Values(PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstanding,
+                      PlacementPolicy::kDeltaAffinity),
+    [](const ::testing::TestParamInfo<PlacementPolicy>& info) {
+      std::string name = PlacementPolicyName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(ClusterTest, EveryRequestServedExactlyOnce) {
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstanding,
+        PlacementPolicy::kDeltaAffinity}) {
+    ClusterConfig cfg;
+    cfg.placer.n_gpus = 4;
+    cfg.placer.policy = policy;
+    cfg.engine = WorkerConfig();
+    const ClusterReport report = Cluster(cfg).Serve(trace);
+    ASSERT_EQ(report.completed(), trace.requests.size());
+    std::set<int> ids;
+    for (const RequestRecord& r : report.merged.records) {
+      EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+    }
+    // Merged records are finish-ordered and the makespan matches the slowest GPU.
+    double prev = 0.0;
+    for (const RequestRecord& r : report.merged.records) {
+      EXPECT_GE(r.finish_s, prev);
+      prev = r.finish_s;
+    }
+    EXPECT_DOUBLE_EQ(prev, report.makespan_s());
+  }
+}
+
+TEST(ClusterTest, DeterministicAcrossWorkerParallelism) {
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 3;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = WorkerConfig();
+  cfg.parallel_workers = true;
+  const ClusterReport parallel = Cluster(cfg).Serve(trace);
+  cfg.parallel_workers = false;
+  const ClusterReport serial = Cluster(cfg).Serve(trace);
+  ExpectRecordsIdentical(parallel.merged.records, serial.merged.records);
+  EXPECT_DOUBLE_EQ(parallel.makespan_s(), serial.makespan_s());
+}
+
+TEST(ClusterTest, DeltaAffinityShrinksPerGpuModelSets) {
+  TraceConfig tc = SmallTraceConfig();
+  tc.n_models = 24;
+  tc.arrival_rate = 2.0;
+  tc.duration_s = 90.0;
+  const Trace trace = GenerateTrace(tc);
+
+  auto distinct_models_per_gpu = [&](PlacementPolicy policy) {
+    PlacerConfig pc;
+    pc.n_gpus = 4;
+    pc.policy = policy;
+    const std::vector<Trace> shards = Router(pc).Split(trace);
+    size_t total_distinct = 0;
+    for (const Trace& shard : shards) {
+      std::set<int> models;
+      for (const TraceRequest& r : shard.requests) {
+        models.insert(r.model_id);
+      }
+      total_distinct += models.size();
+    }
+    return total_distinct;
+  };
+
+  // Round-robin smears every model over every GPU; affinity keeps each model's
+  // delta on a few GPUs, so the summed per-GPU model sets must be much smaller.
+  EXPECT_LT(distinct_models_per_gpu(PlacementPolicy::kDeltaAffinity),
+            distinct_models_per_gpu(PlacementPolicy::kRoundRobin));
+}
+
+TEST(ClusterTest, VllmBaselineClusterRuns) {
+  TraceConfig tc = SmallTraceConfig();
+  tc.arrival_rate = 0.4;
+  const Trace trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 2;
+  cfg.placer.policy = PlacementPolicy::kLeastOutstanding;
+  cfg.engine = WorkerConfig();
+  cfg.engine.artifact = ArtifactKind::kFullModel;
+  cfg.vllm_baseline = true;
+  const ClusterReport report = Cluster(cfg).Serve(trace);
+  EXPECT_EQ(report.completed(), trace.requests.size());
+  EXPECT_EQ(report.merged.engine_name, "vllm-scb");
+  EXPECT_GT(report.AggregateTokenThroughput(), 0.0);
+}
+
+TEST(ClusterTest, SummaryRendersAllSections) {
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 2;
+  cfg.placer.policy = PlacementPolicy::kRoundRobin;
+  cfg.engine = WorkerConfig();
+  const ClusterReport report = Cluster(cfg).Serve(trace);
+  const std::string summary = report.Summary(60.0, 10.0);
+  EXPECT_NE(summary.find("token throughput"), std::string::npos);
+  EXPECT_NE(summary.find("load imbalance"), std::string::npos);
+  EXPECT_NE(summary.find("round-robin"), std::string::npos);
+  EXPECT_NE(summary.find("gpu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dz

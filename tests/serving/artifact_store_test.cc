@@ -27,8 +27,9 @@ TEST(ArtifactStoreTest, InitiallyNothingResident) {
 
 TEST(ArtifactStoreTest, LoadFromDiskTakesDiskPlusH2D) {
   ArtifactStore store(SmallConfig(), 8);
-  const double ready = store.RequestLoad(0, 0.0, {});
-  EXPECT_DOUBLE_EQ(ready, 1.1);
+  const ArtifactStore::LoadResult load = store.RequestLoad(0, 0.0, {});
+  ASSERT_TRUE(load.ok);
+  EXPECT_DOUBLE_EQ(load.ready_at, 1.1);
   EXPECT_FALSE(store.IsResident(0, 0.5));
   EXPECT_TRUE(store.IsLoading(0, 0.5));
   EXPECT_TRUE(store.IsResident(0, 1.2));
@@ -36,34 +37,42 @@ TEST(ArtifactStoreTest, LoadFromDiskTakesDiskPlusH2D) {
 
 TEST(ArtifactStoreTest, LoadsSerializeOnChannels) {
   ArtifactStore store(SmallConfig(), 8);
-  const double r0 = store.RequestLoad(0, 0.0, {});
-  const double r1 = store.RequestLoad(1, 0.0, {});
-  EXPECT_GT(r1, r0);  // second disk read queues behind the first
-  EXPECT_GE(r1, 2.0);
+  const ArtifactStore::LoadResult r0 = store.RequestLoad(0, 0.0, {});
+  const ArtifactStore::LoadResult r1 = store.RequestLoad(1, 0.0, {});
+  ASSERT_TRUE(r0.ok);
+  ASSERT_TRUE(r1.ok);
+  EXPECT_GT(r1.ready_at, r0.ready_at);  // second disk read queues behind the first
+  EXPECT_GE(r1.ready_at, 2.0);
 }
 
 TEST(ArtifactStoreTest, RepeatLoadRequestIsIdempotent) {
   ArtifactStore store(SmallConfig(), 8);
-  const double r0 = store.RequestLoad(0, 0.0, {});
-  EXPECT_DOUBLE_EQ(store.RequestLoad(0, 0.5, {}), r0);
+  const ArtifactStore::LoadResult r0 = store.RequestLoad(0, 0.0, {});
+  ASSERT_TRUE(r0.ok);
+  const ArtifactStore::LoadResult again = store.RequestLoad(0, 0.5, {});
+  ASSERT_TRUE(again.ok);
+  EXPECT_DOUBLE_EQ(again.ready_at, r0.ready_at);
   // After landing, a further request returns its existing residency.
-  EXPECT_DOUBLE_EQ(store.RequestLoad(0, 2.0, {}), r0);
+  const ArtifactStore::LoadResult landed = store.RequestLoad(0, 2.0, {});
+  ASSERT_TRUE(landed.ok);
+  EXPECT_DOUBLE_EQ(landed.ready_at, r0.ready_at);
 }
 
 TEST(ArtifactStoreTest, EvictsLruWhenFull) {
   ArtifactStore store(SmallConfig(), 8);
   double t = 0.0;
   for (int i = 0; i < 3; ++i) {
-    t = store.RequestLoad(i, t, {});
+    t = store.RequestLoad(i, t, {}).ready_at;
     store.Touch(i, t);
   }
   EXPECT_EQ(store.GpuCount(t), 3);
   // Touch 0 and 2 so 1 is LRU.
   store.Touch(0, t + 1);
   store.Touch(2, t + 2);
-  const double r3 = store.RequestLoad(3, t + 3, {});
-  EXPECT_GT(r3, 0.0);
-  EXPECT_EQ(store.GpuCount(t + 3), 3);       // 1 was evicted to make room
+  const ArtifactStore::LoadResult r3 = store.RequestLoad(3, t + 3, {});
+  ASSERT_TRUE(r3.ok);
+  EXPECT_GT(r3.ready_at, 0.0);
+  EXPECT_EQ(store.GpuCount(t + 3), 3);        // 1 was evicted to make room
   EXPECT_FALSE(store.IsResident(1, t + 10));  // victim gone
 }
 
@@ -71,36 +80,122 @@ TEST(ArtifactStoreTest, PinnedArtifactsSurviveEviction) {
   ArtifactStore store(SmallConfig(), 8);
   double t = 0.0;
   for (int i = 0; i < 3; ++i) {
-    t = store.RequestLoad(i, t, {});
+    t = store.RequestLoad(i, t, {}).ready_at;
     store.Touch(i, t);
   }
   // Pin all three: no room for a fourth.
-  const double r = store.RequestLoad(3, t + 1, {0, 1, 2});
-  EXPECT_LT(r, 0.0);
+  EXPECT_FALSE(store.RequestLoad(3, t + 1, {0, 1, 2}).ok);
+  // All three pinned artifacts are still resident afterwards.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(store.IsResident(i, t + 1));
+  }
+}
+
+TEST(ArtifactStoreTest, PartialPinStillEvictsTheUnpinned) {
+  ArtifactStore store(SmallConfig(), 8);
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    t = store.RequestLoad(i, t, {}).ready_at;
+    store.Touch(i, t);
+  }
+  // Pin 0 and 2: artifact 1 is the only candidate and must be the victim even
+  // though it is not LRU.
+  store.Touch(1, t + 5);
+  const ArtifactStore::LoadResult r = store.RequestLoad(3, t + 6, {0, 2});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(store.IsResident(0, t + 6));
+  EXPECT_FALSE(store.IsResident(1, t + 6));
+  EXPECT_TRUE(store.IsResident(2, t + 6));
+}
+
+TEST(ArtifactStoreTest, InFlightLoadsAreNotEvictable) {
+  // Fill 2 of 3 slots, then start a third load that is still in flight. With the
+  // two landed artifacts pinned, the in-flight one must not be chosen as victim.
+  ArtifactStore store(SmallConfig(), 8);
+  double t = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    t = store.RequestLoad(i, t, {}).ready_at;
+    store.Touch(i, t);
+  }
+  const ArtifactStore::LoadResult in_flight = store.RequestLoad(2, t, {});
+  ASSERT_TRUE(in_flight.ok);
+  ASSERT_TRUE(store.IsLoading(2, t + 1e-6));
+  EXPECT_FALSE(store.RequestLoad(3, t + 1e-6, {0, 1}).ok);
+  // Once the in-flight load lands (and nothing pins it) it becomes evictable.
+  const double landed = in_flight.ready_at + 1e-6;
+  store.Touch(2, landed);
+  EXPECT_TRUE(store.RequestLoad(3, landed, {0, 1}).ok);
+}
+
+TEST(ArtifactStoreTest, LruVictimFollowsInterleavedTouches) {
+  ArtifactStore store(SmallConfig(), 8);
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    t = store.RequestLoad(i, t, {}).ready_at;
+    store.Touch(i, t);
+  }
+  // Interleave touches so recency order is 1 < 0 < 2 at each pressure point.
+  store.Touch(1, t + 1);
+  store.Touch(0, t + 2);
+  store.Touch(2, t + 3);
+  ASSERT_TRUE(store.RequestLoad(3, t + 4, {}).ok);  // evicts 1 (LRU)
+  EXPECT_FALSE(store.IsResident(1, t + 4));
+  EXPECT_TRUE(store.IsResident(0, t + 4));
+  EXPECT_TRUE(store.IsResident(2, t + 4));
+
+  // Now recency is 0 < 2 < 3; touch 0 so 2 becomes LRU before the next load.
+  const double t4 = store.RequestLoad(3, t + 4, {}).ready_at;
+  store.Touch(3, t4);
+  store.Touch(0, t4 + 1);
+  ASSERT_TRUE(store.RequestLoad(4, t4 + 2, {}).ok);  // evicts 2
+  EXPECT_FALSE(store.IsResident(2, t4 + 2));
+  EXPECT_TRUE(store.IsResident(0, t4 + 2));
 }
 
 TEST(ArtifactStoreTest, EvictedToHostReloadsWithoutDisk) {
   ArtifactStore store(SmallConfig(), 8);
-  double t = store.RequestLoad(0, 0.0, {});
+  double t = store.RequestLoad(0, 0.0, {}).ready_at;
   store.Touch(0, t);
   for (int i = 1; i <= 3; ++i) {
-    t = store.RequestLoad(i, t, {});
+    t = store.RequestLoad(i, t, {}).ready_at;
     store.Touch(i, t);
   }
   // Artifact 0 was evicted (LRU) to the host cache; reloading takes only the H2D leg.
   EXPECT_FALSE(store.IsResident(0, t));
   const double start = t + 5.0;
-  const double ready = store.RequestLoad(0, start, {});
-  EXPECT_LT(ready - start, 0.2);  // no 1 s disk read
+  const ArtifactStore::LoadResult reload = store.RequestLoad(0, start, {});
+  ASSERT_TRUE(reload.ok);
+  EXPECT_LT(reload.ready_at - start, 0.2);  // no 1 s disk read
   EXPECT_EQ(store.disk_loads(), 4);
+}
+
+TEST(ArtifactStoreTest, ZeroCpuBudgetDemotesToDisk) {
+  // With no host cache every eviction falls back to disk, so the reload pays the
+  // full disk + H2D path again (the vLLM-SCB configuration).
+  ArtifactStoreConfig cfg = SmallConfig();
+  cfg.cpu_budget_bytes = 0;
+  ArtifactStore store(cfg, 8);
+  double t = store.RequestLoad(0, 0.0, {}).ready_at;
+  store.Touch(0, t);
+  for (int i = 1; i <= 3; ++i) {
+    t = store.RequestLoad(i, t, {}).ready_at;
+    store.Touch(i, t);
+  }
+  EXPECT_FALSE(store.IsResident(0, t));
+  const double start = t + 5.0;
+  const ArtifactStore::LoadResult reload = store.RequestLoad(0, start, {});
+  ASSERT_TRUE(reload.ok);
+  EXPECT_GE(reload.ready_at - start, cfg.disk_read_s);
+  EXPECT_EQ(store.disk_loads(), 5);
 }
 
 TEST(ArtifactStoreTest, NextLoadReadyTracksInFlight) {
   ArtifactStore store(SmallConfig(), 8);
   EXPECT_TRUE(std::isinf(store.NextLoadReady(0.0)));
-  const double ready = store.RequestLoad(0, 0.0, {});
-  EXPECT_DOUBLE_EQ(store.NextLoadReady(0.0), ready);
-  EXPECT_TRUE(std::isinf(store.NextLoadReady(ready + 0.01)));
+  const ArtifactStore::LoadResult load = store.RequestLoad(0, 0.0, {});
+  ASSERT_TRUE(load.ok);
+  EXPECT_DOUBLE_EQ(store.NextLoadReady(0.0), load.ready_at);
+  EXPECT_TRUE(std::isinf(store.NextLoadReady(load.ready_at + 0.01)));
 }
 
 }  // namespace

@@ -70,6 +70,15 @@ TEST(TraceIoTest, RejectsMalformedLine) {
   EXPECT_FALSE(TraceFromJsonl(text, decoded));
 }
 
+TEST(TraceIoTest, RejectsDuplicateIds) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"duration\":10}\n"
+      "{\"id\":0,\"model\":0,\"arrival\":1.0,\"prompt\":10,\"output\":10}\n"
+      "{\"id\":0,\"model\":1,\"arrival\":2.0,\"prompt\":10,\"output\":10}\n";
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl(text, decoded));
+}
+
 TEST(TraceIoTest, SortsByArrival) {
   const std::string text =
       "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"duration\":10}\n"

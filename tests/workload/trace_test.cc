@@ -114,6 +114,73 @@ TEST(TraceTest, AzureIsBursty) {
   EXPECT_GT(var / std::max(mean, 1e-9), 1.5) << "azure trace should be over-dispersed";
 }
 
+TEST(TraceTest, GeneratedTracesAreWellFormed) {
+  for (PopularityDist dist :
+       {PopularityDist::kUniform, PopularityDist::kZipf, PopularityDist::kAzure}) {
+    TraceConfig cfg = BaseConfig();
+    cfg.dist = dist;
+    const Trace trace = GenerateTrace(cfg);
+    EXPECT_TRUE(trace.IsArrivalSorted());
+    trace.CheckWellFormed();  // aborts on violation
+    // Ids are stable and unique: 0..n-1 in arrival order for generated traces.
+    for (size_t i = 0; i < trace.requests.size(); ++i) {
+      EXPECT_EQ(trace.requests[i].id, static_cast<int>(i));
+    }
+  }
+}
+
+TEST(TraceTest, SplitPreservesIdsOrderAndMetadata) {
+  const Trace trace = GenerateTrace(BaseConfig());
+  std::vector<int> shard_of(trace.requests.size());
+  for (size_t i = 0; i < shard_of.size(); ++i) {
+    shard_of[i] = static_cast<int>(i % 3);
+  }
+  const std::vector<Trace> shards = SplitTrace(trace, shard_of, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  size_t total = 0;
+  for (const Trace& shard : shards) {
+    EXPECT_EQ(shard.n_models, trace.n_models);
+    EXPECT_DOUBLE_EQ(shard.duration_s, trace.duration_s);
+    EXPECT_TRUE(shard.IsArrivalSorted());
+    total += shard.requests.size();
+  }
+  EXPECT_EQ(total, trace.requests.size());
+  // Shard membership and per-request fields are exactly as assigned.
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    const Trace& shard = shards[static_cast<size_t>(shard_of[i])];
+    const auto it = std::find_if(
+        shard.requests.begin(), shard.requests.end(),
+        [&](const TraceRequest& r) { return r.id == trace.requests[i].id; });
+    ASSERT_NE(it, shard.requests.end());
+    EXPECT_DOUBLE_EQ(it->arrival_s, trace.requests[i].arrival_s);
+    EXPECT_EQ(it->model_id, trace.requests[i].model_id);
+  }
+}
+
+TEST(TraceTest, SplitThenMergeRoundTrips) {
+  const Trace trace = GenerateTrace(BaseConfig());
+  std::vector<int> shard_of(trace.requests.size());
+  for (size_t i = 0; i < shard_of.size(); ++i) {
+    shard_of[i] = trace.requests[i].model_id % 4;
+  }
+  const Trace merged = MergeTraces(SplitTrace(trace, shard_of, 4));
+  ASSERT_EQ(merged.requests.size(), trace.requests.size());
+  EXPECT_EQ(merged.n_models, trace.n_models);
+  EXPECT_TRUE(merged.IsArrivalSorted());
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(merged.requests[i].id, trace.requests[i].id) << i;
+    EXPECT_DOUBLE_EQ(merged.requests[i].arrival_s, trace.requests[i].arrival_s);
+  }
+}
+
+TEST(TraceTest, MergeEmptyShardsIsFine) {
+  const Trace trace = GenerateTrace(BaseConfig());
+  // Everything to shard 0; shards 1..2 stay empty.
+  const std::vector<int> shard_of(trace.requests.size(), 0);
+  const Trace merged = MergeTraces(SplitTrace(trace, shard_of, 3));
+  EXPECT_EQ(merged.requests.size(), trace.requests.size());
+}
+
 TEST(TraceTest, InvocationMatrixCountsEverything) {
   const Trace trace = GenerateTrace(BaseConfig());
   const auto matrix = InvocationMatrix(trace, 5.0);

@@ -9,6 +9,13 @@
 //                 [--bits 4|2] [--rank 16]
 //       Replays the trace against the serving simulator and prints the report.
 //
+//   dzip cluster  --trace t.jsonl --gpus 4
+//                 [--policy round-robin|least-outstanding|delta-affinity]
+//                 [--engine deltazip|vllm-scb|lora] [--model ...] [--gpu ...]
+//                 [--tp 4] [--n 8] [--slo-e2e 120] [--slo-ttft 30]
+//       Routes the trace across a simulated multi-GPU cluster and prints the
+//       merged cluster report plus the per-GPU breakdown.
+//
 //   dzip inspect  --artifact delta.bin
 //       Prints a summary of an on-disk compressed-delta artifact.
 //
@@ -18,6 +25,7 @@
 #include <map>
 #include <string>
 
+#include "src/cluster/router.h"
 #include "src/compress/serialize.h"
 #include "src/serving/engine.h"
 #include "src/util/stats.h"
@@ -86,19 +94,10 @@ int CmdTrace(const ArgMap& args) {
   return 0;
 }
 
-int CmdSimulate(const ArgMap& args) {
-  const std::string trace_path = Get(args, "trace", "");
-  if (trace_path.empty()) {
-    std::fprintf(stderr, "error: simulate requires --trace <file.jsonl>\n");
-    return 1;
-  }
-  Trace trace;
-  if (!ReadTraceFile(trace_path, trace)) {
-    std::fprintf(stderr, "error: cannot read trace %s\n", trace_path.c_str());
-    return 1;
-  }
-
-  EngineConfig cfg;
+// Shared --model/--gpu/--tp/--n/--rank/--bits/--engine parsing for the simulate
+// and cluster subcommands. On success `vllm_baseline` says which engine family
+// the name selected (cfg.artifact is set to match).
+bool ParseEngineArgs(const ArgMap& args, EngineConfig& cfg, bool& vllm_baseline) {
   const std::string model = Get(args, "model", "13b");
   if (model == "7b") {
     cfg.exec.shape = ModelShape::Llama7B();
@@ -110,7 +109,7 @@ int CmdSimulate(const ArgMap& args) {
     cfg.exec.shape = ModelShape::Pythia2p8B();
   } else {
     std::fprintf(stderr, "error: unknown --model '%s'\n", model.c_str());
-    return 1;
+    return false;
   }
   const std::string gpu = Get(args, "gpu", "a800");
   if (gpu == "a800") {
@@ -119,7 +118,7 @@ int CmdSimulate(const ArgMap& args) {
     cfg.exec.gpu = GpuSpec::Rtx3090();
   } else {
     std::fprintf(stderr, "error: unknown --gpu '%s'\n", gpu.c_str());
-    return 1;
+    return false;
   }
   cfg.exec.tp = static_cast<int>(GetNum(args, "tp", 4));
   cfg.max_concurrent_deltas = static_cast<int>(GetNum(args, "n", 8));
@@ -127,21 +126,45 @@ int CmdSimulate(const ArgMap& args) {
   if (static_cast<int>(GetNum(args, "bits", 4)) == 2) {
     cfg.exec.delta_format = WeightFormat::kSparseInt2;
   }
-
   const std::string engine_name = Get(args, "engine", "deltazip");
-  std::unique_ptr<ServingEngine> engine;
-  if (engine_name == "deltazip") {
-    engine = MakeDeltaZipEngine(cfg);
-  } else if (engine_name == "lora") {
+  vllm_baseline = false;
+  if (engine_name == "lora") {
     cfg.artifact = ArtifactKind::kLoraAdapter;
-    engine = MakeDeltaZipEngine(cfg);
   } else if (engine_name == "vllm-scb") {
     cfg.artifact = ArtifactKind::kFullModel;
-    engine = MakeVllmScbEngine(cfg);
-  } else {
+    vllm_baseline = true;
+  } else if (engine_name != "deltazip") {
     std::fprintf(stderr, "error: unknown --engine '%s'\n", engine_name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadTraceArg(const ArgMap& args, const char* subcommand, Trace& trace) {
+  const std::string trace_path = Get(args, "trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "error: %s requires --trace <file.jsonl>\n", subcommand);
+    return false;
+  }
+  if (!ReadTraceFile(trace_path, trace)) {
+    std::fprintf(stderr, "error: cannot read trace %s\n", trace_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdSimulate(const ArgMap& args) {
+  Trace trace;
+  if (!LoadTraceArg(args, "simulate", trace)) {
     return 1;
   }
+  EngineConfig cfg;
+  bool vllm_baseline = false;
+  if (!ParseEngineArgs(args, cfg, vllm_baseline)) {
+    return 1;
+  }
+  std::unique_ptr<ServingEngine> engine =
+      vllm_baseline ? MakeVllmScbEngine(cfg) : MakeDeltaZipEngine(cfg);
 
   const ServeReport report = engine->Serve(trace);
   Table table({"metric", "value"});
@@ -155,6 +178,34 @@ int CmdSimulate(const ArgMap& args) {
   table.AddRow({"mean TTFT (s)", Table::Num(report.MeanTtft(), 3)});
   table.AddRow({"P90 TTFT (s)", Table::Num(Percentile(report.Ttfts(), 90), 3)});
   std::printf("%s", table.ToAscii().c_str());
+  return 0;
+}
+
+int CmdCluster(const ArgMap& args) {
+  Trace trace;
+  if (!LoadTraceArg(args, "cluster", trace)) {
+    return 1;
+  }
+  ClusterConfig cfg;
+  if (!ParseEngineArgs(args, cfg.engine, cfg.vllm_baseline)) {
+    return 1;
+  }
+  cfg.placer.n_gpus = static_cast<int>(GetNum(args, "gpus", 4));
+  if (cfg.placer.n_gpus < 1) {
+    std::fprintf(stderr, "error: --gpus must be >= 1\n");
+    return 1;
+  }
+  const std::string policy = Get(args, "policy", "delta-affinity");
+  if (!ParsePlacementPolicy(policy, cfg.placer.policy)) {
+    std::fprintf(stderr,
+                 "error: unknown --policy '%s' (round-robin, least-outstanding, "
+                 "delta-affinity)\n",
+                 policy.c_str());
+    return 1;
+  }
+  const ClusterReport report = Cluster(cfg).Serve(trace);
+  std::printf("%s", report.Summary(GetNum(args, "slo-e2e", 120.0),
+                                   GetNum(args, "slo-ttft", 30.0)).c_str());
   return 0;
 }
 
@@ -189,9 +240,10 @@ int CmdInspect(const ArgMap& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dzip <trace|simulate|inspect> [--key value ...]\n"
+               "usage: dzip <trace|simulate|cluster|inspect> [--key value ...]\n"
                "  dzip trace    --out t.jsonl [--models N] [--rate R] [--dist D]\n"
                "  dzip simulate --trace t.jsonl [--engine E] [--model M] [--gpu G]\n"
+               "  dzip cluster  --trace t.jsonl --gpus N [--policy P] [--engine E]\n"
                "  dzip inspect  --artifact delta.bin\n");
   return 1;
 }
@@ -210,6 +262,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "simulate") {
     return CmdSimulate(args);
+  }
+  if (cmd == "cluster") {
+    return CmdCluster(args);
   }
   if (cmd == "inspect") {
     return CmdInspect(args);
