@@ -5,6 +5,8 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -119,6 +121,20 @@ inline ModelConfig GemmaSimConfig() {
 }
 
 inline std::string Pct(double frac) { return Table::Num(frac * 100.0, 2); }
+
+// Parses the shared `--quick` smoke-mode flag: bare `--quick` (or `--quick`
+// followed by another flag) means on; an explicit value ("--quick 0|1")
+// overrides. Unrelated arguments are ignored.
+inline bool ParseQuickFlag(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = i + 1 >= argc || argv[i + 1][0] == '-' ||
+              std::strtol(argv[i + 1], nullptr, 10) != 0;
+    }
+  }
+  return quick;
+}
 
 }  // namespace dz
 

@@ -23,6 +23,10 @@ std::vector<GpuLoadStats> ClusterReport::PerGpuStats() const {
     s.utilization = merged.makespan_s > 0.0 ? r.makespan_s / merged.makespan_s : 0.0;
     s.total_loads = r.total_loads;
     s.disk_loads = r.disk_loads;
+    s.prefetch_issued = r.prefetch_issued;
+    s.prefetch_hits = r.prefetch_hits;
+    s.prefetch_wasted = r.prefetch_wasted;
+    s.stall_hidden_s = r.stall_hidden_s;
     stats.push_back(s);
   }
   return stats;
@@ -65,21 +69,19 @@ double ClusterReport::MeanUtilization() const {
   return MeanUtilizationOf(PerGpuStats());
 }
 
-int ClusterReport::TotalLoads() const {
-  int n = 0;
-  for (const ServeReport& r : per_gpu) {
-    n += r.total_loads;
-  }
-  return n;
-}
+// BuildClusterReport already accumulates the per-GPU artifact/prefetch totals
+// into `merged`; these accessors just name that single source of truth.
+int ClusterReport::TotalLoads() const { return merged.total_loads; }
 
-int ClusterReport::TotalDiskLoads() const {
-  int n = 0;
-  for (const ServeReport& r : per_gpu) {
-    n += r.disk_loads;
-  }
-  return n;
-}
+int ClusterReport::TotalDiskLoads() const { return merged.disk_loads; }
+
+int ClusterReport::TotalPrefetchIssued() const { return merged.prefetch_issued; }
+
+int ClusterReport::TotalPrefetchHits() const { return merged.prefetch_hits; }
+
+int ClusterReport::TotalPrefetchWasted() const { return merged.prefetch_wasted; }
+
+double ClusterReport::TotalStallHiddenS() const { return merged.stall_hidden_s; }
 
 std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
   const std::vector<GpuLoadStats> stats = PerGpuStats();
@@ -102,13 +104,36 @@ std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
   agg.AddRow({"mean GPU utilization", Table::Num(MeanUtilizationOf(stats), 3)});
   agg.AddRow({"artifact loads (PCIe)", std::to_string(TotalLoads())});
   agg.AddRow({"artifact loads (disk)", std::to_string(TotalDiskLoads())});
+  if (TotalPrefetchIssued() > 0) {
+    agg.AddRow({"prefetch issued/hits/wasted",
+                std::to_string(TotalPrefetchIssued()) + "/" +
+                    std::to_string(TotalPrefetchHits()) + "/" +
+                    std::to_string(TotalPrefetchWasted())});
+    agg.AddRow({"stall hidden by prefetch (s)", Table::Num(TotalStallHiddenS(), 1)});
+  }
 
-  Table per({"gpu", "requests", "out tokens", "busy (s)", "util", "loads", "disk"});
+  // The per-GPU prefetch column appears only when prefetch actually ran, like
+  // the aggregate rows above, so prefetch-off output matches the pre-prefetch
+  // rendering.
+  const bool show_prefetch = TotalPrefetchIssued() > 0;
+  std::vector<std::string> header = {"gpu",  "requests", "out tokens", "busy (s)",
+                                     "util", "loads",    "disk"};
+  if (show_prefetch) {
+    header.push_back("pf hits");
+    header.push_back("pf wasted");
+  }
+  Table per(header);
   for (const GpuLoadStats& s : stats) {
-    per.AddRow({std::to_string(s.gpu), std::to_string(s.requests),
-                std::to_string(s.output_tokens), Table::Num(s.busy_span_s, 1),
-                Table::Num(s.utilization, 3), std::to_string(s.total_loads),
-                std::to_string(s.disk_loads)});
+    std::vector<std::string> row = {
+        std::to_string(s.gpu),          std::to_string(s.requests),
+        std::to_string(s.output_tokens), Table::Num(s.busy_span_s, 1),
+        Table::Num(s.utilization, 3),   std::to_string(s.total_loads),
+        std::to_string(s.disk_loads)};
+    if (show_prefetch) {
+      row.push_back(std::to_string(s.prefetch_hits));
+      row.push_back(std::to_string(s.prefetch_wasted));
+    }
+    per.AddRow(row);
   }
   return agg.ToAscii() + "\n" + per.ToAscii();
 }
@@ -132,6 +157,12 @@ ClusterReport BuildClusterReport(std::string cluster_name, PlacementPolicy polic
     report.merged.makespan_s = std::max(report.merged.makespan_s, r.makespan_s);
     report.merged.total_loads += r.total_loads;
     report.merged.disk_loads += r.disk_loads;
+    report.merged.prefetch_issued += r.prefetch_issued;
+    report.merged.prefetch_hits += r.prefetch_hits;
+    report.merged.prefetch_wasted += r.prefetch_wasted;
+    report.merged.stall_hidden_s += r.stall_hidden_s;
+    report.merged.disk_busy_s += r.disk_busy_s;
+    report.merged.pcie_busy_s += r.pcie_busy_s;
   }
   report.merged.records.reserve(total);
   for (const ServeReport& r : per_gpu) {

@@ -12,15 +12,20 @@
 
 namespace dz {
 
-// Per-GPU load summary derived from that GPU's ServeReport.
+// Per-GPU load summary derived from that GPU's ServeReport. Times in simulated
+// seconds; loads count artifact transfers.
 struct GpuLoadStats {
   int gpu = 0;
   size_t requests = 0;
   long long output_tokens = 0;
-  double busy_span_s = 0.0;  // when this GPU finished its last request
+  double busy_span_s = 0.0;  // when this GPU finished its last request (s)
   double utilization = 0.0;  // busy_span_s / cluster makespan (0 when idle cluster)
   int total_loads = 0;       // PCIe (H2D) artifact transfers on this GPU
   int disk_loads = 0;        // loads that additionally paid the disk read
+  int prefetch_issued = 0;   // speculative transfers issued on this GPU
+  int prefetch_hits = 0;     // prefetched artifacts later used by a demand request
+  int prefetch_wasted = 0;   // prefetched artifacts evicted without any use
+  double stall_hidden_s = 0.0;  // artifact-wait seconds prefetch removed
 };
 
 struct ClusterReport {
@@ -49,8 +54,13 @@ struct ClusterReport {
   // served nothing count toward the mean. 0 when the cluster served nothing.
   double LoadImbalance() const;
   double MeanUtilization() const;
-  int TotalLoads() const;
-  int TotalDiskLoads() const;
+  int TotalLoads() const;      // PCIe (H2D) artifact transfers, summed over GPUs
+  int TotalDiskLoads() const;  // disk→host artifact reads, summed over GPUs
+  // Prefetch effectiveness summed over GPUs (all 0 when prefetch is disabled).
+  int TotalPrefetchIssued() const;
+  int TotalPrefetchHits() const;
+  int TotalPrefetchWasted() const;
+  double TotalStallHiddenS() const;  // artifact-wait seconds hidden cluster-wide
 
   // Aligned ASCII rendering: cluster aggregates plus a per-GPU breakdown
   // (shared by `dzip_cli cluster` and the scaling bench).

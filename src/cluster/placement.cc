@@ -78,10 +78,10 @@ void Placer::DrainBacklogs(double now) {
   last_now_ = now;
 }
 
-int Placer::AssignAffinity(const TraceRequest& req, double cost) {
+size_t Placer::RingHome(int model_id) const {
   // Home position: the first ring point at or after the variant's hash.
   const uint64_t h = SplitMix64(config_.hash_seed ^
-                                (0xD000000000000000ULL | static_cast<uint64_t>(req.model_id)));
+                                (0xD000000000000000ULL | static_cast<uint64_t>(model_id)));
   size_t idx = std::lower_bound(ring_.begin(), ring_.end(), h,
                                 [](const RingPoint& p, uint64_t key) {
                                   return p.hash < key;
@@ -90,6 +90,16 @@ int Placer::AssignAffinity(const TraceRequest& req, double cost) {
   if (idx == ring_.size()) {
     idx = 0;  // wrap
   }
+  return idx;
+}
+
+int Placer::HomeGpu(int model_id) const {
+  DZ_CHECK(config_.policy == PlacementPolicy::kDeltaAffinity);
+  return ring_[RingHome(model_id)].gpu;
+}
+
+int Placer::AssignAffinity(const TraceRequest& req, double cost) {
+  size_t idx = RingHome(req.model_id);
   // Bounded load: walk the ring until a GPU whose *existing* backlog is under
   // c × cluster-mean (mean includes the new request, so the least-loaded GPU
   // always qualifies and an idle cluster never spills).

@@ -31,6 +31,8 @@ enum class PlacementPolicy {
   kDeltaAffinity,
 };
 
+// Stable CLI/report name of a policy ("round-robin", "least-outstanding",
+// "delta-affinity").
 const char* PlacementPolicyName(PlacementPolicy policy);
 // Parses the names printed by PlacementPolicyName ("round-robin",
 // "least-outstanding", "delta-affinity"). Returns false on unknown names.
@@ -50,6 +52,8 @@ struct PlacerConfig {
   uint64_t hash_seed = 0x5EED5EEDULL;
 };
 
+// Online request→GPU placement: keeps per-GPU token-backlog estimates and, for
+// delta-affinity, the virtual-node consistent-hash ring (paper §5.4 scaled out).
 class Placer {
  public:
   explicit Placer(const PlacerConfig& config);
@@ -57,6 +61,12 @@ class Placer {
   // Assigns one request to a GPU in [0, n_gpus). Must be called in trace order
   // (non-decreasing arrival_s): the placer maintains per-GPU backlog online.
   int Assign(const TraceRequest& req);
+
+  // The variant's home GPU on the consistent-hash ring, ignoring bounded load —
+  // i.e. where delta-affinity places it in the absence of backlog spill. Only
+  // meaningful for kDeltaAffinity (check-fails otherwise). Stateless: does not
+  // consume or update backlog, so it is safe to call for prefetch hinting.
+  int HomeGpu(int model_id) const;
 
   // Current per-GPU backlog estimates (token units), exposed for tests.
   const std::vector<double>& backlogs() const { return backlog_; }
@@ -68,6 +78,7 @@ class Placer {
   };
 
   void DrainBacklogs(double now);
+  size_t RingHome(int model_id) const;
   int AssignAffinity(const TraceRequest& req, double cost);
 
   PlacerConfig config_;

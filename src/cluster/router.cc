@@ -1,5 +1,6 @@
 #include "src/cluster/router.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/util/check.h"
@@ -19,6 +20,56 @@ std::vector<Trace> Router::Split(const Trace& trace) const {
   return SplitTrace(trace, Assign(trace), config_.n_gpus);
 }
 
+std::vector<std::vector<int>> Router::WarmHints(const Trace& trace) const {
+  if (config_.policy == PlacementPolicy::kDeltaAffinity) {
+    return WarmHints(trace, {});
+  }
+  return WarmHints(trace, Assign(trace));
+}
+
+std::vector<std::vector<int>> Router::WarmHints(const Trace& trace,
+                                                const std::vector<int>& shard_of) const {
+  std::vector<std::vector<int>> hints(static_cast<size_t>(config_.n_gpus));
+  if (config_.policy == PlacementPolicy::kDeltaAffinity) {
+    // Predict from the ring: a variant's delta belongs on its home GPU
+    // (assignments are not needed).
+    const Placer placer(config_);
+    std::vector<bool> seen(static_cast<size_t>(trace.n_models), false);
+    for (const TraceRequest& req : trace.requests) {
+      if (seen[static_cast<size_t>(req.model_id)]) {
+        continue;
+      }
+      seen[static_cast<size_t>(req.model_id)] = true;
+      hints[static_cast<size_t>(placer.HomeGpu(req.model_id))].push_back(req.model_id);
+    }
+  } else {
+    // Load-based / oblivious policies have no stable variant→GPU mapping; hint
+    // each worker with its own shard's variants.
+    DZ_CHECK_EQ(shard_of.size(), trace.requests.size());
+    std::vector<std::vector<bool>> seen_on(
+        static_cast<size_t>(config_.n_gpus),
+        std::vector<bool>(static_cast<size_t>(trace.n_models), false));
+    for (size_t i = 0; i < trace.requests.size(); ++i) {
+      const int gpu = shard_of[i];
+      const int model = trace.requests[i].model_id;
+      if (seen_on[static_cast<size_t>(gpu)][static_cast<size_t>(model)]) {
+        continue;
+      }
+      seen_on[static_cast<size_t>(gpu)][static_cast<size_t>(model)] = true;
+      hints[static_cast<size_t>(gpu)].push_back(model);
+    }
+  }
+  // Most-likely-first (the contract engines truncate against): descending
+  // request count, first appearance breaking ties.
+  const std::vector<int> counts = trace.ModelCounts();
+  for (std::vector<int>& per_gpu : hints) {
+    std::stable_sort(per_gpu.begin(), per_gpu.end(), [&](int a, int b) {
+      return counts[static_cast<size_t>(a)] > counts[static_cast<size_t>(b)];
+    });
+  }
+  return hints;
+}
+
 Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   DZ_CHECK_GT(config_.placer.n_gpus, 0);
 }
@@ -32,13 +83,26 @@ std::string Cluster::name() const {
 ClusterReport Cluster::Serve(const Trace& trace) const {
   trace.CheckWellFormed();
   const Router router(config_.placer);
-  const std::vector<Trace> shards = router.Split(trace);
+  const std::vector<int> shard_of = router.Assign(trace);
+  const std::vector<Trace> shards = SplitTrace(trace, shard_of, config_.placer.n_gpus);
+
+  // With prefetch on, feed each worker the router's placement prediction so it
+  // warms the artifacts it is about to own before their requests arrive (the
+  // assignments above are reused, not recomputed).
+  std::vector<std::vector<int>> warm_hints;
+  if (config_.engine.prefetch.enabled) {
+    warm_hints = router.WarmHints(trace, shard_of);
+  }
 
   std::vector<ServeReport> reports(static_cast<size_t>(config_.placer.n_gpus));
   auto run_worker = [&](size_t gpu) {
+    EngineConfig worker_config = config_.engine;
+    if (!warm_hints.empty()) {
+      worker_config.prefetch.warm_hints = warm_hints[gpu];
+    }
     std::unique_ptr<ServingEngine> engine =
-        config_.vllm_baseline ? MakeVllmScbEngine(config_.engine)
-                              : MakeDeltaZipEngine(config_.engine);
+        config_.vllm_baseline ? MakeVllmScbEngine(worker_config)
+                              : MakeDeltaZipEngine(worker_config);
     reports[gpu] = engine->Serve(shards[gpu]);
   };
   if (config_.parallel_workers && reports.size() > 1) {

@@ -19,6 +19,8 @@
 
 namespace dz {
 
+// Stateless request router: assigns/shards a trace across n_gpus workers under
+// the configured placement policy and predicts per-worker tenants for prefetch.
 class Router {
  public:
   explicit Router(const PlacerConfig& config);
@@ -28,6 +30,18 @@ class Router {
   // Assigns and shards in one step: result[g] is GPU g's sub-trace, with ids and
   // absolute arrival times preserved.
   std::vector<Trace> Split(const Trace& trace) const;
+  // Placement-aware prefetch hints: hints[g] lists the variant ids the router
+  // predicts GPU g will serve, most-likely-first, for the workers' artifact
+  // warm-up (PrefetchConfig::warm_hints). Delta-affinity predicts from the
+  // consistent-hash ring homes (where each variant lands absent backlog spill);
+  // the other policies fall back to each shard's variants in first-appearance
+  // order. Purely advisory — routing itself is unchanged.
+  std::vector<std::vector<int>> WarmHints(const Trace& trace) const;
+  // Same, reusing per-request assignments already computed via Assign(trace)
+  // (required — and checked — for the non-affinity policies; ignored under
+  // delta-affinity, where the ring alone decides).
+  std::vector<std::vector<int>> WarmHints(const Trace& trace,
+                                          const std::vector<int>& shard_of) const;
 
   const PlacerConfig& config() const { return config_; }
 
@@ -40,11 +54,15 @@ struct ClusterConfig {
   PlacerConfig placer;
   // Per-worker engine configuration. `engine.exec.tp` is the model-parallel
   // degree *within* one worker (paper Fig. 18); placer.n_gpus counts workers, so
-  // the hardware total is n_gpus × tp GPUs.
+  // the hardware total is n_gpus × tp GPUs. When `engine.prefetch.enabled`, the
+  // cluster overwrites each worker's `prefetch.warm_hints` with the router's
+  // placement prediction (Router::WarmHints).
   EngineConfig engine;
   bool vllm_baseline = false;    // use the vLLM+SCB engine instead of DeltaZip
   bool parallel_workers = true;  // simulate workers on the global thread pool
 };
+
+// Runs a trace through Router + per-worker ServingEngines and merges reports.
 
 class Cluster {
  public:

@@ -36,13 +36,17 @@ int ArtifactStore::GpuCount(double now) const {
   return n;
 }
 
-bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned) {
+bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned,
+                             bool spare_prefetched) {
   int victim = -1;
   double oldest = std::numeric_limits<double>::infinity();
   for (int id = 0; id < static_cast<int>(entries_.size()); ++id) {
     const Entry& e = entries_[static_cast<size_t>(id)];
     if (e.tier != Tier::kGpu || (e.in_flight && e.ready_at > now)) {
       continue;
+    }
+    if (spare_prefetched && e.prefetched) {
+      continue;  // one speculation never cannibalizes another (anti-thrash)
     }
     if (std::find(pinned.begin(), pinned.end(), id) != pinned.end()) {
       continue;
@@ -56,6 +60,11 @@ bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned) {
     return false;
   }
   Entry& e = entries_[static_cast<size_t>(victim)];
+  if (e.prefetched) {
+    // Warmed speculatively, evicted before any demand use: the prefetch was wasted.
+    ++prefetch_wasted_;
+    e.prefetched = false;
+  }
   // Demote to host if the host cache can plausibly hold it, else to disk. Host
   // occupancy is approximated by capacity count (artifacts are uniform-sized).
   const size_t cpu_slots = config_.cpu_budget_bytes / config_.artifact_bytes;
@@ -70,42 +79,93 @@ bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned) {
   return true;
 }
 
-ArtifactStore::LoadResult ArtifactStore::RequestLoad(int id, double now,
-                                                     const std::vector<int>& pinned) {
+void ArtifactStore::ResolvePrefetchHit(Entry& e, double now) {
+  // A demand request found the artifact warmed: the wait it skipped is the transfer
+  // the prefetch paid, minus whatever is still in flight at `now`.
+  const double remaining = std::max(0.0, e.ready_at - now);
+  stall_hidden_s_ += std::max(0.0, e.prefetch_cost_s - remaining);
+  ++prefetch_hits_;
+  e.prefetched = false;
+}
+
+ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
+                                                   const std::vector<int>& pinned,
+                                                   bool is_prefetch) {
   Entry& e = entries_[static_cast<size_t>(id)];
   if (e.tier == Tier::kGpu) {
+    if (!is_prefetch && e.prefetched) {
+      ResolvePrefetchHit(e, now);
+    }
     return {true, e.ready_at};  // resident or already arriving
   }
   if (e.in_flight) {
     return {true, e.ready_at};
   }
-  // Make room.
+  // Prefetches are low-priority: they only claim a channel that is idle right
+  // now, so a speculative transfer can delay a demand load by at most the one
+  // transfer already in progress (real prefetchers exploit spare bandwidth, they
+  // do not queue ahead of demand). Callers simply retry next scheduling round.
+  if (is_prefetch) {
+    if (e.tier == Tier::kDisk && disk_free_at_ > now) {
+      return {false, 0.0};
+    }
+    if (pcie_free_at_ > now) {
+      return {false, 0.0};
+    }
+  }
+  // Make room. A prefetch may evict idle demand-loaded artifacts (a queued
+  // request is more certain than speculative reuse) but never another unused
+  // prefetched entry — otherwise a wide lookahead rotates speculations through
+  // the staging headroom, re-paying the same transfers every round.
   while (GpuCount(now) >= GpuCapacity()) {
-    if (!EvictOne(now, pinned)) {
+    if (!EvictOne(now, pinned, /*spare_prefetched=*/is_prefetch)) {
       return {false, 0.0};
     }
   }
   double ready = now;
+  double cost = 0.0;
   if (e.tier == Tier::kDisk) {
     const double start = std::max(now, disk_free_at_);
     ready = start + config_.disk_read_s;
     disk_free_at_ = ready;
+    disk_busy_s_ += config_.disk_read_s;
+    cost += config_.disk_read_s;
     ++disk_loads_;
   }
   const double h2d_start = std::max(ready, pcie_free_at_);
   ready = h2d_start + config_.h2d_s;
   pcie_free_at_ = ready;
+  pcie_busy_s_ += config_.h2d_s;
+  cost += config_.h2d_s;
 
   e.tier = Tier::kGpu;
   e.in_flight = true;
   e.ready_at = ready;
   e.last_use = now;
+  e.prefetched = is_prefetch;
+  e.prefetch_cost_s = is_prefetch ? cost : 0.0;
   ++total_loads_;
+  if (is_prefetch) {
+    ++prefetch_issued_;
+  }
   return {true, ready};
+}
+
+ArtifactStore::LoadResult ArtifactStore::RequestLoad(int id, double now,
+                                                     const std::vector<int>& pinned) {
+  return IssueLoad(id, now, pinned, /*is_prefetch=*/false);
+}
+
+ArtifactStore::LoadResult ArtifactStore::Prefetch(int id, double now,
+                                                  const std::vector<int>& pinned) {
+  return IssueLoad(id, now, pinned, /*is_prefetch=*/true);
 }
 
 void ArtifactStore::Touch(int id, double now) {
   Entry& e = entries_[static_cast<size_t>(id)];
+  if (e.prefetched && e.tier == Tier::kGpu) {
+    ResolvePrefetchHit(e, now);
+  }
   e.last_use = now;
   if (e.in_flight && e.ready_at <= now) {
     e.in_flight = false;

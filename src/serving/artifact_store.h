@@ -2,8 +2,14 @@
 //
 // Tracks where each model artifact (compressed delta, LoRA adapter, or full model)
 // currently lives, simulates asynchronous promotion through the storage hierarchy on
-// shared transfer channels (disk and PCIe serialize independently), and evicts GPU
-// residents LRU when space is needed. All times are simulated seconds.
+// shared transfer channels (disk and PCIe serialize independently, each a bounded-
+// bandwidth queue: a transfer issued at time T starts when its channel frees and
+// completes at `ready_at`, never blocking the caller), and evicts GPU residents LRU
+// when space is needed. Demand loads (RequestLoad) and speculative prefetches
+// (Prefetch) share the same channels, so prefetch traffic realistically delays demand
+// traffic; the store additionally accounts prefetch effectiveness (hits / wasted
+// evictions / stall seconds hidden) and per-channel busy time. All times are simulated
+// seconds; all sizes are bytes.
 #ifndef SRC_SERVING_ARTIFACT_STORE_H_
 #define SRC_SERVING_ARTIFACT_STORE_H_
 
@@ -14,15 +20,16 @@
 namespace dz {
 
 struct ArtifactStoreConfig {
-  size_t artifact_bytes = 0;      // per-artifact GPU footprint
+  size_t artifact_bytes = 0;      // per-artifact GPU footprint (bytes)
   size_t gpu_budget_bytes = 0;    // GPU bytes available for artifacts (after base/kv)
-  size_t cpu_budget_bytes = 0;    // host-memory cache capacity
-  double disk_read_s = 0.0;       // disk → host time for one artifact
-  double h2d_s = 0.0;             // host → device time for one artifact
+  size_t cpu_budget_bytes = 0;    // host-memory cache capacity (bytes)
+  double disk_read_s = 0.0;       // disk → host time for one artifact (seconds)
+  double h2d_s = 0.0;             // host → device time for one artifact (seconds)
 };
 
 class ArtifactStore {
  public:
+  // `n_artifacts` is the number of distinct artifact ids (variants) tracked.
   ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts);
 
   // True when artifact is on the GPU and usable now.
@@ -30,19 +37,37 @@ class ArtifactStore {
   // True when a load has been issued and is still in flight.
   bool IsLoading(int id, double now) const;
 
-  // Outcome of RequestLoad. `ok == false` means no GPU space could be made even
-  // after evicting every idle artifact (every slot pinned or mid-transfer);
+  // Outcome of RequestLoad/Prefetch. `ok == false` means no GPU space could be made
+  // even after evicting every idle artifact (every slot pinned or mid-transfer);
   // `ready_at` is meaningful only when `ok` is true.
   struct LoadResult {
     bool ok = false;
-    double ready_at = 0.0;
+    double ready_at = 0.0;  // simulated seconds
   };
 
-  // Ensures a load toward GPU is in flight (no-op if resident/loading). On success
-  // returns {true, t} where t is the time the artifact becomes GPU-resident.
+  // Ensures a demand load toward GPU is in flight (no-op if resident/loading). On
+  // success returns {true, t} where t is the time the artifact becomes GPU-resident.
+  // Artifacts in `pinned` are never evicted to make room. When the request finds an
+  // artifact that a prefetch already warmed, the saved wait is credited to
+  // stall_hidden_s() and the prefetch counts as a hit.
   LoadResult RequestLoad(int id, double now, const std::vector<int>& pinned);
 
-  // Marks use for LRU bookkeeping.
+  // Speculatively warms an artifact on the same transfer channels (paper §8 /
+  // MetaSys-style cross-layer pipelining: overlap artifact movement with compute).
+  // Identical transfer mechanics to RequestLoad, but low-priority and tracked
+  // separately:
+  //   * issues only when the needed channels are idle at `now` (spare bandwidth;
+  //     a prefetch never queues ahead of demand traffic) — returns {false} when
+  //     busy and the caller retries on a later scheduling round;
+  //   * never evicts an unused prefetched artifact (speculations do not
+  //     cannibalize each other) nor — like demand loads — anything in `pinned`,
+  //     so the running batch's artifacts are always safe;
+  //   * stays tagged until first demand use; evicting a never-used prefetched
+  //     artifact counts as wasted, demand use counts as a hit.
+  LoadResult Prefetch(int id, double now, const std::vector<int>& pinned);
+
+  // Marks demand use for LRU bookkeeping; also resolves a pending prefetch tag into
+  // a hit (crediting the fully hidden transfer to stall_hidden_s()).
   void Touch(int id, double now);
 
   // Number of artifacts currently on the GPU (resident or arriving).
@@ -54,9 +79,21 @@ class ArtifactStore {
   // Earliest pending load completion after `now` (or infinity when none).
   double NextLoadReady(double now) const;
 
-  // Statistics.
+  // Statistics. Loads count PCIe (H2D) transfers; disk_loads the subset that also
+  // paid the disk read. Prefetches are included in both (they move real bytes).
   int total_loads() const { return total_loads_; }
   int disk_loads() const { return disk_loads_; }
+  // Prefetch effectiveness: transfers issued speculatively, those demand-used at
+  // least once (hits), and those evicted without ever being used (wasted).
+  int prefetch_issued() const { return prefetch_issued_; }
+  int prefetch_hits() const { return prefetch_hits_; }
+  int prefetch_wasted() const { return prefetch_wasted_; }
+  // Seconds of artifact wait that demand requests skipped because a prefetch had
+  // already (partially) covered the transfer.
+  double stall_hidden_s() const { return stall_hidden_s_; }
+  // Cumulative busy seconds per transfer channel (for utilization = busy/makespan).
+  double disk_busy_s() const { return disk_busy_s_; }
+  double pcie_busy_s() const { return pcie_busy_s_; }
 
  private:
   enum class Tier { kDisk, kCpu, kGpu };
@@ -66,9 +103,16 @@ class ArtifactStore {
     double ready_at = 0.0;   // when the current (or last) transfer lands
     double last_use = 0.0;
     bool in_flight = false;
+    bool prefetched = false;       // warmed speculatively, no demand use yet
+    double prefetch_cost_s = 0.0;  // transfer seconds the pending prefetch paid
   };
 
-  bool EvictOne(double now, const std::vector<int>& pinned);
+  // Evicts the LRU idle GPU resident not in `pinned`; with `spare_prefetched`,
+  // unused prefetched entries are additionally protected (prefetch callers).
+  bool EvictOne(double now, const std::vector<int>& pinned, bool spare_prefetched);
+  LoadResult IssueLoad(int id, double now, const std::vector<int>& pinned,
+                       bool is_prefetch);
+  void ResolvePrefetchHit(Entry& e, double now);
 
   ArtifactStoreConfig config_;
   std::vector<Entry> entries_;
@@ -76,6 +120,12 @@ class ArtifactStore {
   double pcie_free_at_ = 0.0;  // PCIe channel availability
   int total_loads_ = 0;
   int disk_loads_ = 0;
+  int prefetch_issued_ = 0;
+  int prefetch_hits_ = 0;
+  int prefetch_wasted_ = 0;
+  double stall_hidden_s_ = 0.0;
+  double disk_busy_s_ = 0.0;
+  double pcie_busy_s_ = 0.0;
 };
 
 }  // namespace dz

@@ -11,6 +11,7 @@
 
 #include "src/serving/artifact_store.h"
 #include "src/serving/engine.h"
+#include "src/serving/prefetcher.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 
@@ -87,11 +88,26 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   const size_t after_base = total_mem - base_bytes - reserve;
   // Artifact budget: up to N slots, but always leave a KV floor. On small GPUs the
   // effective number of co-resident deltas is therefore capacity-clamped below the
-  // configured N (the same pressure paper Fig. 10 explores).
-  const size_t artifact_budget =
+  // configured N (the same pressure paper Fig. 10 explores). Prefetch staging slots
+  // add headroom on top of N — double-buffering space so speculative loads never
+  // compete with the running batch's pinned artifacts — paid for out of the KV pool.
+  // When the 0.9 cap already clamps the budget, the staging request is (partially)
+  // denied, and only the granted slots are later excluded from scheduling.
+  const int staging_slots =
+      config_.prefetch.enabled ? std::max(0, config_.prefetch.staging_slots) : 0;
+  const size_t slot_bytes = artifact_bytes * config_.exec.tp;
+  const size_t demand_budget =
       std::min(static_cast<size_t>(after_base * 0.9),
-               static_cast<size_t>(config_.max_concurrent_deltas) * artifact_bytes *
-                   config_.exec.tp);
+               static_cast<size_t>(config_.max_concurrent_deltas) * slot_bytes);
+  const size_t staging_cap =
+      std::min(static_cast<size_t>(after_base * 0.9),
+               static_cast<size_t>(config_.max_concurrent_deltas + staging_slots) *
+                   slot_bytes);
+  const int granted_staging = static_cast<int>((staging_cap - demand_budget) / slot_bytes);
+  // Whole slots only: a fractional staging remainder would shrink the KV pool
+  // without ever fitting an artifact.
+  const size_t artifact_budget =
+      demand_budget + static_cast<size_t>(granted_staging) * slot_bytes;
   const size_t kv_pool = after_base - artifact_budget;
   const long long kv_capacity_tokens = static_cast<long long>(
       kv_pool / std::max<size_t>(1, exec_.KvBytesPerTokenPerGpu() * config_.exec.tp));
@@ -109,7 +125,26 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
                            : exec_.LoadDeltaFromHost();
   ArtifactStore store(store_config, trace.n_models);
   DZ_CHECK_GE(store.GpuCapacity(), 1);
-  const int effective_n = std::min(config_.max_concurrent_deltas, store.GpuCapacity());
+  // Scheduling concurrency excludes only the staging headroom the budget actually
+  // granted: the batch still spans at most N variants, the spare slots stay
+  // available for in-flight prefetches, and a memory-clamped budget (no extra
+  // slots granted) never costs the scheduler a demand slot.
+  const int effective_n = std::min(config_.max_concurrent_deltas,
+                                   std::max(1, store.GpuCapacity() - granted_staging));
+
+  // Placement-aware warm-up: the router's predicted tenants, drained one low-
+  // priority transfer at a time (as channels go idle) starting at t = 0, so the
+  // worker's expected deltas are warm by the time their requests arrive.
+  std::deque<int> pending_hints =
+      PendingWarmHints(config_.prefetch, trace.n_models, store.GpuCapacity());
+  // Without granted staging headroom (memory-clamped budget), speculation has no
+  // memory of its own to live in — every prefetch (lookahead or hint) would have
+  // to evict working-set artifacts. Disable it entirely rather than thrash.
+  PrefetchConfig effective_prefetch = config_.prefetch;
+  if (granted_staging == 0) {
+    effective_prefetch.enabled = false;
+    pending_hints.clear();
+  }
 
   std::deque<PendingReq> queue;
   std::vector<RunningReq> running;
@@ -207,6 +242,16 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       kv_used += need;
       running.push_back(std::move(r));
       it = queue.erase(it);
+    }
+
+    // ---- lookahead prefetch: warm the next W distinct waiting variants (§8) ----
+    // Overlaps disk→CPU→GPU artifact movement with the iteration below. The pin
+    // set is rebuilt from `selected` (running, claimed, and just-admitted
+    // variants), so a prefetch can never evict an artifact the batch references.
+    if (effective_prefetch.enabled) {
+      RunPrefetchPass(store, effective_prefetch, now, queue, selected,
+                      std::vector<int>(selected.begin(), selected.end()),
+                      pending_hints);
     }
 
     if (running.empty()) {
@@ -330,8 +375,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   for (const auto& r : report.records) {
     report.makespan_s = std::max(report.makespan_s, r.finish_s);
   }
-  report.total_loads = store.total_loads();
-  report.disk_loads = store.disk_loads();
+  FillArtifactStats(store, report);
   return report;
 }
 

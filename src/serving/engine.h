@@ -8,10 +8,14 @@
 //     adapters (Punica-style) for the §6.4 experiments.
 //   * VllmScbEngine — the vLLM+SCB baseline: full-model swapping with per-model
 //     continuous batching.
+// The cluster layer (src/cluster/) composes N such engines behind a router; an
+// EngineConfig therefore describes ONE worker, which may itself span multiple GPUs
+// via `exec.tp` (paper Fig. 18).
 #ifndef SRC_SERVING_ENGINE_H_
 #define SRC_SERVING_ENGINE_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/serving/report.h"
 #include "src/simgpu/exec_model.h"
@@ -19,34 +23,68 @@
 
 namespace dz {
 
+// What the per-variant artifact is — decides its byte size, its load times, and
+// which ExecModel code path serves it.
 enum class ArtifactKind {
-  kCompressedDelta,  // ΔCompress artifact
-  kLoraAdapter,
-  kFullModel,  // baseline: swap entire fp16 fine-tuned models
+  kCompressedDelta,  // ΔCompress artifact (§4)
+  kLoraAdapter,      // low-rank adapter, Punica-style SGMV (§6.4)
+  kFullModel,        // baseline: swap entire fp16 fine-tuned models (§6.1)
 };
 
+// Asynchronous artifact prefetch (beyond the paper, §8 future work; MetaSys-style
+// cross-layer pipelining): each scheduling round the engine scans its waiting queue
+// and warms the artifacts of the next `lookahead` distinct variants on the
+// ArtifactStore's transfer channels, so a cold tenant's delta travels
+// disk→CPU→GPU while the current batch computes instead of stalling admission.
+struct PrefetchConfig {
+  // Off by default; when false the engine issues no prefetches and its behavior is
+  // bit-identical to the pre-prefetch engines (test-enforced).
+  bool enabled = false;
+  // W: how many distinct waiting variants (beyond the running batch) to warm ahead
+  // of admission each scheduling round.
+  int lookahead = 4;
+  // Extra ArtifactStore slots reserved for in-flight prefetches, carved out of the
+  // KV pool (double-buffering costs real GPU memory). Without headroom a prefetch
+  // could never proceed: all N artifact slots are pinned by the running batch.
+  // DeltaZipEngine only — the vLLM baseline's full-model slots are far too large
+  // to double-buffer, so it prefetches into whatever slots are free or evictable.
+  int staging_slots = 1;
+  // Placement-aware warm hints, typically injected by the cluster Router (variant
+  // ids, most likely first): starting at t = 0, the engine drains them one
+  // low-priority transfer at a time as the channels go idle, so a worker warms
+  // the artifacts the placement policy will route to it before their requests
+  // land. Capped at the store's GPU capacity; out-of-range ids are ignored, as is
+  // the whole list when `enabled` is false.
+  std::vector<int> warm_hints;
+};
+
+// One worker's configuration. Units: times in (simulated) seconds, sizes in GB
+// where named so, token budgets in tokens.
 struct EngineConfig {
-  ExecModelConfig exec;
+  ExecModelConfig exec;           // model shape × GPU spec × tensor-parallel degree
   int max_batch = 32;             // K concurrently served requests (§5.4)
-  int max_concurrent_deltas = 8;  // N artifacts co-resident per batch (§5.4)
-  bool skip_the_line = true;
-  bool preemption = true;  // preempt skippers when their parent finishes
+  int max_concurrent_deltas = 8;  // N artifacts co-resident per batch (§5.4, Fig. 10)
+  bool skip_the_line = true;      // admit later requests of resident variants (§5.4)
+  bool preemption = true;  // preempt skippers when their parent finishes (§5.4)
   // Length-aware preemption (paper §8 future work): do not preempt a skipper that is
   // within this many tokens of finishing — preempting nearly-done requests wastes the
   // work and the KV swap. 0 preempts unconditionally (the paper's §5.4 mechanism).
   int preempt_min_remaining_tokens = 0;
   ArtifactKind artifact = ArtifactKind::kCompressedDelta;
-  int lora_rank = 16;
-  double cpu_cache_gb = 256.0;     // host cache for artifacts
-  double sched_overhead_s = 0.002;  // per-iteration scheduler/runner overhead
+  int lora_rank = 16;               // LoRA rank when artifact == kLoraAdapter
+  double cpu_cache_gb = 256.0;      // host cache for artifacts (GB; §5.4 hierarchy)
+  double sched_overhead_s = 0.002;  // per-iteration scheduler/runner overhead (s)
   long long max_prefill_tokens = 2048;  // per-iteration prompt-token budget
   double kv_reserve_fraction = 0.05;    // GPU memory fraction reserved for activations
+  PrefetchConfig prefetch;              // async artifact prefetch (off by default)
 };
 
+// Replays a Trace in simulated time and returns per-request records + aggregates.
 class ServingEngine {
  public:
   virtual ~ServingEngine() = default;
   virtual ServeReport Serve(const Trace& trace) = 0;
+  // Stable engine identifier ("deltazip", "deltazip-lora", "vllm-scb").
   virtual const char* name() const = 0;
 };
 

@@ -1,0 +1,119 @@
+// Shared prefetch driver for the serving engines (the async artifact-prefetch
+// pipeline): warm-hint staging and the per-round lookahead pass both engines run,
+// plus the ServeReport counter hand-off. Header-only so each engine's anonymous
+// PendingReq type can flow through the template without a shared base class.
+#ifndef SRC_SERVING_PREFETCHER_H_
+#define SRC_SERVING_PREFETCHER_H_
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "src/serving/artifact_store.h"
+#include "src/serving/engine.h"
+
+namespace dz {
+
+// Filters `config.warm_hints` to valid variant ids and caps the list at the
+// store's GPU capacity. The engines drain the result one low-priority transfer
+// at a time (as channels go idle) starting at t = 0. Empty when disabled.
+inline std::deque<int> PendingWarmHints(const PrefetchConfig& config, int n_models,
+                                        int gpu_capacity) {
+  std::deque<int> pending;
+  if (!config.enabled) {
+    return pending;
+  }
+  for (int hint : config.warm_hints) {
+    if (static_cast<int>(pending.size()) >= gpu_capacity) {
+      break;
+    }
+    if (hint >= 0 && hint < n_models) {
+      pending.push_back(hint);
+    }
+  }
+  return pending;
+}
+
+// One scheduling round of the lookahead pass (paper §8 / MetaSys-style
+// pipelining): scans the engine's still-waiting `queue` (each element exposes
+// `.req.model_id`) and issues low-priority loads for the next
+// `config.lookahead` distinct variants, then drains leftover warm hints.
+// `active` holds the variants the scheduler already owns (running, claimed, or
+// admitted this round) — they are skipped as targets; `pinned` holds the
+// artifact ids a prefetch must never evict (the running batch's artifacts).
+// Additionally, the variants inside the speculation window (the first
+// `lookahead` distinct waiting variants) are shielded from prefetch eviction:
+// a near-head request can be resident-but-blocked (KV or batch-slot limits),
+// and evicting its artifact for a speculation would re-pay the very load the
+// blocked request was about to skip (priority inversion). The shield is
+// deliberately window-bounded — protecting every queued variant would starve
+// the prefetcher of eviction candidates under contention.
+template <typename PendingQueue>
+void RunPrefetchPass(ArtifactStore& store, const PrefetchConfig& config, double now,
+                     const PendingQueue& queue, const std::set<int>& active,
+                     const std::vector<int>& pinned, std::deque<int>& pending_hints) {
+  if (!config.enabled) {
+    return;
+  }
+  // The shield window mirrors the issue loop exactly (first `lookahead`
+  // distinct non-active variants), so no prefetch target sits beyond it.
+  std::set<int> protect_set(pinned.begin(), pinned.end());
+  std::set<int> window;
+  for (const auto& waiting : queue) {
+    if (static_cast<int>(window.size()) >= config.lookahead) {
+      break;
+    }
+    const int variant = waiting.req.model_id;
+    if (active.count(variant) > 0) {
+      continue;
+    }
+    if (window.insert(variant).second) {
+      protect_set.insert(variant);
+    }
+  }
+  const std::vector<int> protect(protect_set.begin(), protect_set.end());
+  std::set<int> considered;
+  for (const auto& waiting : queue) {
+    if (static_cast<int>(considered.size()) >= config.lookahead) {
+      break;
+    }
+    const int variant = waiting.req.model_id;
+    if (active.count(variant) > 0 || !considered.insert(variant).second) {
+      continue;
+    }
+    if (!store.IsResident(variant, now) && !store.IsLoading(variant, now)) {
+      store.Prefetch(variant, now, protect);
+    }
+  }
+  // Queued variants took priority; leftover warm hints use what is left of the
+  // idle channel time.
+  while (!pending_hints.empty()) {
+    const int hint = pending_hints.front();
+    if (store.IsResident(hint, now) || store.IsLoading(hint, now) ||
+        considered.count(hint) > 0) {
+      pending_hints.pop_front();  // already warm (or just attempted)
+      continue;
+    }
+    if (!store.Prefetch(hint, now, protect).ok) {
+      break;  // channel busy or no evictable slot: retry next round
+    }
+    pending_hints.pop_front();
+  }
+}
+
+// Copies the store's artifact-movement and prefetch-effectiveness totals into
+// the report (both engines call this once at the end of Serve).
+inline void FillArtifactStats(const ArtifactStore& store, ServeReport& report) {
+  report.total_loads = store.total_loads();
+  report.disk_loads = store.disk_loads();
+  report.prefetch_issued = store.prefetch_issued();
+  report.prefetch_hits = store.prefetch_hits();
+  report.prefetch_wasted = store.prefetch_wasted();
+  report.stall_hidden_s = store.stall_hidden_s();
+  report.disk_busy_s = store.disk_busy_s();
+  report.pcie_busy_s = store.pcie_busy_s();
+}
+
+}  // namespace dz
+
+#endif  // SRC_SERVING_PREFETCHER_H_

@@ -11,22 +11,25 @@
 
 namespace dz {
 
+// Outcome of the N-profiling sweep (paper §5.4 / Fig. 10).
 struct NProfileResult {
-  int best_n = 0;
-  // (candidate N, mean time per token) in candidate order.
+  int best_n = 0;  // candidate N with the lowest mean time per token
+  // (candidate N, mean time per token in simulated seconds) in candidate order.
   std::vector<std::pair<int, double>> samples;
 };
 
-// Runs the first `profile_seconds` of `trace` under each candidate N and returns the
-// winner. The short-trace profile transfers to the full workload (paper Fig. 10).
+// Runs the first `profile_seconds` (simulated seconds) of `trace` under each
+// candidate N and returns the winner. The short-trace profile transfers to the
+// full workload (paper Fig. 10).
 NProfileResult ProfileConcurrentDeltas(const EngineConfig& config, const Trace& trace,
                                        const std::vector<int>& candidates,
                                        double profile_seconds);
 
-// Cluster partitioning across base models: splits `total_gpus` proportionally to each
-// group's expected load, honoring a per-group minimum of min_gpus[i] (the model's
-// tensor-parallel footprint). Returns GPUs per group; check-fails if the minimums alone
-// exceed the cluster.
+// Cluster partitioning across base models (paper §5.1: M base models → M serving
+// groups): splits `total_gpus` proportionally to each group's expected load
+// (relative weights, any unit), honoring a per-group minimum of min_gpus[i] (the
+// model's tensor-parallel footprint in GPUs). Returns GPUs per group; check-fails
+// if the minimums alone exceed the cluster.
 std::vector<int> PartitionGpus(int total_gpus, const std::vector<double>& load,
                                const std::vector<int>& min_gpus);
 

@@ -38,6 +38,14 @@ double ServeReport::MeanTtft() const {
   return s.mean();
 }
 
+double ServeReport::TotalLoadingTime() const {
+  double total = 0.0;
+  for (const auto& r : records) {
+    total += r.LoadingTime();
+  }
+  return total;
+}
+
 double ServeReport::MeanTimePerToken() const {
   RunningStats s;
   for (const auto& r : records) {

@@ -1,5 +1,5 @@
 // Per-request records and aggregate serving metrics (paper §6.1 "Metrics": E2E latency,
-// TTFT, throughput, SLO attainment).
+// TTFT, throughput, SLO attainment). All times are simulated seconds.
 #ifndef SRC_SERVING_REPORT_H_
 #define SRC_SERVING_REPORT_H_
 
@@ -8,21 +8,25 @@
 
 namespace dz {
 
+// Lifecycle timestamps of one served request (all in simulated seconds on the
+// trace's global clock) plus its token counts.
 struct RequestRecord {
   int id = 0;
-  int model_id = 0;
-  int prompt_tokens = 0;
-  int output_tokens = 0;
+  int model_id = 0;        // fine-tuned variant the request targets
+  int prompt_tokens = 0;   // prompt length (tokens)
+  int output_tokens = 0;   // generated length (tokens)
   double arrival_s = 0.0;
   double sched_attempt_s = 0.0;  // reached the scheduler (queue head / skip-the-line)
   double start_s = 0.0;          // admitted to the running batch (artifact resident)
   double first_token_s = 0.0;    // end of prefill iteration
   double finish_s = 0.0;
-  int preemptions = 0;
+  int preemptions = 0;  // times this request was parent-finish preempted (§5.4)
 
   double E2eLatency() const { return finish_s - arrival_s; }
   double Ttft() const { return first_token_s - arrival_s; }
   double QueueingTime() const { return sched_attempt_s - arrival_s; }
+  // Cold-start stall: time between first scheduler consideration and admission,
+  // dominated by waiting for the variant's artifact to reach the GPU.
   double LoadingTime() const { return start_s - sched_attempt_s; }
   double InferenceTime() const { return finish_s - start_s; }
   double TimePerToken() const {
@@ -30,21 +34,38 @@ struct RequestRecord {
   }
 };
 
+// One engine run over one trace: per-request records plus artifact-movement and
+// prefetch-effectiveness totals from the engine's ArtifactStore.
 struct ServeReport {
   std::string engine_name;
   std::vector<RequestRecord> records;
-  double makespan_s = 0.0;  // time when the last request finished
+  double makespan_s = 0.0;  // time when the last request finished (s)
   // Artifact-movement totals from the engine's ArtifactStore: every load crosses
   // PCIe (host → device); `disk_loads` additionally paid the disk → host read.
+  // Prefetched transfers are included (they move real bytes).
   int total_loads = 0;  // PCIe (H2D) transfers
   int disk_loads = 0;   // loads that started from disk
+  // Prefetch effectiveness (all 0 when prefetch is disabled): speculative loads
+  // issued, those used by a demand request (hits), those evicted unused (wasted),
+  // and the artifact-wait seconds demand requests skipped thanks to prefetch.
+  int prefetch_issued = 0;
+  int prefetch_hits = 0;
+  int prefetch_wasted = 0;
+  double stall_hidden_s = 0.0;
+  // Cumulative busy seconds per transfer channel (utilization = busy / makespan).
+  double disk_busy_s = 0.0;
+  double pcie_busy_s = 0.0;
 
   size_t completed() const { return records.size(); }
-  double ThroughputRps() const;
+  double ThroughputRps() const;    // completed requests / makespan
   double TokenThroughput() const;  // output tokens / s
   double MeanE2e() const;
   double MeanTtft() const;
   double MeanTimePerToken() const;
+  // Summed per-request LoadingTime(): total cold-start stall seconds spent waiting
+  // for artifacts after a request reached the scheduler. This is the quantity the
+  // prefetch pipeline exists to shrink.
+  double TotalLoadingTime() const;
   std::vector<double> E2es() const;
   std::vector<double> Ttfts() const;
   // Fraction of requests with metric <= slo_s.

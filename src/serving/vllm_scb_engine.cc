@@ -12,6 +12,7 @@
 
 #include "src/serving/artifact_store.h"
 #include "src/serving/engine.h"
+#include "src/serving/prefetcher.h"
 #include "src/util/check.h"
 
 namespace dz {
@@ -70,10 +71,20 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   ArtifactStore store(store_config, trace.n_models);
   DZ_CHECK_GE(store.GpuCapacity(), 1);
 
+  // Placement-aware warm-up (prefetch only): the router's predicted models,
+  // drained one low-priority transfer at a time as the channels go idle. These
+  // transfers are asynchronous, so they do not trigger the blocking-swap path
+  // below — only demand swaps stall generation.
+  std::deque<int> pending_hints =
+      PendingWarmHints(config_.prefetch, trace.n_models, store.GpuCapacity());
+
   std::deque<PendingReq> queue;
   std::vector<RunningReq> running;
   size_t next_arrival = 0;
   double now = 0.0;
+  // Completion time of the in-flight *demand* swap (-inf when none). Demand swaps
+  // sit on the worker's critical path; prefetch transfers do not.
+  double demand_ready = -std::numeric_limits<double>::infinity();
 
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
@@ -103,7 +114,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
     std::vector<int> pinned(models_in_use.begin(), models_in_use.end());
 
     long long kv_used = kv_tokens_in_use();
-    bool load_in_flight = store.NextLoadReady(now) < std::numeric_limits<double>::max();
+    bool load_in_flight = demand_ready > now;
     for (auto it = queue.begin();
          it != queue.end() && static_cast<int>(running.size()) < config_.max_batch;) {
       const int model = it->req.model_id;
@@ -116,16 +127,21 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       }
       if (!store.IsResident(model, now)) {
         // Trigger the swap. The engine worker performs weight loading synchronously
-        // (vLLM loads checkpoints in the serving process), so at most one swap is in
-        // flight and — crucially — the swap sits on the critical path of every running
-        // request (paper §2.2 "Swapping incurs high latency").
-        if (!store.IsLoading(model, now) && !load_in_flight) {
+        // (vLLM loads checkpoints in the serving process), so at most one demand swap
+        // is in flight and — crucially — that swap sits on the critical path of every
+        // running request (paper §2.2 "Swapping incurs high latency"). A model already
+        // arriving via prefetch needs no swap: RequestLoad just registers the hit.
+        if (store.IsLoading(model, now)) {
+          store.RequestLoad(model, now, pinned);
+        } else if (!load_in_flight) {
           if (store.GpuCount(now) >= store.GpuCapacity() &&
               static_cast<int>(models_in_use.size()) >= store.GpuCapacity()) {
             ++it;  // every slot is actively serving; wait for one to drain
             continue;
           }
-          if (store.RequestLoad(model, now, pinned).ok) {
+          const ArtifactStore::LoadResult load = store.RequestLoad(model, now, pinned);
+          if (load.ok) {
+            demand_ready = load.ready_at;
             load_in_flight = true;
           }
         }
@@ -143,10 +159,20 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       it = queue.erase(it);
     }
 
-    // Blocking swap: while a model is being copied in, the worker generates nothing.
-    const double load_ready = store.NextLoadReady(now);
-    if (load_ready < std::numeric_limits<double>::infinity()) {
-      now = std::max(now, load_ready);
+    // ---- lookahead prefetch: warm the next W distinct waiting models (§8) ----
+    // Unlike the demand swap below these transfers are asynchronous, so the worker
+    // keeps generating for the models already resident while the next checkpoint
+    // travels disk→host→GPU. `pinned` carries every model the running batch uses,
+    // so a prefetch can never evict a running model.
+    if (config_.prefetch.enabled) {
+      RunPrefetchPass(store, config_.prefetch, now, queue, models_in_use, pinned,
+                      pending_hints);
+    }
+
+    // Blocking demand swap: while a model is being copied in on the critical path,
+    // the worker generates nothing. (Prefetch transfers land in the background.)
+    if (demand_ready > now) {
+      now = demand_ready;
       continue;
     }
     if (running.empty()) {
@@ -154,6 +180,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       if (next_arrival < trace.requests.size()) {
         next_t = trace.requests[next_arrival].arrival_s;
       }
+      // With prefetch on, a queued request may be waiting for a background
+      // prefetch to land rather than for a new arrival.
+      next_t = std::min(next_t, store.NextLoadReady(now));
       DZ_CHECK(next_t < std::numeric_limits<double>::infinity());
       now = std::max(now, next_t);
       continue;
@@ -227,8 +256,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   for (const auto& r : report.records) {
     report.makespan_s = std::max(report.makespan_s, r.finish_s);
   }
-  report.total_loads = store.total_loads();
-  report.disk_loads = store.disk_loads();
+  FillArtifactStats(store, report);
   return report;
 }
 

@@ -225,4 +225,22 @@ std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window
   return counts;
 }
 
+std::vector<int> ModelsByPopularity(const Trace& trace) {
+  const std::vector<int> counts = trace.ModelCounts();
+  std::vector<int> order(counts.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return counts[static_cast<size_t>(a)] > counts[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<int> ModelsByPopularity(const Trace& trace, int k) {
+  std::vector<int> order = ModelsByPopularity(trace);
+  order.resize(std::min(order.size(), static_cast<size_t>(std::max(0, k))));
+  return order;
+}
+
 }  // namespace dz

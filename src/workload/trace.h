@@ -77,6 +77,13 @@ Trace GenerateTrace(const TraceConfig& config);
 // Invocation counts per model per time window — regenerates the paper's Fig. 1 view.
 std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window_s);
 
+// All model ids ordered by descending request count (stable: ties keep id order).
+// The head of this list is the "operator-known hot set" used as single-engine
+// prefetch warm hints; a cluster derives hints from the router instead.
+std::vector<int> ModelsByPopularity(const Trace& trace);
+// The k most popular model ids (clamped to n_models).
+std::vector<int> ModelsByPopularity(const Trace& trace, int k);
+
 // Splits `trace` into `n_shards` sub-traces; request i goes to shard_of[i]
 // (shard_of is aligned with trace.requests and every value is in [0, n_shards)).
 // Requests keep their original ids and absolute arrival times, and each shard

@@ -146,6 +146,114 @@ TEST(ClusterTest, DeltaAffinityShrinksPerGpuModelSets) {
             distinct_models_per_gpu(PlacementPolicy::kRoundRobin));
 }
 
+TEST(ClusterPrefetchTest, SingleGpuParityHoldsWithPrefetchEnabled) {
+  // A 1-GPU cluster with prefetch must equal the direct engine run given the
+  // same warm hints the router would inject.
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 1;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = WorkerConfig();
+  cfg.engine.prefetch.enabled = true;
+  const ClusterReport report = Cluster(cfg).Serve(trace);
+
+  EngineConfig direct_cfg = cfg.engine;
+  direct_cfg.prefetch.warm_hints = Router(cfg.placer).WarmHints(trace)[0];
+  const ServeReport direct = MakeDeltaZipEngine(direct_cfg)->Serve(trace);
+
+  EXPECT_DOUBLE_EQ(report.makespan_s(), direct.makespan_s);
+  EXPECT_EQ(report.TotalLoads(), direct.total_loads);
+  EXPECT_EQ(report.TotalPrefetchIssued(), direct.prefetch_issued);
+  EXPECT_EQ(report.TotalPrefetchHits(), direct.prefetch_hits);
+  EXPECT_DOUBLE_EQ(report.TotalStallHiddenS(), direct.stall_hidden_s);
+  ExpectRecordsIdentical(report.merged.records, direct.records);
+}
+
+TEST(ClusterPrefetchTest, DeterministicAcrossWorkerParallelism) {
+  // Prefetch decisions live entirely inside each worker's simulated clock, so
+  // thread count must not change a single record or counter.
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 3;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = WorkerConfig();
+  cfg.engine.prefetch.enabled = true;
+  cfg.parallel_workers = true;
+  const ClusterReport parallel = Cluster(cfg).Serve(trace);
+  cfg.parallel_workers = false;
+  const ClusterReport serial = Cluster(cfg).Serve(trace);
+  ExpectRecordsIdentical(parallel.merged.records, serial.merged.records);
+  EXPECT_EQ(parallel.TotalPrefetchIssued(), serial.TotalPrefetchIssued());
+  EXPECT_EQ(parallel.TotalPrefetchHits(), serial.TotalPrefetchHits());
+  EXPECT_DOUBLE_EQ(parallel.TotalStallHiddenS(), serial.TotalStallHiddenS());
+}
+
+TEST(ClusterPrefetchTest, AffinityWarmHintsFollowRingHomes) {
+  TraceConfig tc = SmallTraceConfig();
+  tc.n_models = 24;
+  const Trace trace = GenerateTrace(tc);
+  PlacerConfig pc;
+  pc.n_gpus = 4;
+  pc.policy = PlacementPolicy::kDeltaAffinity;
+  const Router router(pc);
+  const std::vector<std::vector<int>> hints = router.WarmHints(trace);
+  ASSERT_EQ(hints.size(), 4u);
+  const Placer placer(pc);
+  std::set<int> hinted;
+  for (int gpu = 0; gpu < 4; ++gpu) {
+    for (int model : hints[static_cast<size_t>(gpu)]) {
+      EXPECT_EQ(placer.HomeGpu(model), gpu) << "hint must match ring home";
+      EXPECT_TRUE(hinted.insert(model).second) << "each variant hinted once";
+    }
+  }
+  // Every variant that appears in the trace is hinted somewhere.
+  std::set<int> in_trace;
+  for (const TraceRequest& r : trace.requests) {
+    in_trace.insert(r.model_id);
+  }
+  EXPECT_EQ(hinted, in_trace);
+}
+
+TEST(ClusterPrefetchTest, ShardWarmHintsCoverEachWorkersVariants) {
+  const Trace trace = GenerateTrace(SmallTraceConfig());
+  PlacerConfig pc;
+  pc.n_gpus = 3;
+  pc.policy = PlacementPolicy::kRoundRobin;
+  const Router router(pc);
+  const std::vector<std::vector<int>> hints = router.WarmHints(trace);
+  const std::vector<Trace> shards = router.Split(trace);
+  ASSERT_EQ(hints.size(), shards.size());
+  for (size_t g = 0; g < shards.size(); ++g) {
+    std::set<int> shard_models;
+    for (const TraceRequest& r : shards[g].requests) {
+      shard_models.insert(r.model_id);
+    }
+    std::set<int> hint_set(hints[g].begin(), hints[g].end());
+    EXPECT_EQ(hint_set, shard_models) << "gpu " << g;
+  }
+}
+
+TEST(ClusterPrefetchTest, PrefetchShrinksClusterStallsAtScale) {
+  TraceConfig tc = SmallTraceConfig();
+  tc.n_models = 32;
+  tc.arrival_rate = 8.0;
+  tc.duration_s = 120.0;
+  tc.dist = PopularityDist::kAzure;
+  tc.seed = 99;
+  const Trace trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 4;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = WorkerConfig();
+  const ClusterReport off = Cluster(cfg).Serve(trace);
+  cfg.engine.prefetch.enabled = true;
+  const ClusterReport on = Cluster(cfg).Serve(trace);
+  EXPECT_LT(on.merged.TotalLoadingTime(), off.merged.TotalLoadingTime());
+  EXPECT_GT(on.TotalPrefetchHits(), 0);
+  EXPECT_GT(on.TotalStallHiddenS(), 0.0);
+  EXPECT_GE(on.SloAttainmentE2e(120.0), off.SloAttainmentE2e(120.0));
+}
+
 TEST(ClusterTest, VllmBaselineClusterRuns) {
   TraceConfig tc = SmallTraceConfig();
   tc.arrival_rate = 0.4;

@@ -1,0 +1,115 @@
+// Golden regression test for the prefetch-off serving path (ISSUE 3 acceptance):
+// with prefetch disabled, both engines and an 8-GPU cluster run must produce
+// reports bit-identical to the pre-prefetch implementation. The expected values
+// below were captured from the engines as of PR 2 (commit a78d406) on the fixed
+// scenarios here; any scheduling, artifact-store, or merge change that shifts a
+// single double breaks this test.
+#include <gtest/gtest.h>
+
+#include "src/cluster/router.h"
+#include "src/serving/engine.h"
+#include "src/workload/trace.h"
+
+namespace dz {
+namespace {
+
+TraceConfig GoldenTraceConfig() {
+  TraceConfig cfg;
+  cfg.n_models = 16;
+  cfg.arrival_rate = 1.2;
+  cfg.duration_s = 90.0;
+  cfg.dist = PopularityDist::kAzure;
+  cfg.output_mean_tokens = 80.0;
+  cfg.output_max_tokens = 250;
+  cfg.seed = 404;
+  return cfg;
+}
+
+EngineConfig GoldenEngineConfig() {
+  EngineConfig cfg;
+  cfg.exec.shape = ModelShape::Llama13B();
+  cfg.exec.gpu = GpuSpec::A800();
+  cfg.exec.tp = 4;
+  cfg.max_batch = 32;
+  cfg.max_concurrent_deltas = 8;
+  return cfg;
+}
+
+struct GoldenSums {
+  double sum_start = 0.0;
+  double sum_first = 0.0;
+  double sum_finish = 0.0;
+};
+
+GoldenSums SumsOf(const ServeReport& r) {
+  GoldenSums s;
+  for (const auto& rec : r.records) {
+    s.sum_start += rec.start_s;
+    s.sum_first += rec.first_token_s;
+    s.sum_finish += rec.finish_s;
+  }
+  return s;
+}
+
+void ExpectNoPrefetchActivity(const ServeReport& r) {
+  EXPECT_EQ(r.prefetch_issued, 0);
+  EXPECT_EQ(r.prefetch_hits, 0);
+  EXPECT_EQ(r.prefetch_wasted, 0);
+  EXPECT_DOUBLE_EQ(r.stall_hidden_s, 0.0);
+}
+
+TEST(GoldenReportTest, DeltaZipEngineMatchesPrePrefetchBehavior) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  const ServeReport r = MakeDeltaZipEngine(GoldenEngineConfig())->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 90.574333173805186);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 4434.3527165309852);
+  EXPECT_DOUBLE_EQ(s.sum_first, 4435.5281193914107);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 4487.3900915944778);
+  EXPECT_EQ(r.total_loads, 10);
+  EXPECT_EQ(r.disk_loads, 10);
+  ExpectNoPrefetchActivity(r);
+}
+
+TEST(GoldenReportTest, VllmScbEngineMatchesPrePrefetchBehavior) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  EngineConfig cfg = GoldenEngineConfig();
+  cfg.artifact = ArtifactKind::kFullModel;
+  const ServeReport r = MakeVllmScbEngine(cfg)->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 335.98768124384088);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 17801.296086912476);
+  EXPECT_DOUBLE_EQ(s.sum_first, 20102.295867942015);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 26333.080092819353);
+  EXPECT_EQ(r.total_loads, 10);
+  EXPECT_EQ(r.disk_loads, 10);
+  ExpectNoPrefetchActivity(r);
+}
+
+TEST(GoldenReportTest, EightGpuClusterMatchesPrePrefetchBehavior) {
+  TraceConfig tc = GoldenTraceConfig();
+  tc.arrival_rate = 6.0;
+  tc.n_models = 32;
+  tc.seed = 808;
+  const Trace trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 8;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = GoldenEngineConfig();
+  const ClusterReport r = Cluster(cfg).Serve(trace);
+  ASSERT_EQ(r.merged.records.size(), 551u);
+  EXPECT_DOUBLE_EQ(r.merged.makespan_s, 90.801221883859554);
+  const GoldenSums s = SumsOf(r.merged);
+  EXPECT_DOUBLE_EQ(s.sum_start, 24782.342195479043);
+  EXPECT_DOUBLE_EQ(s.sum_first, 24789.924368478765);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 25123.902618151558);
+  EXPECT_EQ(r.TotalLoads(), 50);
+  EXPECT_EQ(r.TotalDiskLoads(), 50);
+  ExpectNoPrefetchActivity(r.merged);
+  EXPECT_EQ(r.TotalPrefetchIssued(), 0);
+}
+
+}  // namespace
+}  // namespace dz

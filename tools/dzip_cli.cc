@@ -1,29 +1,20 @@
 // dzip — operator command-line tool for the DeltaZip reproduction.
 //
-//   dzip trace    --out t.jsonl [--models 32] [--rate 1.0] [--duration 300]
-//                 [--dist uniform|zipf|azure] [--alpha 1.5] [--seed 7]
-//       Generates a multi-variant serving trace and writes it as JSONL.
+// Subcommands (each prints its own usage on --help; see README "dzip_cli
+// reference" for the full table):
+//   dzip trace    — generate a multi-variant serving trace as JSONL
+//   dzip simulate — replay a trace against one worker serving engine
+//   dzip cluster  — route a trace across a simulated multi-GPU cluster
+//   dzip inspect  — summarize an on-disk compressed-delta artifact
 //
-//   dzip simulate --trace t.jsonl [--engine deltazip|vllm-scb|lora]
-//                 [--model 7b|13b|70b|pythia] [--gpu a800|3090] [--tp 4] [--n 8]
-//                 [--bits 4|2] [--rank 16]
-//       Replays the trace against the serving simulator and prints the report.
-//
-//   dzip cluster  --trace t.jsonl --gpus 4
-//                 [--policy round-robin|least-outstanding|delta-affinity]
-//                 [--engine deltazip|vllm-scb|lora] [--model ...] [--gpu ...]
-//                 [--tp 4] [--n 8] [--slo-e2e 120] [--slo-ttft 30]
-//       Routes the trace across a simulated multi-GPU cluster and prints the
-//       merged cluster report plus the per-GPU breakdown.
-//
-//   dzip inspect  --artifact delta.bin
-//       Prints a summary of an on-disk compressed-delta artifact.
-//
-// Exit status: 0 on success, 1 on usage errors or I/O failures.
+// Exit status: 0 on success and on explicit --help; 1 on usage errors (unknown
+// subcommand/flag, missing required flag, bad value) or I/O failures.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/cluster/router.h"
 #include "src/compress/serialize.h"
@@ -37,15 +28,93 @@ namespace {
 
 using ArgMap = std::map<std::string, std::string>;
 
-// Parses "--key value" pairs after the subcommand. Returns false on stray tokens.
-bool ParseArgs(int argc, char** argv, int start, ArgMap& args) {
+// Per-subcommand usage text and flag allowlist. `keys` are the accepted --flag
+// names (without the leading dashes); anything else is a usage error.
+struct SubcommandSpec {
+  const char* name;
+  const char* usage;
+  std::vector<std::string> keys;
+};
+
+const std::vector<SubcommandSpec>& Subcommands() {
+  static const std::vector<SubcommandSpec> specs = {
+      {"trace",
+       "usage: dzip trace --out t.jsonl [--models 32] [--rate 1.0] [--duration 300]\n"
+       "                  [--dist uniform|zipf|azure] [--alpha 1.5] [--seed 7]\n"
+       "  Generates a multi-variant serving trace and writes it as JSONL.\n",
+       {"out", "models", "rate", "duration", "dist", "alpha", "seed"}},
+      {"simulate",
+       "usage: dzip simulate --trace t.jsonl [--engine deltazip|vllm-scb|lora]\n"
+       "                     [--model 7b|13b|70b|pythia] [--gpu a800|3090] [--tp 4]\n"
+       "                     [--n 8] [--bits 4|2] [--rank 16] [--prefetch 0|1]\n"
+       "                     [--lookahead 4]\n"
+       "  Replays the trace against the serving simulator and prints the report.\n"
+       "  --prefetch 1 enables the async artifact-prefetch pipeline (--lookahead\n"
+       "  sets W, the number of waiting variants warmed ahead of admission).\n",
+       {"trace", "engine", "model", "gpu", "tp", "n", "bits", "rank", "prefetch",
+        "lookahead"}},
+      {"cluster",
+       "usage: dzip cluster --trace t.jsonl --gpus 4\n"
+       "                    [--policy round-robin|least-outstanding|delta-affinity]\n"
+       "                    [--engine deltazip|vllm-scb|lora] [--model 7b|13b|70b|pythia]\n"
+       "                    [--gpu a800|3090] [--tp 4] [--n 8] [--bits 4|2] [--rank 16]\n"
+       "                    [--prefetch 0|1] [--lookahead 4] [--slo-e2e 120]\n"
+       "                    [--slo-ttft 30]\n"
+       "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
+       "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
+       "  router feeds each worker ring-predicted warm hints.\n",
+       {"trace", "gpus", "policy", "engine", "model", "gpu", "tp", "n", "bits", "rank",
+        "prefetch", "lookahead", "slo-e2e", "slo-ttft"}},
+      {"inspect",
+       "usage: dzip inspect --artifact delta.bin\n"
+       "  Prints a summary of an on-disk compressed-delta artifact.\n",
+       {"artifact"}},
+  };
+  return specs;
+}
+
+const SubcommandSpec* FindSubcommand(const std::string& name) {
+  for (const SubcommandSpec& spec : Subcommands()) {
+    if (name == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+// Parses "--key value" pairs after the subcommand, validating every key against
+// the subcommand's allowlist. Returns false (after printing the subcommand's
+// usage to stderr) on stray tokens, missing values, or unknown flags. Sets
+// `help` instead when --help / -h / help is present anywhere.
+bool ParseArgs(int argc, char** argv, int start, const SubcommandSpec& spec,
+               ArgMap& args, bool& help) {
+  help = false;
   for (int i = start; i < argc; i += 2) {
     const std::string key = argv[i];
-    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
-      std::fprintf(stderr, "error: expected --key value pairs, got '%s'\n", key.c_str());
+    if (key == "--help" || key == "-h" || key == "help") {
+      help = true;
+      return true;
+    }
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: expected --key value pairs, got '%s'\n%s",
+                   key.c_str(), spec.usage);
       return false;
     }
-    args[key.substr(2)] = argv[i + 1];
+    const std::string name = key.substr(2);
+    if (std::find(spec.keys.begin(), spec.keys.end(), name) == spec.keys.end()) {
+      std::fprintf(stderr, "error: unknown flag '%s' for 'dzip %s'\n%s", key.c_str(),
+                   spec.name, spec.usage);
+      return false;
+    }
+    // A following token that is itself a flag means the value is missing — do
+    // not swallow it (otherwise e.g. "--prefetch --help" would silently parse
+    // "--help" as the value of --prefetch).
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      std::fprintf(stderr, "error: flag '%s' is missing its value\n%s", key.c_str(),
+                   spec.usage);
+      return false;
+    }
+    args[name] = argv[i + 1];
   }
   return true;
 }
@@ -137,6 +206,8 @@ bool ParseEngineArgs(const ArgMap& args, EngineConfig& cfg, bool& vllm_baseline)
     std::fprintf(stderr, "error: unknown --engine '%s'\n", engine_name.c_str());
     return false;
   }
+  cfg.prefetch.enabled = GetNum(args, "prefetch", 0) != 0;
+  cfg.prefetch.lookahead = static_cast<int>(GetNum(args, "lookahead", 4));
   return true;
 }
 
@@ -177,6 +248,15 @@ int CmdSimulate(const ArgMap& args) {
   table.AddRow({"P90 E2E (s)", Table::Num(Percentile(report.E2es(), 90), 2)});
   table.AddRow({"mean TTFT (s)", Table::Num(report.MeanTtft(), 3)});
   table.AddRow({"P90 TTFT (s)", Table::Num(Percentile(report.Ttfts(), 90), 3)});
+  table.AddRow({"artifact loads (PCIe/disk)", std::to_string(report.total_loads) + "/" +
+                                                  std::to_string(report.disk_loads)});
+  if (cfg.prefetch.enabled) {
+    table.AddRow({"prefetch issued/hits/wasted",
+                  std::to_string(report.prefetch_issued) + "/" +
+                      std::to_string(report.prefetch_hits) + "/" +
+                      std::to_string(report.prefetch_wasted)});
+    table.AddRow({"stall hidden by prefetch (s)", Table::Num(report.stall_hidden_s, 3)});
+  }
   std::printf("%s", table.ToAscii().c_str());
   return 0;
 }
@@ -190,7 +270,11 @@ int CmdCluster(const ArgMap& args) {
   if (!ParseEngineArgs(args, cfg.engine, cfg.vllm_baseline)) {
     return 1;
   }
-  cfg.placer.n_gpus = static_cast<int>(GetNum(args, "gpus", 4));
+  if (args.find("gpus") == args.end()) {
+    std::fprintf(stderr, "error: cluster requires --gpus <n>\n");
+    return 1;
+  }
+  cfg.placer.n_gpus = static_cast<int>(GetNum(args, "gpus", 0));
   if (cfg.placer.n_gpus < 1) {
     std::fprintf(stderr, "error: --gpus must be >= 1\n");
     return 1;
@@ -238,25 +322,50 @@ int CmdInspect(const ArgMap& args) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintGlobalUsage(std::FILE* out) {
+  std::fprintf(out,
                "usage: dzip <trace|simulate|cluster|inspect> [--key value ...]\n"
-               "  dzip trace    --out t.jsonl [--models N] [--rate R] [--dist D]\n"
-               "  dzip simulate --trace t.jsonl [--engine E] [--model M] [--gpu G]\n"
-               "  dzip cluster  --trace t.jsonl --gpus N [--policy P] [--engine E]\n"
-               "  dzip inspect  --artifact delta.bin\n");
-  return 1;
+               "       dzip <subcommand> --help   (per-subcommand usage)\n\n");
+  for (const SubcommandSpec& spec : Subcommands()) {
+    std::fprintf(out, "%s\n", spec.usage);
+  }
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    return Usage();
-  }
-  ArgMap args;
-  if (!ParseArgs(argc, argv, 2, args)) {
+    PrintGlobalUsage(stderr);
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    // `dzip help <subcommand>` narrows to one usage block.
+    if (argc >= 3) {
+      if (const SubcommandSpec* spec = FindSubcommand(argv[2])) {
+        std::fprintf(stdout, "%s", spec->usage);
+        return 0;
+      }
+      std::fprintf(stderr, "error: unknown subcommand '%s'\n", argv[2]);
+      PrintGlobalUsage(stderr);
+      return 1;
+    }
+    PrintGlobalUsage(stdout);
+    return 0;
+  }
+  const SubcommandSpec* spec = FindSubcommand(cmd);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
+    PrintGlobalUsage(stderr);
+    return 1;
+  }
+  ArgMap args;
+  bool help = false;
+  if (!ParseArgs(argc, argv, 2, *spec, args, help)) {
+    return 1;
+  }
+  if (help) {
+    std::fprintf(stdout, "%s", spec->usage);
+    return 0;
+  }
   if (cmd == "trace") {
     return CmdTrace(args);
   }
@@ -269,7 +378,10 @@ int Main(int argc, char** argv) {
   if (cmd == "inspect") {
     return CmdInspect(args);
   }
-  return Usage();
+  // A subcommand in Subcommands() without a dispatch branch is a programming
+  // error, not a user error.
+  std::fprintf(stderr, "internal error: no handler for subcommand '%s'\n", cmd.c_str());
+  return 1;
 }
 
 }  // namespace
