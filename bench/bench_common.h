@@ -4,6 +4,8 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -135,6 +137,96 @@ inline bool ParseQuickFlag(int argc, char** argv) {
   }
   return quick;
 }
+
+// Returns the value following `flag` (e.g. ParseStringFlag(..., "--json") for
+// "--json out.json"), or nullptr when the flag is absent or has no value.
+inline const char* ParseStringFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && argv[i + 1][0] != '-') {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+// Median-free single timing helper for the measured-kernel bench sections:
+// runs fn() `reps` times and returns seconds per rep.
+template <typename Fn>
+double TimeSecsPerRep(int reps, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    fn();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / std::max(reps, 1);
+}
+
+// Self-calibrating variant: doubles the rep count until the measurement window
+// reaches `min_secs`, so microsecond-scale kernels still get a stable number
+// (the CI regression gate depends on these being reproducible).
+template <typename Fn>
+double TimeSecsStable(Fn&& fn, double min_secs = 0.05) {
+  constexpr int kMaxReps = 10000000;
+  int reps = 1;
+  for (;;) {
+    const double per_rep = TimeSecsPerRep(reps, fn);
+    // A capped-rep window is accepted as-is: near-no-op bodies can never fill
+    // min_secs, and re-measuring the same window would loop forever.
+    if (per_rep * reps >= min_secs || per_rep * reps >= 2.0 || reps >= kMaxReps) {
+      return per_rep;
+    }
+    const double target = min_secs / std::max(per_rep, 1e-9);
+    reps = static_cast<int>(std::min(target * 1.3 + 1.0, double{kMaxReps}));
+  }
+}
+
+// Machine-readable bench output behind the shared `--json <path>` flag.
+// Schema (one object per bench binary, merged by tools/bench_json.sh):
+//   {"bench": "<name>", "metrics": [{"name","value","unit","higher_is_better"}]}
+// Dimensionless "x" ratio metrics (e.g. blocked-vs-naive speedups) are the ones
+// the CI regression gate compares — they are stable across machines, unlike
+// absolute GFLOP/s.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& name, double value, const std::string& unit,
+           bool higher_is_better = true) {
+    items_.push_back({name, value, unit, higher_is_better});
+  }
+
+  // Writes the JSON file; returns false (with a message on stderr) on failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n", bench_.c_str());
+    for (size_t i = 0; i < items_.size(); ++i) {
+      const Item& it = items_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                   "\"higher_is_better\": %s}%s\n",
+                   it.name.c_str(), it.value, it.unit.c_str(),
+                   it.higher_is_better ? "true" : "false",
+                   i + 1 < items_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Item {
+    std::string name;
+    double value;
+    std::string unit;
+    bool higher_is_better;
+  };
+  std::string bench_;
+  std::vector<Item> items_;
+};
 
 }  // namespace dz
 

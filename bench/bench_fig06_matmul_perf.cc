@@ -3,13 +3,67 @@
 // Expected shape: at small inputs (decode) all compressed formats beat fp16 in
 // proportion to bytes moved; at large inputs (prefill) quantized-dense formats saturate
 // at dense-fp16 peak while 2:4 sparse exceeds it (~1.6x).
+//
+// A second section measures THIS library's CPU kernels (blocked kernel layer vs
+// the retained naive reference) — dense NT, fused packed-quant, 2:4 sparse —
+// and, with `--json <path>`, emits the numbers for the perf trajectory
+// (tools/bench_json.sh; the CI gate compares the speedup ratios).
 #include "bench/bench_common.h"
 #include "src/simgpu/kernel_model.h"
+#include "src/tensor/kernels.h"
 
 namespace dz {
 namespace {
 
-void Run() {
+void RunMeasuredKernels(bool quick, BenchJson* json) {
+  std::printf("\nmeasured CPU kernels (blocked kernel layer vs naive reference):\n\n");
+  Rng rng(606);
+  const int k = quick ? 256 : 1024;
+  const int n = quick ? 256 : 1024;
+  Table table({"kernel", "m", "blocked GFLOP/s", "naive GFLOP/s", "speedup"});
+  const auto add_row = [&](const std::string& kernel, int m, double flops,
+                           double blocked_s, double naive_s) {
+    table.AddRow({kernel, std::to_string(m), Table::Num(flops / blocked_s / 1e9, 2),
+                  Table::Num(flops / naive_s / 1e9, 2),
+                  Table::Num(naive_s / blocked_s, 2)});
+    if (json != nullptr) {
+      const std::string base = kernel + "_m" + std::to_string(m);
+      json->Add(base + "_gflops", flops / blocked_s / 1e9, "GFLOP/s");
+      json->Add(base + "_speedup", naive_s / blocked_s, "x");
+    }
+  };
+
+  const double window = quick ? 0.05 : 0.2;
+  for (int m : {quick ? 4 : 8, quick ? 64 : 512}) {
+    const double flops = 2.0 * m * k * n;
+
+    const Matrix x = Matrix::Random(m, k, rng, 1.0f);
+    const Matrix w = Matrix::Random(n, k, rng, 0.02f);
+    MatmulNT(x, w);  // warm
+    const double blocked_s = TimeSecsStable([&] { MatmulNT(x, w); }, window);
+    const double naive_s = TimeSecsStable([&] { kernels::ref::GemmNT(x, w); }, window);
+    add_row("dense_nt", m, flops, blocked_s, naive_s);
+
+    const auto q = PackedQuantMatrix::Quantize(w, 4, 128);
+    q.MatmulNT(x);  // warm
+    const double q_blocked_s = TimeSecsStable([&] { q.MatmulNT(x); }, window);
+    const double q_naive_s =
+        TimeSecsStable([&] { kernels::ref::QuantGemmNT(x, q); }, window);
+    add_row("quant4_nt", m, flops, q_blocked_s, q_naive_s);
+
+    const auto sp = Sparse24Matrix::Pack(MagnitudePrune24(w), 4, 128);
+    sp.MatmulNT(x);  // warm
+    const double s_blocked_s = TimeSecsStable([&] { sp.MatmulNT(x); }, window);
+    const double s_naive_s =
+        TimeSecsStable([&] { kernels::ref::Sparse24GemmNT(x, sp); }, window);
+    // Counted at dense FLOPs so throughput is comparable with the dense rows.
+    add_row("sparse24_nt", m, flops, s_blocked_s, s_naive_s);
+  }
+  std::printf("W = %dx%d (quant/sparse 4-bit, group 128)\n\n%s\n", n, k,
+              table.ToAscii().c_str());
+}
+
+void Run(bool quick, const char* json_path) {
   Banner("Figure 6 — compressed matmul performance", "Fig. 6", 0);
   const KernelModel km{GpuSpec::A800()};
   const long long n = 4096;
@@ -39,12 +93,18 @@ void Run() {
       km.AchievedFlops(4096, n, k, WeightFormat::kSparseInt4) / peak;
   std::printf("sparse-int4 at large input: %.2fx dense peak (paper: ~1.6x)\n",
               sparse_peak);
+
+  BenchJson json("bench_fig06_matmul_perf");
+  RunMeasuredKernels(quick, json_path != nullptr ? &json : nullptr);
+  if (json_path != nullptr && json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path);
+  }
 }
 
 }  // namespace
 }  // namespace dz
 
-int main() {
-  dz::Run();
+int main(int argc, char** argv) {
+  dz::Run(dz::ParseQuickFlag(argc, argv), dz::ParseStringFlag(argc, argv, "--json"));
   return 0;
 }

@@ -2,7 +2,16 @@
 // packed dequant-GEMM, 2:4 sparse GEMM, the OBS solver, and the lossless codec. These
 // measure this library's own kernels (not the simulated GPU model) and back the
 // relative-cost assumptions used elsewhere.
+//
+// Flags (shared bench conventions, translated to Google Benchmark flags by the
+// custom main below):
+//   --quick        short measuring time (CI smoke / tools/bench_json.sh)
+//   --json <path>  write Google Benchmark JSON to <path>, console output stays
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/compress/lossless.h"
 #include "src/compress/obs.h"
@@ -77,6 +86,44 @@ void BM_GdeflateRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_GdeflateRoundTrip)->Arg(1 << 14)->Arg(1 << 17);
 
+// Decompress alone — the serving-side hot path (paper's GPU-side step 4).
+void BM_GdeflateDecompress(benchmark::State& state) {
+  Rng rng(5);
+  ByteBuffer input(static_cast<size_t>(state.range(0)));
+  for (auto& b : input) {
+    b = rng.NextDouble() < 0.7 ? 0 : static_cast<uint8_t>(rng.NextBelow(32));
+  }
+  const ByteBuffer z = GdeflateCompress(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GdeflateDecompress(z));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GdeflateDecompress)->Arg(1 << 17)->Arg(1 << 20);
+
+// Large prefill-shaped dense GEMM — the blocked kernel layer's tentpole shape.
+void BM_DenseGemmNTLarge(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const Matrix x = Matrix::Random(m, 1024, rng, 1.0f);
+  const Matrix w = Matrix::Random(1024, 1024, rng, 0.02f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatmulNT(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * m * 1024 * 1024);
+}
+BENCHMARK(BM_DenseGemmNTLarge)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  Rng rng(8);
+  const Matrix m = Matrix::Random(2048, 1024, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Transposed());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(m.size()));
+}
+BENCHMARK(BM_Transpose);
+
 void BM_QuantizePack(benchmark::State& state) {
   Rng rng(6);
   const Matrix w = Matrix::Random(256, 512, rng, 0.02f);
@@ -90,4 +137,41 @@ BENCHMARK(BM_QuantizePack);
 }  // namespace
 }  // namespace dz
 
-BENCHMARK_MAIN();
+// Custom main: maps the repo-wide `--quick` / `--json <path>` conventions onto
+// Google Benchmark's flags, passing anything else through untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      // Shared ParseQuickFlag syntax: bare flag means on, an explicit 0/1
+      // value overrides.
+      bool quick = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        quick = std::strtol(argv[i + 1], nullptr, 10) != 0;
+        ++i;
+      }
+      if (quick) {
+        // Plain-double form: the "0.02s" suffix syntax needs benchmark >= 1.8.
+        args.push_back("--benchmark_min_time=0.02");
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  for (auto& a : args) {
+    cargs.push_back(a.data());
+  }
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace dz {
 
@@ -42,23 +43,39 @@ class BitWriter {
   int fill_ = 0;
 };
 
+// LSB-first bit reader with peek/consume (the LUT decoder speculatively peeks a
+// full first-level index). Peeking past the end pads with zero bits: the final
+// byte of a well-formed stream is already zero-padded by BitWriter, so the pad
+// is only ever consumed as part of the terminal symbol's slack.
 class BitReader {
  public:
   BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  uint32_t Get(int count) {
-    while (fill_ < count) {
-      DZ_CHECK_LT(pos_, size_);
-      acc_ |= static_cast<uint64_t>(data_[pos_++]) << fill_;
-      fill_ += 8;
-    }
-    const uint32_t v = static_cast<uint32_t>(acc_ & ((1ull << count) - 1ull));
+  uint32_t Peek(int count) {
+    Fill(count);
+    return static_cast<uint32_t>(acc_ & ((1ull << count) - 1ull));
+  }
+
+  void Consume(int count) {
+    Fill(count);
     acc_ >>= count;
     fill_ -= count;
+  }
+
+  uint32_t Get(int count) {
+    const uint32_t v = Peek(count);
+    Consume(count);
     return v;
   }
 
  private:
+  void Fill(int count) {
+    while (fill_ < count) {
+      acc_ |= static_cast<uint64_t>(pos_ < size_ ? data_[pos_++] : 0) << fill_;
+      fill_ += 8;
+    }
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
@@ -91,10 +108,7 @@ std::vector<uint8_t> BuildCodeLengths(std::vector<uint64_t> freq) {
     };
     auto cmp = [](const Node& a, const Node& b) { return a.weight > b.weight; };
     std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
-    std::vector<int> parent;
-    parent.reserve(kSymbols * 2);
     int next_internal = kSymbols;
-    std::vector<int> left, right;
     std::vector<uint8_t> depth(static_cast<size_t>(kSymbols), 0);
 
     int present = 0;
@@ -177,7 +191,8 @@ std::vector<uint32_t> CanonicalCodes(const std::vector<uint8_t>& lengths) {
   return codes;
 }
 
-// Slow-but-simple canonical decoder.
+// Per-bit canonical tree walk with a linear code scan at every depth. Slow on
+// purpose: this is the historical decoder, retained as the parity reference.
 class HuffmanDecoder {
  public:
   explicit HuffmanDecoder(const std::vector<uint8_t>& lengths) : lengths_(lengths) {
@@ -203,6 +218,79 @@ class HuffmanDecoder {
   std::vector<uint32_t> codes_;
 };
 
+// Codes are emitted MSB-first into the LSB-first byte stream, so the bits of a
+// code arrive in stream order b0 b1 ... b(len-1) with b0 first. Reversing a
+// canonical code therefore yields its bit-stream index prefix.
+uint32_t ReverseBits(uint32_t v, int n) {
+  uint32_t r = 0;
+  for (int i = 0; i < n; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return r;
+}
+
+// Two-level canonical-code lookup decoder: one 10-bit peek resolves any code of
+// length <= 10 directly (>99% of symbols in practice); longer codes indirect
+// into a 32-entry second-level table selected by the 10-bit prefix.
+class LutDecoder {
+ public:
+  static constexpr int kLutBits = 10;
+  static constexpr int kSubBits = kMaxCodeLen - kLutBits;
+  static constexpr size_t kSubSize = 1u << kSubBits;
+
+  explicit LutDecoder(const std::vector<uint8_t>& lengths) {
+    const std::vector<uint32_t> codes = CanonicalCodes(lengths);
+    primary_.assign(1u << kLutBits, Entry{-1, 0, -1});
+    for (size_t s = 0; s < lengths.size(); ++s) {
+      const int len = lengths[s];
+      if (len == 0) {
+        continue;
+      }
+      const uint32_t rev = ReverseBits(codes[s], len);
+      if (len <= kLutBits) {
+        // Every index whose low `len` bits equal the reversed code decodes to s.
+        for (uint32_t idx = rev; idx < primary_.size(); idx += 1u << len) {
+          primary_[idx] = {static_cast<int16_t>(s), static_cast<uint8_t>(len), -1};
+        }
+      } else {
+        const uint32_t prefix = rev & ((1u << kLutBits) - 1u);
+        int sub = primary_[prefix].sub;
+        if (sub < 0) {
+          sub = static_cast<int>(sub_.size() / kSubSize);
+          sub_.resize(sub_.size() + kSubSize, Entry{-1, 0, -1});
+          primary_[prefix] = {-1, 0, static_cast<int16_t>(sub)};
+        }
+        const int rem = len - kLutBits;
+        Entry* table = sub_.data() + static_cast<size_t>(sub) * kSubSize;
+        for (uint32_t idx = rev >> kLutBits; idx < kSubSize; idx += 1u << rem) {
+          table[idx] = {static_cast<int16_t>(s), static_cast<uint8_t>(len), -1};
+        }
+      }
+    }
+  }
+
+  int Decode(BitReader& reader) const {
+    Entry e = primary_[reader.Peek(kLutBits)];
+    if (e.sub >= 0) {
+      e = sub_[static_cast<size_t>(e.sub) * kSubSize +
+               (reader.Peek(kMaxCodeLen) >> kLutBits)];
+    }
+    DZ_CHECK_GT(e.len, 0);  // unassigned entry ⇒ corrupt stream
+    reader.Consume(e.len);
+    return e.sym;
+  }
+
+ private:
+  struct Entry {
+    int16_t sym;
+    uint8_t len;
+    int16_t sub;  // >= 0: second-level table index
+  };
+  std::vector<Entry> primary_;
+  std::vector<Entry> sub_;
+};
+
 // Bits are emitted MSB-first for canonical codes.
 void PutCode(BitWriter& writer, uint32_t code, int len) {
   for (int i = len - 1; i >= 0; --i) {
@@ -211,7 +299,7 @@ void PutCode(BitWriter& writer, uint32_t code, int len) {
 }
 
 // ---------------------------------------------------------------------------
-// LZ77 with hash chains
+// LZ77 with hash chains and optional one-step lazy matching
 // ---------------------------------------------------------------------------
 
 struct Token {
@@ -227,56 +315,96 @@ uint32_t Hash4(const uint8_t* p) {
   return (v * 2654435761u) >> 19;  // 13-bit hash
 }
 
-std::vector<Token> Lz77Parse(const ByteBuffer& input) {
-  std::vector<Token> tokens;
-  const size_t n = input.size();
-  constexpr uint32_t kHashSize = 1 << 13;
-  constexpr int kMaxChain = 32;
-  std::vector<int> head(kHashSize, -1);
-  std::vector<int> prev(n, -1);
+struct Match {
+  int len = 0;
+  int dist = 0;
+};
 
-  size_t i = 0;
-  while (i < n) {
-    int best_len = 0;
-    int best_dist = 0;
-    if (i + kMinMatch <= n) {
-      const uint32_t h = Hash4(input.data() + i);
-      int cand = head[h];
-      int chain = 0;
-      while (cand >= 0 && chain < kMaxChain &&
-             static_cast<size_t>(cand) + kWindow > i) {
+// Hash-chain searcher over one chunk. Find() never inserts; InsertUpTo()
+// registers positions exactly once, which keeps the chain sane when lazy
+// evaluation revisits a position.
+class ChainMatcher {
+ public:
+  ChainMatcher(const uint8_t* data, size_t n, const GdeflateOptions& opts)
+      : data_(data), n_(n), opts_(opts), head_(kHashSize, -1), prev_(n, -1) {}
+
+  void InsertUpTo(size_t p) {
+    const size_t limit = n_ >= kMinMatch ? n_ - kMinMatch + 1 : 0;
+    for (; next_insert_ < std::min(p, limit); ++next_insert_) {
+      const uint32_t h = Hash4(data_ + next_insert_);
+      prev_[next_insert_] = head_[h];
+      head_[h] = static_cast<int>(next_insert_);
+    }
+    next_insert_ = std::max(next_insert_, std::min(p, n_));
+  }
+
+  Match Find(size_t i) const {
+    Match best;
+    if (i + kMinMatch > n_) {
+      return best;
+    }
+    const int max_len = static_cast<int>(std::min<size_t>(kMaxMatch, n_ - i));
+    const uint8_t* cur = data_ + i;
+    int cand = head_[Hash4(cur)];
+    int chain = 0;
+    while (cand >= 0 && chain < opts_.max_chain &&
+           static_cast<size_t>(cand) + kWindow > i) {
+      const uint8_t* c = data_ + cand;
+      // Cheap reject: a longer match must extend past the current best.
+      if (best.len == 0 || c[best.len] == cur[best.len]) {
         int len = 0;
-        const int max_len =
-            static_cast<int>(std::min<size_t>(kMaxMatch, n - i));
-        while (len < max_len && input[static_cast<size_t>(cand) + len] == input[i + len]) {
+        while (len < max_len && c[len] == cur[len]) {
           ++len;
         }
-        if (len >= kMinMatch && len > best_len) {
-          best_len = len;
-          best_dist = static_cast<int>(i) - cand;
-          if (len == kMaxMatch) {
+        if (len >= kMinMatch && len > best.len) {
+          best.len = len;
+          best.dist = static_cast<int>(i) - cand;
+          if (len == max_len || len >= opts_.nice_length) {
             break;
           }
         }
-        cand = prev[static_cast<size_t>(cand)];
-        ++chain;
       }
-      // Insert current position into the chain.
-      prev[i] = head[h];
-      head[h] = static_cast<int>(i);
+      cand = prev_[static_cast<size_t>(cand)];
+      ++chain;
     }
-    if (best_len >= kMinMatch) {
-      tokens.push_back({true, 0, best_len, best_dist});
-      // Insert skipped positions so later matches can reference them.
-      const size_t end = i + static_cast<size_t>(best_len);
-      for (size_t p = i + 1; p < end && p + kMinMatch <= n; ++p) {
-        const uint32_t h = Hash4(input.data() + p);
-        prev[p] = head[h];
-        head[h] = static_cast<int>(p);
+    return best;
+  }
+
+ private:
+  static constexpr uint32_t kHashSize = 1 << 13;
+  const uint8_t* data_;
+  size_t n_;
+  const GdeflateOptions& opts_;
+  std::vector<int> head_;
+  std::vector<int> prev_;
+  size_t next_insert_ = 0;
+};
+
+std::vector<Token> Lz77Parse(const uint8_t* data, size_t n,
+                             const GdeflateOptions& opts) {
+  std::vector<Token> tokens;
+  ChainMatcher matcher(data, n, opts);
+  size_t i = 0;
+  while (i < n) {
+    matcher.InsertUpTo(i);
+    const Match cur = matcher.Find(i);
+    if (cur.len >= kMinMatch && opts.lazy && cur.len < opts.nice_length &&
+        i + 1 < n) {
+      // One-step lazy matching: when the next position hides a strictly longer
+      // match, emit a literal and let it win.
+      matcher.InsertUpTo(i + 1);
+      const Match next = matcher.Find(i + 1);
+      if (next.len > cur.len) {
+        tokens.push_back({false, data[i], 0, 0});
+        ++i;
+        continue;
       }
-      i = end;
+    }
+    if (cur.len >= kMinMatch) {
+      tokens.push_back({true, 0, cur.len, cur.dist});
+      i += static_cast<size_t>(cur.len);
     } else {
-      tokens.push_back({false, input[i], 0, 0});
+      tokens.push_back({false, data[i], 0, 0});
       ++i;
     }
   }
@@ -295,10 +423,16 @@ uint32_t GetU32(const uint8_t* p) {
          (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Single-block format (the legacy whole-buffer layout, reused per chunk):
+//   u32 original_size | 129 bytes of 4-bit code lengths | MSB-first bitstream
+// ---------------------------------------------------------------------------
 
-ByteBuffer GdeflateCompress(const ByteBuffer& input) {
-  const std::vector<Token> tokens = Lz77Parse(input);
+constexpr size_t kBlockHeader = 4 + kSymbols / 2;
+
+void CompressBlock(const uint8_t* data, size_t n, const GdeflateOptions& opts,
+                   ByteBuffer& out) {
+  const std::vector<Token> tokens = Lz77Parse(data, n, opts);
 
   std::vector<uint64_t> freq(static_cast<size_t>(kSymbols), 0);
   for (const Token& t : tokens) {
@@ -308,8 +442,7 @@ ByteBuffer GdeflateCompress(const ByteBuffer& input) {
   const std::vector<uint8_t> lengths = BuildCodeLengths(freq);
   const std::vector<uint32_t> codes = CanonicalCodes(lengths);
 
-  ByteBuffer out;
-  PutU32(out, static_cast<uint32_t>(input.size()));
+  PutU32(out, static_cast<uint32_t>(n));
   // Header: 4-bit code lengths, two per byte.
   for (int s = 0; s < kSymbols; s += 2) {
     const uint8_t lo = lengths[static_cast<size_t>(s)];
@@ -330,26 +463,26 @@ ByteBuffer GdeflateCompress(const ByteBuffer& input) {
   PutCode(writer, codes[kEob], lengths[kEob]);
   const ByteBuffer body = writer.Finish();
   out.insert(out.end(), body.begin(), body.end());
-  return out;
 }
 
-ByteBuffer GdeflateDecompress(const ByteBuffer& compressed) {
-  DZ_CHECK_GE(compressed.size(), 4u + kSymbols / 2);
-  const uint32_t original_size = GetU32(compressed.data());
+// Decodes one block into dst (which must hold the block's original size);
+// returns the decoded byte count. Decoder is LutDecoder or HuffmanDecoder.
+template <typename Decoder>
+size_t DecompressBlockTo(const uint8_t* p, size_t size, uint8_t* dst) {
+  DZ_CHECK_GE(size, kBlockHeader);
+  const uint32_t original_size = GetU32(p);
   std::vector<uint8_t> lengths(static_cast<size_t>(kSymbols), 0);
   for (int s = 0; s < kSymbols; s += 2) {
-    const uint8_t packed = compressed[4 + static_cast<size_t>(s / 2)];
+    const uint8_t packed = p[4 + static_cast<size_t>(s / 2)];
     lengths[static_cast<size_t>(s)] = packed & 0x0F;
     if (s + 1 < kSymbols) {
       lengths[static_cast<size_t>(s + 1)] = packed >> 4;
     }
   }
-  const HuffmanDecoder decoder(lengths);
-  const size_t header = 4 + kSymbols / 2;
-  BitReader reader(compressed.data() + header, compressed.size() - header);
+  const Decoder decoder(lengths);
+  BitReader reader(p + kBlockHeader, size - kBlockHeader);
 
-  ByteBuffer out;
-  out.reserve(original_size);
+  size_t w = 0;
   for (;;) {
     const int sym = decoder.Decode(reader);
     if (sym == kEob) {
@@ -358,18 +491,125 @@ ByteBuffer GdeflateDecompress(const ByteBuffer& compressed) {
     if (sym == kMatch) {
       const int length = static_cast<int>(reader.Get(8)) + kMinMatch;
       const int distance = static_cast<int>(reader.Get(15)) + 1;
-      DZ_CHECK_LE(static_cast<size_t>(distance), out.size());
-      const size_t start = out.size() - static_cast<size_t>(distance);
+      DZ_CHECK_LE(static_cast<size_t>(distance), w);
+      DZ_CHECK_LE(w + static_cast<size_t>(length), original_size);
+      const uint8_t* src = dst + w - static_cast<size_t>(distance);
       for (int k = 0; k < length; ++k) {
-        out.push_back(out[start + static_cast<size_t>(k)]);  // may self-overlap
+        dst[w + static_cast<size_t>(k)] = src[k];  // may self-overlap
       }
+      w += static_cast<size_t>(length);
     } else {
-      out.push_back(static_cast<uint8_t>(sym));
+      DZ_CHECK_LT(w, original_size);
+      dst[w++] = static_cast<uint8_t>(sym);
     }
   }
-  DZ_CHECK_EQ(out.size(), original_size);
+  DZ_CHECK_EQ(w, original_size);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-framed container for parallel (de)compression:
+//   u32 magic "DZGC" | u32 n_chunks | n_chunks x u32 compressed size | blocks
+// Each block is an independent single-block stream (own window + code table),
+// so chunks compress and decompress in parallel and in any order. Legacy
+// whole-buffer streams are detected by the absence of the magic; a legacy
+// header starts with the original size, which the chunk_size clamp keeps well
+// below the magic value.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kChunkMagic = 0x43475A44u;  // "DZGC" little-endian
+constexpr size_t kMinChunkSize = 4096;
+constexpr size_t kMaxChunkSize = (1u << 30) - 1;
+
+template <typename Decoder>
+ByteBuffer DecompressImpl(const ByteBuffer& compressed, bool parallel) {
+  if (compressed.size() >= 8 && GetU32(compressed.data()) == kChunkMagic) {
+    const size_t n_chunks = GetU32(compressed.data() + 4);
+    const size_t header = 8 + 4 * n_chunks;
+    DZ_CHECK_GE(compressed.size(), header);
+    std::vector<size_t> in_off(n_chunks + 1, header);
+    for (size_t c = 0; c < n_chunks; ++c) {
+      in_off[c + 1] = in_off[c] + GetU32(compressed.data() + 8 + 4 * c);
+    }
+    DZ_CHECK_EQ(in_off[n_chunks], compressed.size());
+    std::vector<size_t> out_off(n_chunks + 1, 0);
+    for (size_t c = 0; c < n_chunks; ++c) {
+      DZ_CHECK_GE(in_off[c + 1] - in_off[c], kBlockHeader);
+      out_off[c + 1] = out_off[c] + GetU32(compressed.data() + in_off[c]);
+    }
+    ByteBuffer out(out_off[n_chunks]);
+    const auto decode_chunk = [&](size_t c) {
+      DecompressBlockTo<Decoder>(compressed.data() + in_off[c],
+                                 in_off[c + 1] - in_off[c], out.data() + out_off[c]);
+    };
+    if (parallel && n_chunks > 1) {
+      ThreadPool::Global().ForEachTask(n_chunks, decode_chunk);
+    } else {
+      for (size_t c = 0; c < n_chunks; ++c) {
+        decode_chunk(c);
+      }
+    }
+    return out;
+  }
+  // Legacy single-block stream.
+  DZ_CHECK_GE(compressed.size(), kBlockHeader);
+  ByteBuffer out(GetU32(compressed.data()));
+  DecompressBlockTo<Decoder>(compressed.data(), compressed.size(), out.data());
   return out;
 }
+
+}  // namespace
+
+ByteBuffer GdeflateCompress(const ByteBuffer& input, const GdeflateOptions& opts) {
+  DZ_CHECK_GE(opts.max_chain, 1);
+  const size_t chunk_size =
+      std::min(std::max(opts.chunk_size, kMinChunkSize), kMaxChunkSize);
+  if (input.size() <= chunk_size) {
+    ByteBuffer out;
+    CompressBlock(input.data(), input.size(), opts, out);
+    return out;
+  }
+  const size_t n_chunks = (input.size() + chunk_size - 1) / chunk_size;
+  std::vector<ByteBuffer> blobs(n_chunks);
+  const auto compress_chunk = [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t len = std::min(chunk_size, input.size() - begin);
+    CompressBlock(input.data() + begin, len, opts, blobs[c]);
+  };
+  if (opts.parallel && n_chunks > 1) {
+    ThreadPool::Global().ForEachTask(n_chunks, compress_chunk);
+  } else {
+    for (size_t c = 0; c < n_chunks; ++c) {
+      compress_chunk(c);
+    }
+  }
+  ByteBuffer out;
+  PutU32(out, kChunkMagic);
+  PutU32(out, static_cast<uint32_t>(n_chunks));
+  for (const ByteBuffer& b : blobs) {
+    PutU32(out, static_cast<uint32_t>(b.size()));
+  }
+  for (const ByteBuffer& b : blobs) {
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+ByteBuffer GdeflateCompress(const ByteBuffer& input) {
+  return GdeflateCompress(input, GdeflateOptions{});
+}
+
+ByteBuffer GdeflateDecompress(const ByteBuffer& compressed) {
+  return DecompressImpl<LutDecoder>(compressed, /*parallel=*/true);
+}
+
+namespace internal {
+
+ByteBuffer GdeflateDecompressReference(const ByteBuffer& compressed) {
+  return DecompressImpl<HuffmanDecoder>(compressed, /*parallel=*/false);
+}
+
+}  // namespace internal
 
 namespace {
 constexpr uint8_t kRleEscape = 0xE5;

@@ -2,9 +2,13 @@
 // (paper Fig. 5). The paper uses nvcomp's GDeflate for GPU-side decompression; we
 // implement the same algorithmic family from scratch:
 //
-//   * LZ77 matching (32 KiB window, min match 4) over the input, producing a
-//     literal/match token stream,
-//   * a canonical Huffman code over the token alphabet (deflate-style),
+//   * LZ77 matching (32 KiB window, min match 4, hash chains with optional
+//     one-step lazy matching) over the input, producing a literal/match token
+//     stream,
+//   * a canonical Huffman code over the token alphabet (deflate-style), decoded
+//     through a two-level (10-bit first level) lookup table,
+//   * a chunk-framed container so large buffers compress and decompress with
+//     one independent LZ window per chunk, in parallel across the thread pool,
 //   * a byte-oriented RLE codec as a cheap alternative for ablations.
 //
 // Compress functions return a self-describing buffer; Decompress inverts exactly.
@@ -19,9 +23,41 @@ namespace dz {
 
 using ByteBuffer = std::vector<uint8_t>;
 
+// Tuning knobs for the LZ77 stage and the parallel chunk framing. The defaults
+// match the serving-path tradeoff: spend a little more compress-side effort
+// (lazy matching) for a denser stream, and never let one giant artifact
+// serialize the pipeline.
+struct GdeflateOptions {
+  // Hash-chain search depth per position. Larger = denser output, slower
+  // compression. Must be >= 1.
+  int max_chain = 32;
+  // One-step lazy matching: before emitting a match, peek at the next position
+  // and prefer a literal when the deferred match is strictly longer.
+  bool lazy = true;
+  // Stop extending the chain search once a match of this length is found.
+  int nice_length = 64;
+  // Inputs larger than this are split into independently-compressed chunks
+  // (own LZ window + Huffman table each) framed in a chunked container, so
+  // both directions can run across the thread pool. Must be >= 4 KiB; clamped
+  // below 1 GiB so the chunk magic cannot collide with a legacy size header.
+  size_t chunk_size = 1u << 20;
+  // Use the global thread pool for chunked compress/decompress.
+  bool parallel = true;
+};
+
 // Deflate-family codec (LZ77 + canonical Huffman).
 ByteBuffer GdeflateCompress(const ByteBuffer& input);
+ByteBuffer GdeflateCompress(const ByteBuffer& input, const GdeflateOptions& opts);
 ByteBuffer GdeflateDecompress(const ByteBuffer& compressed);
+
+namespace internal {
+
+// Retained per-bit canonical-tree decoder (the pre-LUT implementation), kept as
+// the bit-exactness reference for tests/tensor/kernel_parity_test.cc. Accepts
+// both the legacy single-block format and the chunked container.
+ByteBuffer GdeflateDecompressReference(const ByteBuffer& compressed);
+
+}  // namespace internal
 
 // Run-length codec (escape-based).
 ByteBuffer RleCompress(const ByteBuffer& input);

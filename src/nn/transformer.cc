@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/nn/ops.h"
+#include "src/tensor/kernels.h"
 
 namespace dz {
 
@@ -104,9 +105,7 @@ namespace {
 
 void AxpyVec(float alpha, const std::vector<float>& x, std::vector<float>& y) {
   DZ_CHECK_EQ(x.size(), y.size());
-  for (size_t i = 0; i < x.size(); ++i) {
-    y[i] += alpha * x[i];
-  }
+  kernels::AxpySpan(alpha, x.data(), y.data(), x.size());
 }
 
 }  // namespace

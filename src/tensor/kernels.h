@@ -1,0 +1,104 @@
+// Blocked, vectorizable CPU kernel layer for the compression/serving hot paths.
+//
+// Every dense, packed-quant, and 2:4-sparse matmul in the library routes through
+// here. The kernels are cache-blocked over the output (i/j) dimensions with
+// multi-accumulator inner loops, but NEVER reorder the per-element reduction:
+// each output element accumulates its k-terms in exactly the same (ascending,
+// zero-skipping where the naive kernel skipped) order as the retained naive
+// reference in kernels::ref. That makes every result bit-identical to the
+// pre-kernel-layer implementation — enforced by tests/tensor/kernel_parity_test.
+//
+// Parallelism uses ThreadPool::ParallelFor2D over output tiles; the partition
+// never affects results because output elements are independent.
+#ifndef SRC_TENSOR_KERNELS_H_
+#define SRC_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/packed_quant.h"
+#include "src/tensor/sparse24.h"
+
+namespace dz {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Elementwise span helpers — the one home for the scattered elementwise loops
+// (Matrix::AddInPlace / SubInPlace / ScaleInPlace, Axpy, transformer norm
+// vectors). Plain independent-element loops; compilers vectorize them.
+// ---------------------------------------------------------------------------
+
+inline void AddSpan(float* y, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += x[i];
+  }
+}
+
+inline void SubSpan(float* y, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] -= x[i];
+  }
+}
+
+inline void ScaleSpan(float* y, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] *= s;
+  }
+}
+
+// y += alpha * x.
+inline void AxpySpan(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dense GEMM family. Shapes follow the free functions in matrix.h.
+// ---------------------------------------------------------------------------
+
+// C = A * B. A is [m,k], B is [k,n].
+Matrix GemmNN(const Matrix& a, const Matrix& b);
+
+// C = A * B^T. A is [m,k], B is [n,k] (linear-layer form Y = X W^T).
+Matrix GemmNT(const Matrix& a, const Matrix& b);
+
+// C = A^T * B. A is [k,m], B is [k,n].
+Matrix GemmTN(const Matrix& a, const Matrix& b);
+
+// ---------------------------------------------------------------------------
+// Compressed-format GEMMs (both are the NT linear-layer form Y = X W'^T).
+// ---------------------------------------------------------------------------
+
+// Fused group-wise-dequant GEMM: decodes packed codes a register panel at a
+// time instead of materializing a dense weight row. Bit-identical to
+// MatmulNT(x, w.Dequantize()).
+Matrix QuantGemmNT(const Matrix& x, const PackedQuantMatrix& w);
+
+// Blocked gather GEMM over the 2:4 stored slots with per-block precomputed
+// column indices. Bit-identical to the historical row-at-a-time kernel (which
+// walks kept slots in storage order).
+Matrix Sparse24GemmNT(const Matrix& x, const Sparse24Matrix& w);
+
+// Blocked (32x32 tile) transpose.
+Matrix Transpose(const Matrix& m);
+
+// ---------------------------------------------------------------------------
+// Retained naive reference kernels (the exact pre-kernel-layer loops). Slow;
+// exist so the parity tests can prove bit-identity of the blocked kernels.
+// ---------------------------------------------------------------------------
+namespace ref {
+
+Matrix GemmNN(const Matrix& a, const Matrix& b);
+Matrix GemmNT(const Matrix& a, const Matrix& b);
+Matrix GemmTN(const Matrix& a, const Matrix& b);
+Matrix QuantGemmNT(const Matrix& x, const PackedQuantMatrix& w);
+Matrix Sparse24GemmNT(const Matrix& x, const Sparse24Matrix& w);
+Matrix Transpose(const Matrix& m);
+
+}  // namespace ref
+
+}  // namespace kernels
+}  // namespace dz
+
+#endif  // SRC_TENSOR_KERNELS_H_

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "src/tensor/half.h"
-#include "src/util/thread_pool.h"
+#include "src/tensor/kernels.h"
 
 namespace dz {
 
@@ -27,39 +27,24 @@ Matrix Matrix::Identity(int n) {
 
 void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
-Matrix Matrix::Transposed() const {
-  Matrix t(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    const float* src = row(r);
-    for (int c = 0; c < cols_; ++c) {
-      t.data_[static_cast<size_t>(c) * rows_ + r] = src[c];
-    }
-  }
-  return t;
-}
+Matrix Matrix::Transposed() const { return kernels::Transpose(*this); }
 
 Matrix& Matrix::AddInPlace(const Matrix& other) {
   DZ_CHECK_EQ(rows_, other.rows_);
   DZ_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += other.data_[i];
-  }
+  kernels::AddSpan(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::SubInPlace(const Matrix& other) {
   DZ_CHECK_EQ(rows_, other.rows_);
   DZ_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] -= other.data_[i];
-  }
+  kernels::SubSpan(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::ScaleInPlace(float s) {
-  for (auto& v : data_) {
-    v *= s;
-  }
+  kernels::ScaleSpan(data_.data(), s, data_.size());
   return *this;
 }
 
@@ -103,109 +88,16 @@ std::string Matrix::ShapeString() const {
   return os.str();
 }
 
-namespace {
+Matrix Matmul(const Matrix& a, const Matrix& b) { return kernels::GemmNN(a, b); }
 
-// Parallelizes over output rows when the problem is big enough to amortize it.
-void ForRows(int m, const std::function<void(size_t, size_t)>& body, size_t flops) {
-  constexpr size_t kParallelFlopThreshold = 1u << 22;
-  if (flops >= kParallelFlopThreshold) {
-    ThreadPool::Global().ParallelFor(static_cast<size_t>(m), body);
-  } else {
-    body(0, static_cast<size_t>(m));
-  }
-}
+Matrix MatmulNT(const Matrix& a, const Matrix& b) { return kernels::GemmNT(a, b); }
 
-}  // namespace
-
-Matrix Matmul(const Matrix& a, const Matrix& b) {
-  DZ_CHECK_EQ(a.cols(), b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  Matrix c(m, n);
-  ForRows(
-      m,
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const float* arow = a.row(static_cast<int>(i));
-          float* crow = c.row(static_cast<int>(i));
-          for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) {
-              continue;
-            }
-            const float* brow = b.row(p);
-            for (int j = 0; j < n; ++j) {
-              crow[j] += av * brow[j];
-            }
-          }
-        }
-      },
-      static_cast<size_t>(m) * k * n);
-  return c;
-}
-
-Matrix MatmulNT(const Matrix& a, const Matrix& b) {
-  DZ_CHECK_EQ(a.cols(), b.cols());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.rows();
-  Matrix c(m, n);
-  ForRows(
-      m,
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const float* arow = a.row(static_cast<int>(i));
-          float* crow = c.row(static_cast<int>(i));
-          for (int j = 0; j < n; ++j) {
-            const float* brow = b.row(j);
-            float acc = 0.0f;
-            for (int p = 0; p < k; ++p) {
-              acc += arow[p] * brow[p];
-            }
-            crow[j] = acc;
-          }
-        }
-      },
-      static_cast<size_t>(m) * k * n);
-  return c;
-}
-
-Matrix MatmulTN(const Matrix& a, const Matrix& b) {
-  DZ_CHECK_EQ(a.rows(), b.rows());
-  const int m = a.cols();
-  const int k = a.rows();
-  const int n = b.cols();
-  Matrix c(m, n);
-  // Accumulate rank-1 updates row-by-row of the shared k dimension; serial in k,
-  // parallel over output rows would race, so parallelize over m via transpose trick.
-  ForRows(
-      m,
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          float* crow = c.row(static_cast<int>(i));
-          for (int p = 0; p < k; ++p) {
-            const float av = a.at(p, static_cast<int>(i));
-            if (av == 0.0f) {
-              continue;
-            }
-            const float* brow = b.row(p);
-            for (int j = 0; j < n; ++j) {
-              crow[j] += av * brow[j];
-            }
-          }
-        }
-      },
-      static_cast<size_t>(m) * k * n);
-  return c;
-}
+Matrix MatmulTN(const Matrix& a, const Matrix& b) { return kernels::GemmTN(a, b); }
 
 void Axpy(float alpha, const Matrix& x, Matrix& y) {
   DZ_CHECK_EQ(x.rows(), y.rows());
   DZ_CHECK_EQ(x.cols(), y.cols());
-  for (size_t i = 0; i < x.data().size(); ++i) {
-    y.data()[i] += alpha * x.data()[i];
-  }
+  kernels::AxpySpan(alpha, x.data().data(), y.data().data(), x.data().size());
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {

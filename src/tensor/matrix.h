@@ -1,5 +1,7 @@
-// Dense row-major float matrix plus the GEMM kernels the transformer and the
-// compression solvers are built on.
+// Dense row-major float matrix plus the GEMM entry points the transformer and
+// the compression solvers are built on. The implementations route through the
+// blocked kernel layer in kernels.h (bit-identical to the naive loops by the
+// parity contract documented there).
 #ifndef SRC_TENSOR_MATRIX_H_
 #define SRC_TENSOR_MATRIX_H_
 

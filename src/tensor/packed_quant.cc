@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/tensor/half.h"
+#include "src/tensor/kernels.h"
 
 namespace dz {
 
@@ -105,26 +106,7 @@ Matrix PackedQuantMatrix::Dequantize() const {
 }
 
 Matrix PackedQuantMatrix::MatmulNT(const Matrix& x) const {
-  DZ_CHECK_EQ(x.cols(), cols_);
-  const int m = x.rows();
-  Matrix y(m, rows_);
-  // Dequantize one weight row at a time (streaming, like a fused kernel would) and take
-  // dot products against all activations.
-  std::vector<float> wrow(static_cast<size_t>(cols_));
-  for (int j = 0; j < rows_; ++j) {
-    for (int c = 0; c < cols_; ++c) {
-      wrow[static_cast<size_t>(c)] = ValueAt(j, c);
-    }
-    for (int i = 0; i < m; ++i) {
-      const float* xrow = x.row(i);
-      float acc = 0.0f;
-      for (int c = 0; c < cols_; ++c) {
-        acc += xrow[c] * wrow[static_cast<size_t>(c)];
-      }
-      y.at(i, j) = acc;
-    }
-  }
-  return y;
+  return kernels::QuantGemmNT(x, *this);
 }
 
 PackedQuantMatrix PackedQuantMatrix::FromStorage(int rows, int cols, int bits,

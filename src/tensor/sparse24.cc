@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/kernels.h"
 #include "src/tensor/packed_quant.h"
 
 namespace dz {
@@ -164,32 +165,7 @@ Matrix Sparse24Matrix::Dequantize() const {
 }
 
 Matrix Sparse24Matrix::MatmulNT(const Matrix& x) const {
-  DZ_CHECK_EQ(x.cols(), cols_);
-  const int m = x.rows();
-  Matrix y(m, rows_);
-  const int index_words_per_row = (kept_per_row_ + 15) / 16;
-  // For each weight row, expand the (column, value) pairs once, then dot against all
-  // activation rows. Only the C/2 stored values are touched.
-  std::vector<int> col_of(static_cast<size_t>(kept_per_row_));
-  std::vector<float> val_of(static_cast<size_t>(kept_per_row_));
-  for (int j = 0; j < rows_; ++j) {
-    for (int k = 0; k < kept_per_row_; ++k) {
-      const size_t word = static_cast<size_t>(j) * index_words_per_row + k / 16;
-      const int shift = (k % 16) * 2;
-      const int in_group = static_cast<int>((indices_[word] >> shift) & 0x3u);
-      col_of[static_cast<size_t>(k)] = (k / 2) * 4 + in_group;
-      val_of[static_cast<size_t>(k)] = KeptValueAt(j, k);
-    }
-    for (int i = 0; i < m; ++i) {
-      const float* xrow = x.row(i);
-      float acc = 0.0f;
-      for (int k = 0; k < kept_per_row_; ++k) {
-        acc += xrow[col_of[static_cast<size_t>(k)]] * val_of[static_cast<size_t>(k)];
-      }
-      y.at(i, j) = acc;
-    }
-  }
-  return y;
+  return kernels::Sparse24GemmNT(x, *this);
 }
 
 Sparse24Matrix Sparse24Matrix::FromStorage(int rows, int cols, int bits, int group_size,

@@ -43,6 +43,7 @@ class Sparse24Matrix {
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int bits() const { return bits_; }
+  int group_size() const { return group_size_; }
   bool empty() const { return rows_ == 0; }
 
   size_t ByteSize() const;

@@ -142,6 +142,52 @@ void ThreadPool::ForEachTask(size_t n, const std::function<void(size_t)>& fn) {
   HelpUntil(&pending);
 }
 
+void ThreadPool::ParallelFor2D(
+    size_t rows, size_t cols, size_t grain_rows, size_t grain_cols,
+    const std::function<void(size_t, size_t, size_t, size_t)>& body) {
+  if (rows == 0 || cols == 0) {
+    return;
+  }
+  grain_rows = std::max<size_t>(grain_rows, 1);
+  grain_cols = std::max<size_t>(grain_cols, 1);
+  size_t tile_r = std::min(rows, grain_rows);
+  size_t tile_c = std::min(cols, grain_cols);
+  const size_t workers = thread_count();
+  size_t nr = (rows + tile_r - 1) / tile_r;
+  size_t nc = (cols + tile_c - 1) / tile_c;
+  // Coarsen toward ~8 tiles per worker: enough slack for load balance, few
+  // enough that per-task queue overhead stays negligible next to the grain.
+  const size_t max_tiles = 8 * std::max<size_t>(workers, 1);
+  while (nr * nc > max_tiles && (nr > 1 || nc > 1)) {
+    if (nr >= nc) {
+      tile_r *= 2;
+      nr = (rows + tile_r - 1) / tile_r;
+    } else {
+      tile_c *= 2;
+      nc = (cols + tile_c - 1) / tile_c;
+    }
+  }
+  if (workers <= 1 || nr * nc <= 1) {
+    body(0, rows, 0, cols);
+    return;
+  }
+  size_t pending = nr * nc;
+  for (size_t r0 = 0; r0 < rows; r0 += tile_r) {
+    const size_t r1 = std::min(rows, r0 + tile_r);
+    for (size_t c0 = 0; c0 < cols; c0 += tile_c) {
+      const size_t c1 = std::min(cols, c0 + tile_c);
+      Submit([this, &body, &pending, r0, r1, c0, c1] {
+        body(r0, r1, c0, c1);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending == 0) {
+          all_done_.notify_all();
+        }
+      });
+    }
+  }
+  HelpUntil(&pending);
+}
+
 ThreadPool& ThreadPool::Global() {
   static ThreadPool pool;
   return pool;

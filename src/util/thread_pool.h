@@ -47,6 +47,17 @@ class ThreadPool {
   // Safe to call from inside a pool task (same helping wait as ParallelFor).
   void ForEachTask(size_t n, const std::function<void(size_t)>& fn);
 
+  // Tiles [0, rows) x [0, cols) into rectangular blocks of at least
+  // (grain_rows x grain_cols) elements and runs body(r0, r1, c0, c1) for each
+  // tile across the pool, blocking until completion. The grain is a lower
+  // bound, not an exact tile size: when the grid would produce far more tiles
+  // than workers can usefully chew (task overhead would dominate), tiles are
+  // coarsened until the count is a small multiple of the worker count. A
+  // single-tile or single-worker problem runs inline on the caller. Safe to
+  // call from inside a pool task (same helping wait as ParallelFor).
+  void ParallelFor2D(size_t rows, size_t cols, size_t grain_rows, size_t grain_cols,
+                     const std::function<void(size_t, size_t, size_t, size_t)>& body);
+
   size_t thread_count() const { return workers_.size(); }
 
   // Process-wide shared pool (default-sized: DZ_THREADS when set, otherwise

@@ -1,0 +1,261 @@
+// Bit-exactness contract of the blocked kernel layer (ISSUE 4 acceptance):
+// every blocked/fused kernel must produce outputs bit-identical to the retained
+// naive reference in kernels::ref across odd shapes, and the LUT Huffman
+// decoder must invert streams exactly like the per-bit tree decoder.
+#include "src/tensor/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/compress/lossless.h"
+#include "src/util/rng.h"
+
+namespace dz {
+namespace {
+
+// Force a multi-worker pool before anything touches ThreadPool::Global(), so
+// parity also covers the ParallelFor2D task partitioning (results must not
+// depend on how tiles are split across workers).
+const bool kForceThreads = [] {
+#ifndef _WIN32
+  setenv("DZ_THREADS", "4", /*overwrite=*/0);
+#endif
+  return true;
+}();
+
+Matrix RandomWithZeros(int rows, int cols, Rng& rng, double zero_frac) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) {
+    v = rng.NextDouble() < zero_frac ? 0.0f : static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return m;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const std::string& tag) {
+  ASSERT_EQ(a.rows(), b.rows()) << tag;
+  ASSERT_EQ(a.cols(), b.cols()) << tag;
+  if (a.data().empty()) {
+    return;
+  }
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(float)),
+            0)
+      << tag << ": blocked kernel output is not bit-identical to the reference";
+}
+
+struct Shape {
+  int m, k, n;
+};
+
+// Degenerate, tiny, prime-sized, and tile-straddling shapes.
+const Shape kShapes[] = {{0, 5, 3},   {3, 0, 4},    {5, 7, 0},     {1, 1, 1},
+                         {3, 7, 5},   {4, 16, 16},  {65, 33, 17},  {16, 64, 15},
+                         {129, 64, 250}, {2, 2048, 9}, {31, 100, 257}};
+
+TEST(KernelParityTest, DenseGemmFamilyBitIdentical) {
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    for (double zero_frac : {0.0, 0.4}) {
+      Matrix a = RandomWithZeros(s.m, s.k, rng, zero_frac);
+      Matrix b_nt = RandomWithZeros(s.n, s.k, rng, zero_frac);
+      Matrix b_nn = RandomWithZeros(s.k, s.n, rng, zero_frac);
+      Matrix a_tn = RandomWithZeros(s.k, s.m, rng, zero_frac);
+      const std::string tag = "m=" + std::to_string(s.m) + " k=" + std::to_string(s.k) +
+                              " n=" + std::to_string(s.n) +
+                              " zf=" + std::to_string(zero_frac);
+      ExpectBitIdentical(kernels::GemmNT(a, b_nt), kernels::ref::GemmNT(a, b_nt),
+                         "NT " + tag);
+      ExpectBitIdentical(kernels::GemmNN(a, b_nn), kernels::ref::GemmNN(a, b_nn),
+                         "NN " + tag);
+      ExpectBitIdentical(kernels::GemmTN(a_tn, b_nn), kernels::ref::GemmTN(a_tn, b_nn),
+                         "TN " + tag);
+    }
+  }
+}
+
+TEST(KernelParityTest, LargeParallelGemmBitIdentical) {
+  // Big enough to cross the parallel-dispatch threshold with several tiles.
+  Rng rng(12);
+  Matrix a = RandomWithZeros(130, 300, rng, 0.3);
+  Matrix b = RandomWithZeros(270, 300, rng, 0.3);
+  ExpectBitIdentical(kernels::GemmNT(a, b), kernels::ref::GemmNT(a, b), "NT large");
+  Matrix b_nn = RandomWithZeros(300, 270, rng, 0.3);
+  ExpectBitIdentical(kernels::GemmNN(a, b_nn.Transposed().Transposed()),
+                     kernels::ref::GemmNN(a, b_nn), "NN large");
+}
+
+TEST(KernelParityTest, TransposeBitIdentical) {
+  Rng rng(13);
+  for (const Shape& s : kShapes) {
+    Matrix m = RandomWithZeros(s.m, s.k, rng, 0.2);
+    ExpectBitIdentical(m.Transposed(), kernels::ref::Transpose(m), "transpose");
+    // Blocked transpose must stay an involution.
+    ExpectBitIdentical(m.Transposed().Transposed(), m, "transpose-involution");
+  }
+}
+
+TEST(KernelParityTest, FusedQuantGemmMatchesDequantizePlusMatmul) {
+  Rng rng(14);
+  // cols = 300 and 1000 exceed the fused kernel's 256-column decode block, so
+  // the left-fold continuation across blocks (and mid-group block starts) is
+  // exercised — the part of the contract where FP addition order could slip.
+  for (int cols : {100, 300, 1000}) {
+    for (int bits : {2, 4, 8}) {
+      for (int group_size : {3, 64, 1000}) {
+        Matrix w = RandomWithZeros(37, cols, rng, 0.1);
+        const auto q = PackedQuantMatrix::Quantize(w, bits, group_size);
+        for (int m : {0, 1, 5, 64}) {
+          Matrix x = RandomWithZeros(m, cols, rng, 0.2);
+          const std::string tag = "cols=" + std::to_string(cols) +
+                                  " bits=" + std::to_string(bits) +
+                                  " gs=" + std::to_string(group_size) +
+                                  " m=" + std::to_string(m);
+          ExpectBitIdentical(q.MatmulNT(x), MatmulNT(x, q.Dequantize()),
+                             "quant-vs-dequant " + tag);
+          ExpectBitIdentical(q.MatmulNT(x), kernels::ref::QuantGemmNT(x, q),
+                             "quant-vs-ref " + tag);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, FusedQuantGemmLargeParallel) {
+  Rng rng(15);
+  Matrix w = RandomWithZeros(300, 256, rng, 0.1);
+  const auto q = PackedQuantMatrix::Quantize(w, 4, 64);
+  Matrix x = RandomWithZeros(80, 256, rng, 0.0);
+  ExpectBitIdentical(q.MatmulNT(x), kernels::ref::QuantGemmNT(x, q), "quant large");
+}
+
+TEST(KernelParityTest, Sparse24GatherGemmBitIdentical) {
+  Rng rng(16);
+  // cols = 1040 gives 520 kept slots > the 256-slot decode block, covering the
+  // blocked kernel's left-fold continuation across kept-slot blocks.
+  for (int cols : {96, 1040}) {
+    for (int bits : {2, 4, 8}) {
+      for (int group_size : {3, 64, 1000}) {
+        // High zero fraction produces groups with 0 or 1 non-zeros, exercising
+        // the padded-position storage order.
+        Matrix w = MagnitudePrune24(RandomWithZeros(29, cols, rng, 0.5));
+        const auto sp = Sparse24Matrix::Pack(w, bits, group_size);
+        for (int m : {1, 7, 33}) {
+          Matrix x = RandomWithZeros(m, cols, rng, 0.2);
+          const std::string tag = "cols=" + std::to_string(cols) +
+                                  " bits=" + std::to_string(bits) +
+                                  " gs=" + std::to_string(group_size) +
+                                  " m=" + std::to_string(m);
+          ExpectBitIdentical(sp.MatmulNT(x), kernels::ref::Sparse24GemmNT(x, sp),
+                             "sparse-vs-ref " + tag);
+          ExpectBitIdentical(sp.MatmulNT(x), MatmulNT(x, sp.Dequantize()),
+                             "sparse-vs-dequant " + tag);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, SpanHelpersBitIdentical) {
+  Rng rng(17);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1024}, size_t{1037}}) {
+    std::vector<float> x(n), y(n), y2(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+      y[i] = y2[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    auto expect_same = [&](const char* tag) {
+      ASSERT_EQ(n == 0 || std::memcmp(y.data(), y2.data(), n * sizeof(float)) == 0,
+                true)
+          << tag << " n=" << n;
+    };
+    kernels::AddSpan(y.data(), x.data(), n);
+    for (size_t i = 0; i < n; ++i) y2[i] += x[i];
+    expect_same("add");
+    kernels::SubSpan(y.data(), x.data(), n);
+    for (size_t i = 0; i < n; ++i) y2[i] -= x[i];
+    expect_same("sub");
+    kernels::ScaleSpan(y.data(), 0.37f, n);
+    for (size_t i = 0; i < n; ++i) y2[i] *= 0.37f;
+    expect_same("scale");
+    kernels::AxpySpan(-1.7f, x.data(), y.data(), n);
+    for (size_t i = 0; i < n; ++i) y2[i] += -1.7f * x[i];
+    expect_same("axpy");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Huffman LUT decoder vs the retained tree decoder.
+// ---------------------------------------------------------------------------
+
+void ExpectCodecParity(const ByteBuffer& input, const GdeflateOptions& opts,
+                       const std::string& tag) {
+  const ByteBuffer z = GdeflateCompress(input, opts);
+  const ByteBuffer lut = GdeflateDecompress(z);
+  const ByteBuffer tree = internal::GdeflateDecompressReference(z);
+  EXPECT_EQ(lut, input) << tag << ": LUT decode does not invert";
+  EXPECT_EQ(tree, input) << tag << ": tree decode does not invert";
+  EXPECT_EQ(lut, tree) << tag << ": LUT and tree decoders disagree";
+}
+
+TEST(KernelParityTest, HuffmanLutMatchesTreeDecode) {
+  Rng rng(18);
+  GdeflateOptions opts;
+
+  // Random bytes: essentially all-literal, stresses dense code tables with
+  // long (up to 15-bit) codes for rare symbols.
+  ByteBuffer random_bytes(60000);
+  for (auto& b : random_bytes) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  ExpectCodecParity(random_bytes, opts, "random");
+
+  // Low-entropy delta-like bytes.
+  ByteBuffer low(120000);
+  for (auto& b : low) {
+    b = rng.NextDouble() < 0.8 ? 0 : static_cast<uint8_t>(rng.NextBelow(16));
+  }
+  ExpectCodecParity(low, opts, "low-entropy");
+
+  // Adversarial: maximum-length runs (match tokens back to back).
+  ExpectCodecParity(ByteBuffer(100000, 0xAB), opts, "max-run");
+
+  // Adversarial: literal-only tiny inputs incl. empty and single byte.
+  ExpectCodecParity(ByteBuffer{}, opts, "empty");
+  ExpectCodecParity(ByteBuffer{42}, opts, "single");
+
+  // Skewed two-symbol distribution drives one pathologically short code.
+  ByteBuffer skew(80000, 0);
+  for (size_t i = 0; i < skew.size(); i += 97) {
+    skew[i] = static_cast<uint8_t>(1 + rng.NextBelow(250));
+  }
+  ExpectCodecParity(skew, opts, "skewed");
+}
+
+TEST(KernelParityTest, HuffmanParityAcrossChunkedContainer) {
+  Rng rng(19);
+  ByteBuffer big(50000);
+  for (auto& b : big) {
+    b = rng.NextDouble() < 0.7 ? 0 : static_cast<uint8_t>(rng.NextBelow(32));
+  }
+  GdeflateOptions chunked;
+  chunked.chunk_size = 4096;  // clamped minimum: forces the chunk-framed path
+  ExpectCodecParity(big, chunked, "chunked");
+  GdeflateOptions serial_chunks = chunked;
+  serial_chunks.parallel = false;
+  // Chunking must be deterministic: parallel and serial compression produce
+  // the same container byte for byte.
+  EXPECT_EQ(GdeflateCompress(big, chunked), GdeflateCompress(big, serial_chunks));
+
+  GdeflateOptions nolazy;
+  nolazy.lazy = false;
+  ExpectCodecParity(big, nolazy, "nolazy");
+  GdeflateOptions deep;
+  deep.max_chain = 256;
+  deep.nice_length = 258;
+  ExpectCodecParity(big, deep, "deep-chain");
+}
+
+}  // namespace
+}  // namespace dz

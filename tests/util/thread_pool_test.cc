@@ -154,6 +154,55 @@ TEST(ThreadPoolTest, SubmitFromTaskWithConcurrentWait) {
   EXPECT_EQ(counter.load(), 16);
 }
 
+TEST(ThreadPoolTest, ParallelFor2DCoversEveryCellOnce) {
+  ThreadPool pool(3);
+  const size_t rows = 37, cols = 53;
+  std::vector<std::atomic<int>> hits(rows * cols);
+  pool.ParallelFor2D(rows, cols, 8, 8,
+                     [&](size_t r0, size_t r1, size_t c0, size_t c1) {
+                       for (size_t r = r0; r < r1; ++r) {
+                         for (size_t c = c0; c < c1; ++c) {
+                           hits[r * cols + c].fetch_add(1);
+                         }
+                       }
+                     });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelFor2DDegenerateAndTinyGrains) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor2D(0, 10, 4, 4, [&](size_t, size_t, size_t, size_t) { ++calls; });
+  pool.ParallelFor2D(10, 0, 4, 4, [&](size_t, size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Grain larger than the space: must run inline as a single tile.
+  std::atomic<int> cells{0};
+  pool.ParallelFor2D(3, 3, 100, 100, [&](size_t r0, size_t r1, size_t c0, size_t c1) {
+    cells.fetch_add(static_cast<int>((r1 - r0) * (c1 - c0)));
+  });
+  EXPECT_EQ(cells.load(), 9);
+  // Grain of zero is clamped to 1; a 1x1 grain over a big space must coalesce
+  // rather than submit rows*cols tasks, and still cover everything.
+  std::atomic<int> covered{0};
+  pool.ParallelFor2D(64, 64, 0, 0, [&](size_t r0, size_t r1, size_t c0, size_t c1) {
+    covered.fetch_add(static_cast<int>((r1 - r0) * (c1 - c0)));
+  });
+  EXPECT_EQ(covered.load(), 64 * 64);
+}
+
+TEST(ThreadPoolTest, ParallelFor2DNestsInsidePoolTask) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ForEachTask(3, [&](size_t) {
+    pool.ParallelFor2D(16, 16, 4, 4, [&](size_t r0, size_t r1, size_t c0, size_t c1) {
+      total.fetch_add(static_cast<int>((r1 - r0) * (c1 - c0)));
+    });
+  });
+  EXPECT_EQ(total.load(), 3 * 16 * 16);
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   std::atomic<int> counter{0};
   ThreadPool::Global().ParallelFor(1000, [&](size_t begin, size_t end) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Compares a fresh BENCH_kernels.json against the checked-in baseline and fails
+# on >threshold regression. Only dimensionless ratio metrics (unit == "x",
+# e.g. blocked-vs-naive kernel speedups) are gated: they are stable across
+# machines, unlike absolute GFLOP/s or bytes/s, which are recorded for the
+# trajectory but not compared.
+#
+# Usage: tools/check_bench_regression.sh current.json [baseline.json] [threshold]
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+current="${1:?usage: check_bench_regression.sh current.json [baseline.json] [threshold]}"
+baseline="${2:-$root/bench/BENCH_kernels_baseline.json}"
+threshold="${3:-0.25}"
+
+python3 - "$current" "$baseline" "$threshold" <<'EOF'
+import json, sys
+
+cur_path, base_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def ratio_metrics(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benches", []):
+        for m in bench.get("metrics", []):
+            if m.get("unit") == "x" and m.get("higher_is_better", True):
+                out[f'{bench["bench"]}:{m["name"]}'] = float(m["value"])
+    return out
+
+cur = ratio_metrics(cur_path)
+base = ratio_metrics(base_path)
+if not base:
+    sys.exit(f"no gated (unit 'x') metrics in baseline {base_path}")
+
+failures, compared = [], 0
+for name, base_v in sorted(base.items()):
+    cur_v = cur.get(name)
+    if cur_v is None:
+        failures.append(f"MISSING  {name} (baseline {base_v:.2f})")
+        continue
+    compared += 1
+    if cur_v < base_v * (1.0 - threshold):
+        failures.append(f"REGRESSED {name}: {cur_v:.2f} < {base_v:.2f} * {1-threshold:.2f}")
+    else:
+        print(f"ok {name}: {cur_v:.2f} (baseline {base_v:.2f})")
+
+if failures:
+    print("\n".join(failures))
+    sys.exit(f"perf regression gate FAILED ({len(failures)} of {len(base)} metrics)")
+print(f"perf gate OK ({compared} ratio metrics within {threshold:.0%} of baseline)")
+EOF
