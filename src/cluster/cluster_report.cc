@@ -111,6 +111,10 @@ std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
                     std::to_string(TotalPrefetchWasted())});
     agg.AddRow({"stall hidden by prefetch (s)", Table::Num(TotalStallHiddenS(), 1)});
   }
+  // Tenant/class rows appear only for multi-tenant traffic or when admission
+  // control actually shed something (AppendTenantRows gates internally), so
+  // single-tenant output matches the pre-tenant rendering.
+  AppendTenantRows(agg, merged);
 
   // The per-GPU prefetch column appears only when prefetch actually ran, like
   // the aggregate rows above, so prefetch-off output matches the pre-prefetch
@@ -151,10 +155,16 @@ ClusterReport BuildClusterReport(std::string cluster_name, PlacementPolicy polic
   // stable-sort, so ties resolve to the lowest GPU index and each worker's
   // finish order is preserved — a single-GPU cluster reproduces its worker's
   // report verbatim.
+  report.merged.slo_spec = per_gpu.front().slo_spec;
   size_t total = 0;
   for (const ServeReport& r : per_gpu) {
     total += r.records.size();
     report.merged.makespan_s = std::max(report.merged.makespan_s, r.makespan_s);
+    report.merged.n_tenants = std::max(report.merged.n_tenants, r.n_tenants);
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      report.merged.shed_by_class[static_cast<size_t>(c)] +=
+          r.shed_by_class[static_cast<size_t>(c)];
+    }
     report.merged.total_loads += r.total_loads;
     report.merged.disk_loads += r.disk_loads;
     report.merged.prefetch_issued += r.prefetch_issued;

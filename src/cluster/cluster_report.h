@@ -49,6 +49,14 @@ struct ClusterReport {
     return merged.SloAttainmentTtft(slo_s);
   }
 
+  // --- multi-tenant / per-class views (all delegate to `merged`) ------------
+  // Admission-control sheds summed over GPUs (0 when shedding is disabled).
+  int TotalShed() const { return merged.TotalShed(); }
+  // Cluster-wide per-class SLO attainment against the classes' own deadlines.
+  double ClassAttainment(SloClass slo) const { return merged.ClassAttainment(slo); }
+  // Jain fairness over per-tenant served tokens, cluster-wide.
+  double JainFairnessIndex() const { return merged.JainFairnessIndex(); }
+
   std::vector<GpuLoadStats> PerGpuStats() const;
   // max / mean per-GPU served output tokens; 1.0 is perfectly balanced. GPUs that
   // served nothing count toward the mean. 0 when the cluster served nothing.

@@ -15,6 +15,8 @@ const char* PlacementPolicyName(PlacementPolicy policy) {
       return "least-outstanding";
     case PlacementPolicy::kDeltaAffinity:
       return "delta-affinity";
+    case PlacementPolicy::kTenantAffinity:
+      return "tenant-affinity";
   }
   return "?";
 }
@@ -22,7 +24,7 @@ const char* PlacementPolicyName(PlacementPolicy policy) {
 bool ParsePlacementPolicy(const std::string& name, PlacementPolicy& out) {
   for (PlacementPolicy p :
        {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstanding,
-        PlacementPolicy::kDeltaAffinity}) {
+        PlacementPolicy::kDeltaAffinity, PlacementPolicy::kTenantAffinity}) {
     if (name == PlacementPolicyName(p)) {
       out = p;
       return true;
@@ -48,7 +50,8 @@ Placer::Placer(const PlacerConfig& config)
     : config_(config), backlog_(static_cast<size_t>(config.n_gpus), 0.0) {
   DZ_CHECK_GT(config_.n_gpus, 0);
   DZ_CHECK_GE(config_.drain_tokens_per_s, 0.0);
-  if (config_.policy == PlacementPolicy::kDeltaAffinity) {
+  if (config_.policy == PlacementPolicy::kDeltaAffinity ||
+      config_.policy == PlacementPolicy::kTenantAffinity) {
     DZ_CHECK_GT(config_.virtual_nodes, 0);
     DZ_CHECK_GE(config_.bounded_load_factor, 1.0);
     ring_.reserve(static_cast<size_t>(config_.n_gpus) *
@@ -78,10 +81,9 @@ void Placer::DrainBacklogs(double now) {
   last_now_ = now;
 }
 
-size_t Placer::RingHome(int model_id) const {
-  // Home position: the first ring point at or after the variant's hash.
-  const uint64_t h = SplitMix64(config_.hash_seed ^
-                                (0xD000000000000000ULL | static_cast<uint64_t>(model_id)));
+size_t Placer::RingHomeOfKey(uint64_t salted_key) const {
+  // Home position: the first ring point at or after the key's hash.
+  const uint64_t h = SplitMix64(config_.hash_seed ^ salted_key);
   size_t idx = std::lower_bound(ring_.begin(), ring_.end(), h,
                                 [](const RingPoint& p, uint64_t key) {
                                   return p.hash < key;
@@ -93,13 +95,27 @@ size_t Placer::RingHome(int model_id) const {
   return idx;
 }
 
+size_t Placer::RingHome(int model_id) const {
+  return RingHomeOfKey(0xD000000000000000ULL | static_cast<uint64_t>(model_id));
+}
+
+size_t Placer::RingHomeTenant(int tenant_id) const {
+  // Distinct salt from the variant keyspace, so tenant t and variant t never
+  // collide on the same ring position.
+  return RingHomeOfKey(0xA000000000000000ULL | static_cast<uint64_t>(tenant_id));
+}
+
 int Placer::HomeGpu(int model_id) const {
   DZ_CHECK(config_.policy == PlacementPolicy::kDeltaAffinity);
   return ring_[RingHome(model_id)].gpu;
 }
 
-int Placer::AssignAffinity(const TraceRequest& req, double cost) {
-  size_t idx = RingHome(req.model_id);
+int Placer::HomeGpuForTenant(int tenant_id) const {
+  DZ_CHECK(config_.policy == PlacementPolicy::kTenantAffinity);
+  return ring_[RingHomeTenant(tenant_id)].gpu;
+}
+
+int Placer::AssignAffinity(size_t idx, double cost) {
   // Bounded load: walk the ring until a GPU whose *existing* backlog is under
   // c × cluster-mean (mean includes the new request, so the least-loaded GPU
   // always qualifies and an idle cluster never spills).
@@ -142,7 +158,10 @@ int Placer::Assign(const TraceRequest& req) {
                              backlog_.begin());
       break;
     case PlacementPolicy::kDeltaAffinity:
-      gpu = AssignAffinity(req, cost);
+      gpu = AssignAffinity(RingHome(req.model_id), cost);
+      break;
+    case PlacementPolicy::kTenantAffinity:
+      gpu = AssignAffinity(RingHomeTenant(req.tenant_id), cost);
       break;
   }
   backlog_[static_cast<size_t>(gpu)] += cost;

@@ -14,6 +14,10 @@
 //                          compressed delta stays hot on one (or few) GPUs, and a
 //                          GPU whose backlog exceeds c × cluster mean is skipped
 //                          so a bursting variant spills instead of hotspotting.
+//   * kTenantAffinity    — the same CH-BL ring keyed by tenant id: a tenant's
+//                          whole traffic (often a handful of variants) lands on
+//                          one GPU, giving per-tenant performance isolation and
+//                          keeping that tenant's deltas co-resident.
 #ifndef SRC_CLUSTER_PLACEMENT_H_
 #define SRC_CLUSTER_PLACEMENT_H_
 
@@ -29,13 +33,14 @@ enum class PlacementPolicy {
   kRoundRobin,
   kLeastOutstanding,
   kDeltaAffinity,
+  kTenantAffinity,
 };
 
 // Stable CLI/report name of a policy ("round-robin", "least-outstanding",
-// "delta-affinity").
+// "delta-affinity", "tenant-affinity").
 const char* PlacementPolicyName(PlacementPolicy policy);
-// Parses the names printed by PlacementPolicyName ("round-robin",
-// "least-outstanding", "delta-affinity"). Returns false on unknown names.
+// Parses the names printed by PlacementPolicyName. Returns false on unknown
+// names.
 bool ParsePlacementPolicy(const std::string& name, PlacementPolicy& out);
 
 struct PlacerConfig {
@@ -68,6 +73,10 @@ class Placer {
   // consume or update backlog, so it is safe to call for prefetch hinting.
   int HomeGpu(int model_id) const;
 
+  // The tenant's home GPU on the ring, ignoring bounded load. Only meaningful
+  // for kTenantAffinity (check-fails otherwise). Stateless, like HomeGpu.
+  int HomeGpuForTenant(int tenant_id) const;
+
   // Current per-GPU backlog estimates (token units), exposed for tests.
   const std::vector<double>& backlogs() const { return backlog_; }
 
@@ -78,8 +87,10 @@ class Placer {
   };
 
   void DrainBacklogs(double now);
+  size_t RingHomeOfKey(uint64_t salted_key) const;
   size_t RingHome(int model_id) const;
-  int AssignAffinity(const TraceRequest& req, double cost);
+  size_t RingHomeTenant(int tenant_id) const;
+  int AssignAffinity(size_t home_idx, double cost);
 
   PlacerConfig config_;
   std::vector<double> backlog_;  // token units, decayed between arrivals

@@ -4,6 +4,7 @@
 // through the SBMM execution model. Scheduling is iteration-level FCFS with
 // skip-the-line admission and parent-finish preemption (§5.4).
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <limits>
 #include <map>
@@ -12,6 +13,7 @@
 #include "src/serving/artifact_store.h"
 #include "src/serving/engine.h"
 #include "src/serving/prefetcher.h"
+#include "src/serving/scheduler.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 
@@ -22,6 +24,8 @@ namespace {
 struct PendingReq {
   TraceRequest req;
   double sched_attempt_s = -1.0;  // first time the scheduler considered it
+  double fair_tag = -1.0;         // DWFQ virtual finish tag (kept across preemption)
+  double min_service_s = -1.0;    // cached optimistic service estimate (admission)
   int decoded = 0;                // > 0 for resumed (preempted) requests
   bool has_first_token = false;
   double first_token_s = 0.0;
@@ -151,6 +155,9 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   size_t next_arrival = 0;
   double now = 0.0;
   double pending_swap_s = 0.0;  // accumulated KV swap work for the next iteration
+  FairQueue fair_queue(config_.scheduler);
+  std::array<int, kNumSloClasses> shed_by_class = {0, 0, 0};
+  size_t shed_total = 0;
 
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
@@ -159,10 +166,33 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       p.req = trace.requests[next_arrival++];
       queue.push_back(p);
     }
-    std::stable_sort(queue.begin(), queue.end(),
-                     [](const PendingReq& a, const PendingReq& b) {
-                       return a.req.arrival_s < b.req.arrival_s;
-                     });
+    // Policy order doubles as the re-sort of preempted re-queued requests
+    // (kFcfs is exactly the pre-scheduler stable sort by arrival).
+    OrderQueueForPolicy(config_.scheduler, fair_queue, queue);
+  };
+
+  // Optimistic (lower-bound) service time for admission control: immediate
+  // prefill plus every decode step at batch-1 iteration latency. Anything the
+  // real schedule adds (queueing, loads, batching) only pushes the finish later,
+  // so a deadline this estimate cannot meet is truly unmeetable. Resumed
+  // (preempted) requests owe only their remaining tokens — their cache is
+  // invalidated at preemption, so banked progress is never double-charged.
+  auto min_service_s = [&](PendingReq& p) {
+    if (p.min_service_s < 0.0) {
+      const double ctx = static_cast<double>(p.req.prompt_tokens + p.decoded);
+      if (p.decoded > 0) {
+        // Resumed: KV restore instead of prefill, remaining decode steps only.
+        p.min_service_s =
+            static_cast<double>(std::max(0, p.req.output_tokens - p.decoded)) *
+            exec_.DecodeIterTime(1, ctx);
+      } else {
+        p.min_service_s = exec_.PrefillTime(p.req.prompt_tokens) +
+                          ArtifactPrefill(p.req.prompt_tokens) +
+                          static_cast<double>(std::max(0, p.req.output_tokens - 1)) *
+                              exec_.DecodeIterTime(1, ctx);
+      }
+    }
+    return p.min_service_s;
   };
 
   auto kv_tokens_in_use = [&]() {
@@ -173,10 +203,24 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
     return total;
   };
 
-  while (report.records.size() < trace.requests.size()) {
+  while (report.records.size() + shed_total < trace.requests.size()) {
     ingest(now);
 
-    // ---- scheduling: FCFS + skip-the-line over at most N variants ----
+    // ---- admission control: shed requests whose deadline is already lost ----
+    ShedUnmeetable(
+        config_.scheduler, fair_queue, queue, now, min_service_s,
+        [](const PendingReq& p) {
+          // A resumed request already received prefill + `decoded` tokens.
+          return p.decoded > 0 ? p.req.output_tokens - p.decoded
+                               : p.req.prompt_tokens + p.req.output_tokens;
+        },
+        shed_by_class, shed_total);
+    if (report.records.size() + shed_total == trace.requests.size()) {
+      break;  // shedding retired the last outstanding requests: nothing left to
+              // simulate, and the idle fast-forward below would have no event
+    }
+
+    // ---- scheduling: policy order + skip-the-line over at most N variants ----
     std::set<int> selected;  // variants used by running requests
     std::map<int, int> parent_of_variant;  // variant → running parent request id
     for (const auto& r : running) {
@@ -226,6 +270,9 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       }
       // Admit.
       store.Touch(variant, now);
+      if (config_.scheduler.policy == SchedPolicy::kDwfq) {
+        fair_queue.OnAdmit(it->fair_tag);
+      }
       RunningReq r;
       r.state = *it;
       r.state.start_s = r.state.start_s < 0.0 ? now : r.state.start_s;
@@ -242,6 +289,70 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       kv_used += need;
       running.push_back(std::move(r));
       it = queue.erase(it);
+    }
+
+    // ---- class preemption: interactive requests evict batch skippers ----
+    // Reuses the parent-finish preemption machinery (KV swap to host, re-queue,
+    // resume with restored progress): when interactive requests were considered
+    // but left waiting this round, up to that many running batch-class skippers
+    // yield their slots. Parents are never preempted — they anchor their
+    // variant's batching, and evicting one would orphan its skippers.
+    // Class preemption needs a class-aware queue order to make progress: under
+    // FCFS the evicted batch skipper (earlier arrival) re-sorts ahead of the
+    // blocked interactive request and reclaims the freed slot next round — an
+    // admit/evict livelock that burns KV swaps. So the flag is honored only
+    // for kPriority/kDwfq (documented in SchedulerConfig).
+    if (config_.scheduler.class_preemption &&
+        config_.scheduler.policy != SchedPolicy::kFcfs) {
+      // Count only interactive requests a skipper eviction can actually help:
+      // those blocked on KV space or batch slots (their variant already holds a
+      // slot, or the batch is full). A request blocked on the N-variant cap
+      // gains nothing from evicting a skipper — the skipper's variant slot
+      // stays pinned by its parent — and preempting for it would just churn
+      // admit/evict cycles of KV swaps with no forward progress.
+      // A queued interactive request counts as blocked simply by still being
+      // queued after the admission loop (under a class-aware order it would
+      // have been admitted otherwise) — sched_attempt_s is NOT required, since
+      // batch-full rounds skip the admission loop entirely and KV-blocked
+      // requests bail before the stamp.
+      const bool batch_full = static_cast<int>(running.size()) >= config_.max_batch;
+      int blocked_interactive = 0;
+      double min_blocked_tag = std::numeric_limits<double>::infinity();
+      for (const auto& p : queue) {
+        if (p.req.slo == SloClass::kInteractive &&
+            (batch_full || selected.count(p.req.model_id) > 0)) {
+          ++blocked_interactive;
+          min_blocked_tag = std::min(min_blocked_tag, p.fair_tag);
+        }
+      }
+      for (auto it = running.begin(); blocked_interactive > 0 && it != running.end();) {
+        const int remaining = it->state.req.output_tokens - it->state.decoded;
+        // Under kDwfq the evicted skipper keeps its fair tag, so only evict
+        // skippers that will re-sort *behind* the blocked interactive request —
+        // otherwise the tag-ordered queue hands the freed slot right back to
+        // the skipper next round (the same churn the kFcfs gate prevents).
+        const bool yields_to_interactive =
+            config_.scheduler.policy != SchedPolicy::kDwfq ||
+            it->state.fair_tag > min_blocked_tag;
+        if (it->is_skipper && it->state.req.slo == SloClass::kBatch &&
+            yields_to_interactive &&
+            remaining > config_.preempt_min_remaining_tokens) {
+          PendingReq back = it->state;
+          ++back.preemptions;
+          back.min_service_s = -1.0;  // re-estimate from the banked progress
+          if (it->prefilled && !it->needs_kv_restore) {
+            // Only KV actually materialized on the GPU costs a swap-out: a
+            // skipper admitted this round has produced none, and a resumed one
+            // whose restore has not run yet still has its state on the host.
+            pending_swap_s += exec_.KvSwapTime(back.req.prompt_tokens + back.decoded);
+          }
+          queue.push_back(back);  // keeps its fair_tag; re-ordered next ingest
+          it = running.erase(it);
+          --blocked_interactive;
+        } else {
+          ++it;
+        }
+      }
     }
 
     // ---- lookahead prefetch: warm the next W distinct waiting variants (§8) ----
@@ -329,6 +440,8 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         RequestRecord rec;
         rec.id = it->state.req.id;
         rec.model_id = it->state.req.model_id;
+        rec.tenant_id = it->state.req.tenant_id;
+        rec.slo = it->state.req.slo;
         rec.prompt_tokens = it->state.req.prompt_tokens;
         rec.output_tokens = it->state.req.output_tokens;
         rec.arrival_s = it->state.req.arrival_s;
@@ -360,6 +473,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         if (orphaned && remaining > config_.preempt_min_remaining_tokens) {
           PendingReq back = it->state;
           ++back.preemptions;
+          back.min_service_s = -1.0;  // re-estimate from the banked progress
           // Swap intermediate state (KV) to host; cost lands on the next iteration.
           pending_swap_s +=
               exec_.KvSwapTime(back.req.prompt_tokens + back.decoded);
@@ -375,6 +489,9 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   for (const auto& r : report.records) {
     report.makespan_s = std::max(report.makespan_s, r.finish_s);
   }
+  report.n_tenants = std::max(1, trace.n_tenants);
+  report.slo_spec = config_.scheduler.slo;
+  report.shed_by_class = shed_by_class;
   FillArtifactStats(store, report);
   return report;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/serving/report.h"
+#include "src/serving/scheduler.h"
 #include "src/simgpu/exec_model.h"
 #include "src/workload/trace.h"
 
@@ -77,6 +78,10 @@ struct EngineConfig {
   long long max_prefill_tokens = 2048;  // per-iteration prompt-token budget
   double kv_reserve_fraction = 0.05;    // GPU memory fraction reserved for activations
   PrefetchConfig prefetch;              // async artifact prefetch (off by default)
+  // Multi-tenant scheduling policy + admission control. Defaults (FCFS, no
+  // shedding, no class preemption) are bit-identical to the pre-scheduler
+  // engines (golden-enforced).
+  SchedulerConfig scheduler;
 };
 
 // Replays a Trace in simulated time and returns per-request records + aggregates.

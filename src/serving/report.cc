@@ -1,6 +1,7 @@
 #include "src/serving/report.h"
 
 #include "src/util/stats.h"
+#include "src/util/table.h"
 
 namespace dz {
 
@@ -78,6 +79,96 @@ double ServeReport::SloAttainmentE2e(double slo_s) const {
 
 double ServeReport::SloAttainmentTtft(double slo_s) const {
   return FractionWithin(Ttfts(), slo_s);
+}
+
+int ServeReport::TotalShed() const {
+  int total = 0;
+  for (int c : shed_by_class) {
+    total += c;
+  }
+  return total;
+}
+
+size_t ServeReport::ClassCompleted(SloClass slo) const {
+  size_t count = 0;
+  for (const auto& r : records) {
+    if (r.slo == slo) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double ServeReport::ClassAttainment(SloClass slo) const {
+  const SloSpec& spec = slo_spec.Of(slo);
+  size_t met = 0;
+  size_t total = static_cast<size_t>(shed_by_class[static_cast<int>(slo)]);
+  for (const auto& r : records) {
+    if (r.slo != slo) {
+      continue;
+    }
+    ++total;
+    if (r.Ttft() <= spec.ttft_s && r.E2eLatency() <= spec.e2e_s) {
+      ++met;
+    }
+  }
+  // A class nobody used has nothing to miss: vacuous attainment, never 0/0.
+  if (total == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(met) / static_cast<double>(total);
+}
+
+std::vector<double> ServeReport::TenantOutputTokens() const {
+  std::vector<double> tokens(static_cast<size_t>(n_tenants > 0 ? n_tenants : 1), 0.0);
+  for (const auto& r : records) {
+    if (r.tenant_id >= 0 && static_cast<size_t>(r.tenant_id) < tokens.size()) {
+      tokens[static_cast<size_t>(r.tenant_id)] += static_cast<double>(r.output_tokens);
+    }
+  }
+  return tokens;
+}
+
+double ServeReport::JainFairnessIndex() const {
+  const std::vector<double> tokens = TenantOutputTokens();
+  if (tokens.size() <= 1) {
+    return 1.0;  // a single tenant (or none) is trivially fair
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : tokens) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) {
+    return 1.0;  // nothing served: equally (un)fair to everyone
+  }
+  return sum * sum / (static_cast<double>(tokens.size()) * sum_sq);
+}
+
+void AppendTenantRows(Table& table, const ServeReport& report) {
+  if (report.n_tenants <= 1 && report.TotalShed() == 0) {
+    return;  // single-tenant output matches the pre-tenant rendering
+  }
+  table.AddRow({"tenants", std::to_string(report.n_tenants)});
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const SloClass slo = static_cast<SloClass>(c);
+    table.AddRow({std::string("SLO attain ") + SloClassName(slo) + " (class deadlines)",
+                  Table::Num(report.ClassAttainment(slo), 3)});
+  }
+  table.AddRow({"Jain fairness (tenant tokens)",
+                Table::Num(report.JainFairnessIndex(), 3)});
+  std::string shed;
+  std::string shed_label = "shed (";
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    if (c > 0) {
+      shed += "/";
+      shed_label += "/";
+    }
+    shed += std::to_string(report.shed_by_class[static_cast<size_t>(c)]);
+    shed_label += SloClassName(static_cast<SloClass>(c));
+  }
+  table.AddRow({shed_label + ")", shed});
 }
 
 }  // namespace dz

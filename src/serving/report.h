@@ -3,8 +3,11 @@
 #ifndef SRC_SERVING_REPORT_H_
 #define SRC_SERVING_REPORT_H_
 
+#include <array>
 #include <string>
 #include <vector>
+
+#include "src/workload/trace.h"
 
 namespace dz {
 
@@ -13,6 +16,8 @@ namespace dz {
 struct RequestRecord {
   int id = 0;
   int model_id = 0;        // fine-tuned variant the request targets
+  int tenant_id = 0;       // tenant the request belongs to
+  SloClass slo = SloClass::kStandard;  // SLO class it was promised
   int prompt_tokens = 0;   // prompt length (tokens)
   int output_tokens = 0;   // generated length (tokens)
   double arrival_s = 0.0;
@@ -55,6 +60,13 @@ struct ServeReport {
   // Cumulative busy seconds per transfer channel (utilization = busy / makespan).
   double disk_busy_s = 0.0;
   double pcie_busy_s = 0.0;
+  // Multi-tenant context: tenant count of the served trace and the per-class
+  // deadlines the scheduler ran with (used by the attainment metrics below).
+  int n_tenants = 1;
+  SloSpecs slo_spec;
+  // Admission-control sheds per SLO class (all 0 when shedding is disabled).
+  // Shed requests have no RequestRecord; attainment counts them as misses.
+  std::array<int, kNumSloClasses> shed_by_class = {0, 0, 0};
 
   size_t completed() const { return records.size(); }
   double ThroughputRps() const;    // completed requests / makespan
@@ -71,7 +83,34 @@ struct ServeReport {
   // Fraction of requests with metric <= slo_s.
   double SloAttainmentE2e(double slo_s) const;
   double SloAttainmentTtft(double slo_s) const;
+
+  // --- multi-tenant / per-class metrics -------------------------------------
+  // All are total functions: 0 tenants, 1 tenant, or a class with no requests
+  // yield well-defined values (never NaN/inf) — the CompressionRatio lesson.
+
+  int TotalShed() const;
+  // Completed requests of the class (shed ones have no record).
+  size_t ClassCompleted(SloClass slo) const;
+  // Fraction of the class's requests (completed + shed) that met BOTH their
+  // class deadlines (TTFT and E2E from slo_spec). A class that saw no requests
+  // at all vacuously attains 1.0.
+  double ClassAttainment(SloClass slo) const;
+  // Output tokens served per tenant, indexed by tenant id (size max(1, n_tenants)).
+  std::vector<double> TenantOutputTokens() const;
+  // Jain fairness index over per-tenant served output tokens:
+  // (Σx)² / (n·Σx²) ∈ [1/n, 1]. Defined as 1.0 (perfectly fair) for a single
+  // tenant, zero tenants, or when nothing was served.
+  double JainFairnessIndex() const;
 };
+
+class Table;
+
+// Appends the tenant/class rows (tenant count, per-class attainment against
+// the class deadlines, Jain fairness, per-class sheds) to a metric/value
+// table — but only when the report is multi-tenant or actually shed something,
+// so single-tenant renderings stay unchanged. Shared by `dzip_cli simulate`
+// and ClusterReport::Summary.
+void AppendTenantRows(Table& table, const ServeReport& report);
 
 }  // namespace dz
 

@@ -1,0 +1,27 @@
+#include "src/serving/scheduler.h"
+
+namespace dz {
+
+const char* SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFcfs:
+      return "fcfs";
+    case SchedPolicy::kPriority:
+      return "priority";
+    case SchedPolicy::kDwfq:
+      return "dwfq";
+  }
+  return "?";
+}
+
+bool ParseSchedPolicy(const std::string& name, SchedPolicy& out) {
+  for (SchedPolicy p : {SchedPolicy::kFcfs, SchedPolicy::kPriority, SchedPolicy::kDwfq}) {
+    if (name == SchedPolicyName(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dz

@@ -5,6 +5,7 @@
 // batch across variants and must move full fp16 checkpoints on every swap — the two
 // costs DeltaZip removes.
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <limits>
 #include <map>
@@ -13,6 +14,7 @@
 #include "src/serving/artifact_store.h"
 #include "src/serving/engine.h"
 #include "src/serving/prefetcher.h"
+#include "src/serving/scheduler.h"
 #include "src/util/check.h"
 
 namespace dz {
@@ -22,6 +24,8 @@ namespace {
 struct PendingReq {
   TraceRequest req;
   double sched_attempt_s = -1.0;
+  double fair_tag = -1.0;       // DWFQ virtual finish tag
+  double min_service_s = -1.0;  // cached optimistic service estimate (admission)
 };
 
 struct RunningReq {
@@ -86,12 +90,23 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   // sit on the worker's critical path; prefetch transfers do not.
   double demand_ready = -std::numeric_limits<double>::infinity();
 
+  FairQueue fair_queue(config_.scheduler);
+  std::array<int, kNumSloClasses> shed_by_class = {0, 0, 0};
+  size_t shed_total = 0;
+
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
            trace.requests[next_arrival].arrival_s <= t) {
       PendingReq p;
       p.req = trace.requests[next_arrival++];
       queue.push_back(p);
+    }
+    // This engine never re-queues (no preemption), so the queue is permanently
+    // arrival-ordered and the kFcfs stable sort would always be the identity —
+    // skip it (bit-identical by construction) rather than pay O(Q log Q) per
+    // round on a backed-up queue.
+    if (config_.scheduler.policy != SchedPolicy::kFcfs) {
+      OrderQueueForPolicy(config_.scheduler, fair_queue, queue);
     }
   };
 
@@ -103,10 +118,34 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
     return total;
   };
 
-  while (report.records.size() < trace.requests.size()) {
+  // Optimistic service lower bound for admission control (batch-1 decode after
+  // an immediate prefill; real scheduling and swaps only add to it).
+  auto min_service_s = [&](PendingReq& p) {
+    if (p.min_service_s < 0.0) {
+      p.min_service_s = exec_.PrefillTime(p.req.prompt_tokens) +
+                        static_cast<double>(std::max(0, p.req.output_tokens - 1)) *
+                            exec_.DecodeIterTime(1, static_cast<double>(p.req.prompt_tokens));
+    }
+    return p.min_service_s;
+  };
+
+  while (report.records.size() + shed_total < trace.requests.size()) {
     ingest(now);
 
-    // ---- scheduling: FCFS; a request runs only when its full model is resident ----
+    // ---- admission control: shed requests whose deadline is already lost ----
+    ShedUnmeetable(
+        config_.scheduler, fair_queue, queue, now, min_service_s,
+        [](const PendingReq& p) {
+          // No preemption here: a queued request has received nothing.
+          return p.req.prompt_tokens + p.req.output_tokens;
+        },
+        shed_by_class, shed_total);
+    if (report.records.size() + shed_total == trace.requests.size()) {
+      break;  // shedding retired the last outstanding requests: nothing left to
+              // simulate, and the idle fast-forward below would have no event
+    }
+
+    // ---- scheduling: policy order; a request runs only when its model is resident ----
     std::set<int> models_in_use;
     for (const auto& r : running) {
       models_in_use.insert(r.state.req.model_id);
@@ -149,6 +188,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         continue;
       }
       store.Touch(model, now);
+      if (config_.scheduler.policy == SchedPolicy::kDwfq) {
+        fair_queue.OnAdmit(it->fair_tag);
+      }
       RunningReq r;
       r.state = *it;
       r.start_s = now;
@@ -237,6 +279,8 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         RequestRecord rec;
         rec.id = it->state.req.id;
         rec.model_id = it->state.req.model_id;
+        rec.tenant_id = it->state.req.tenant_id;
+        rec.slo = it->state.req.slo;
         rec.prompt_tokens = it->state.req.prompt_tokens;
         rec.output_tokens = it->state.req.output_tokens;
         rec.arrival_s = it->state.req.arrival_s;
@@ -256,6 +300,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   for (const auto& r : report.records) {
     report.makespan_s = std::max(report.makespan_s, r.finish_s);
   }
+  report.n_tenants = std::max(1, trace.n_tenants);
+  report.slo_spec = config_.scheduler.slo;
+  report.shed_by_class = shed_by_class;
   FillArtifactStats(store, report);
   return report;
 }

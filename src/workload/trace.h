@@ -21,9 +21,45 @@
 
 namespace dz {
 
+// Service-level objective class a tenant buys for a request. Classes carry
+// per-class TTFT/E2E deadlines (SloSpec); the scheduler policies and the
+// per-class attainment metrics are keyed on them.
+enum class SloClass {
+  kInteractive = 0,  // chat-style: tight TTFT, tight E2E
+  kStandard = 1,     // default API traffic
+  kBatch = 2,        // offline/bulk: loose deadlines, lowest priority
+};
+inline constexpr int kNumSloClasses = 3;
+
+// Stable CLI/report name ("interactive", "standard", "batch").
+const char* SloClassName(SloClass slo);
+// Parses the names printed by SloClassName. Returns false on unknown names.
+bool ParseSloClass(const std::string& name, SloClass& out);
+
+// Per-class deadlines, in simulated seconds from arrival.
+struct SloSpec {
+  double ttft_s = 30.0;  // first token due within this
+  double e2e_s = 120.0;  // full response due within this
+};
+
+// Deadlines for all classes, indexed by SloClass. Defaults follow the paper's
+// §6.1 SLO scales: interactive is an order tighter than batch.
+struct SloSpecs {
+  SloSpec per_class[kNumSloClasses] = {
+      {5.0, 60.0},     // kInteractive
+      {30.0, 120.0},   // kStandard
+      {120.0, 600.0},  // kBatch
+  };
+  const SloSpec& Of(SloClass slo) const {
+    return per_class[static_cast<int>(slo)];
+  }
+};
+
 struct TraceRequest {
   int id = 0;
   int model_id = 0;       // which fine-tuned variant
+  int tenant_id = 0;      // who is asking (0 in single-tenant traces)
+  SloClass slo = SloClass::kStandard;  // what they were promised
   double arrival_s = 0.0;
   int prompt_tokens = 0;
   int output_tokens = 0;
@@ -32,15 +68,19 @@ struct TraceRequest {
 struct Trace {
   std::vector<TraceRequest> requests;  // sorted by arrival
   int n_models = 0;
+  int n_tenants = 1;
   double duration_s = 0.0;
 
   double TotalRequests() const { return static_cast<double>(requests.size()); }
   // Requests per model (histogram over model ids).
   std::vector<int> ModelCounts() const;
+  // Requests per tenant (histogram over tenant ids).
+  std::vector<int> TenantCounts() const;
   // True when requests are non-decreasing in arrival time.
   bool IsArrivalSorted() const;
   // DZ_CHECKs the trace invariants every producer must uphold: arrival-sorted,
-  // model ids in [0, n_models), and ids unique. Splitting/merging preserves them.
+  // model ids in [0, n_models), tenant ids in [0, n_tenants), valid SLO class,
+  // and ids unique. Splitting/merging preserves them.
   void CheckWellFormed() const;
 };
 
@@ -51,6 +91,56 @@ enum class PopularityDist {
 };
 
 const char* PopularityDistName(PopularityDist dist);
+
+// Multi-tenant traffic shape layered on top of the per-model popularity
+// distribution (paper Fig. 1 regime: bursty traffic from many parties with
+// different promises). Scenarios modulate each tenant's arrival rate over time:
+//   * kSteady     — constant per-tenant rates (tenant split only),
+//   * kDiurnal    — all tenants follow a sinusoidal day/night rate curve,
+//   * kFlashCrowd — one tenant's rate is boosted `flash_boost`× inside a window
+//                   while everyone else stays steady,
+//   * kHeavyTail  — steady rates, but tenant shares follow a Zipf over tenant
+//                   rank (a few whales, many minnows).
+enum class TenantScenario {
+  kSteady,
+  kDiurnal,
+  kFlashCrowd,
+  kHeavyTail,
+};
+
+// Stable CLI/report name ("steady", "diurnal", "flash-crowd", "heavy-tail").
+const char* TenantScenarioName(TenantScenario scenario);
+// Parses the names printed by TenantScenarioName. Returns false on unknowns.
+bool ParseTenantScenario(const std::string& name, TenantScenario& out);
+
+struct TenantConfig {
+  int n_tenants = 1;
+  TenantScenario scenario = TenantScenario::kSteady;
+  // Tenant share skew: share ∝ 1/(rank+1)^heavy_tail_alpha (0 = equal shares).
+  // kHeavyTail defaults it to 1.2 when left at 0 (see EffectiveHeavyTailAlpha).
+  double heavy_tail_alpha = 0.0;
+  // kDiurnal: rate multiplier 1 + amplitude·sin(2π·t/period), clamped at ≥ 0.
+  double diurnal_period_s = 240.0;
+  double diurnal_amplitude = 0.8;  // in [0, 1]
+  // kFlashCrowd: `flash_tenant`'s rate × flash_boost during
+  // [flash_start_frac, flash_start_frac + flash_duration_frac) × duration_s.
+  int flash_tenant = 0;
+  double flash_start_frac = 0.4;
+  double flash_duration_frac = 0.25;
+  double flash_boost = 8.0;
+  // SLO class mix, identical across tenants: fractions of interactive and batch
+  // requests (the rest is standard). Both 0 keeps every request kStandard.
+  double interactive_frac = 0.0;
+  double batch_frac = 0.0;
+
+  // True when any multi-tenant machinery is active. False (the default) keeps
+  // GenerateTrace on the single-tenant code path, bit-identical to the
+  // pre-tenant generator (test-enforced).
+  bool Enabled() const {
+    return n_tenants > 1 || scenario != TenantScenario::kSteady ||
+           heavy_tail_alpha > 0.0 || interactive_frac > 0.0 || batch_frac > 0.0;
+  }
+};
 
 struct TraceConfig {
   int n_models = 32;
@@ -70,9 +160,25 @@ struct TraceConfig {
   double output_sigma = 0.7;
   int output_max_tokens = 768;
   uint64_t seed = 0xDECAF;
+  // Multi-tenant layering (single tenant, steady, all-standard by default).
+  TenantConfig tenants;
 };
 
 Trace GenerateTrace(const TraceConfig& config);
+
+// The heavy-tail exponent the generator actually uses: heavy_tail_alpha, or 1.2
+// when the kHeavyTail scenario is selected with the exponent left at 0.
+double EffectiveHeavyTailAlpha(const TenantConfig& config);
+
+// Expected instantaneous arrival rate (req/s) of `tenant` at time `t` under the
+// configured scenario — the envelope the generated trace's per-window counts
+// must match (test-enforced within sampling tolerance).
+double TenantRateAt(const TraceConfig& config, int tenant, double t);
+
+// Invocation counts per tenant per time window (the tenant-axis sibling of
+// InvocationMatrix), for envelope checks and the fairness bench.
+std::vector<std::vector<int>> TenantInvocationMatrix(const Trace& trace,
+                                                     double window_s);
 
 // Invocation counts per model per time window — regenerates the paper's Fig. 1 view.
 std::vector<std::vector<int>> InvocationMatrix(const Trace& trace, double window_s);

@@ -26,14 +26,27 @@ bool ExtractNumber(const std::string& line, const std::string& key, double& valu
 }  // namespace
 
 std::string TraceToJsonl(const Trace& trace) {
+  // Tenant/class fields are emitted only when the trace actually uses them, so
+  // single-tenant all-standard traces serialize byte-identically to the
+  // pre-tenant format (and remain readable by older parsers).
+  bool tenanted = trace.n_tenants > 1;
+  for (const auto& r : trace.requests) {
+    tenanted = tenanted || r.tenant_id != 0 || r.slo != SloClass::kStandard;
+  }
   std::ostringstream os;
   os << std::setprecision(12);
-  os << "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":" << trace.n_models
-     << ",\"duration\":" << trace.duration_s << "}\n";
+  os << "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":" << trace.n_models;
+  if (tenanted) {
+    os << ",\"n_tenants\":" << trace.n_tenants;
+  }
+  os << ",\"duration\":" << trace.duration_s << "}\n";
   for (const auto& r : trace.requests) {
-    os << "{\"id\":" << r.id << ",\"model\":" << r.model_id << ",\"arrival\":"
-       << r.arrival_s << ",\"prompt\":" << r.prompt_tokens << ",\"output\":"
-       << r.output_tokens << "}\n";
+    os << "{\"id\":" << r.id << ",\"model\":" << r.model_id;
+    if (tenanted) {
+      os << ",\"tenant\":" << r.tenant_id << ",\"class\":" << static_cast<int>(r.slo);
+    }
+    os << ",\"arrival\":" << r.arrival_s << ",\"prompt\":" << r.prompt_tokens
+       << ",\"output\":" << r.output_tokens << "}\n";
   }
   return os.str();
 }
@@ -61,6 +74,12 @@ bool TraceFromJsonl(const std::string& text, Trace& out) {
       }
       out.n_models = static_cast<int>(n_models);
       out.duration_s = duration;
+      // Optional multi-tenant header field (absent in pre-tenant files).
+      double n_tenants = 1;
+      if (ExtractNumber(line, "n_tenants", n_tenants) && n_tenants < 1) {
+        return false;
+      }
+      out.n_tenants = static_cast<int>(n_tenants);
       have_header = true;
       continue;
     }
@@ -78,9 +97,22 @@ bool TraceFromJsonl(const std::string& text, Trace& out) {
     if (model < 0 || model >= out.n_models || prompt < 1 || output < 1 || arrival < 0) {
       return false;
     }
+    // Optional per-request tenant/class fields (default: tenant 0, standard).
+    double tenant = 0;
+    double slo_class = static_cast<double>(SloClass::kStandard);
+    if (ExtractNumber(line, "tenant", tenant) &&
+        (tenant < 0 || tenant >= out.n_tenants)) {
+      return false;
+    }
+    if (ExtractNumber(line, "class", slo_class) &&
+        (slo_class < 0 || slo_class >= kNumSloClasses)) {
+      return false;
+    }
     TraceRequest r;
     r.id = static_cast<int>(id);
     r.model_id = static_cast<int>(model);
+    r.tenant_id = static_cast<int>(tenant);
+    r.slo = static_cast<SloClass>(static_cast<int>(slo_class));
     r.arrival_s = arrival;
     r.prompt_tokens = static_cast<int>(prompt);
     r.output_tokens = static_cast<int>(output);

@@ -22,13 +22,48 @@ TraceRequest Req(int id, int model, double arrival, int prompt = 100, int output
 TEST(PlacementPolicyTest, NamesRoundTrip) {
   for (PlacementPolicy p :
        {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastOutstanding,
-        PlacementPolicy::kDeltaAffinity}) {
+        PlacementPolicy::kDeltaAffinity, PlacementPolicy::kTenantAffinity}) {
     PlacementPolicy parsed;
     ASSERT_TRUE(ParsePlacementPolicy(PlacementPolicyName(p), parsed));
     EXPECT_EQ(parsed, p);
   }
   PlacementPolicy unused;
   EXPECT_FALSE(ParsePlacementPolicy("zigzag", unused));
+}
+
+TEST(PlacerTest, TenantAffinityIsStickyPerTenantNotPerModel) {
+  PlacerConfig cfg;
+  cfg.n_gpus = 4;
+  cfg.policy = PlacementPolicy::kTenantAffinity;
+  // Generous bound so nothing spills: placement is pure ring homing.
+  cfg.bounded_load_factor = 100.0;
+  Placer placer(cfg);
+  std::map<int, std::set<int>> gpus_of_tenant;
+  for (int i = 0; i < 80; ++i) {
+    TraceRequest r = Req(i, i % 8, 0.05 * i);
+    r.tenant_id = i % 5;
+    gpus_of_tenant[r.tenant_id].insert(placer.Assign(r));
+  }
+  for (const auto& [tenant, gpus] : gpus_of_tenant) {
+    EXPECT_EQ(gpus.size(), 1u) << "tenant " << tenant << " was split";
+    EXPECT_EQ(*gpus.begin(), placer.HomeGpuForTenant(tenant));
+  }
+}
+
+TEST(PlacerTest, TenantAffinityBoundedLoadSpillsFloodingTenant) {
+  PlacerConfig cfg;
+  cfg.n_gpus = 4;
+  cfg.policy = PlacementPolicy::kTenantAffinity;
+  cfg.bounded_load_factor = 1.25;
+  cfg.drain_tokens_per_s = 0.0;  // backlog only grows: forces the spill
+  Placer placer(cfg);
+  std::set<int> gpus_used;
+  for (int i = 0; i < 200; ++i) {
+    TraceRequest r = Req(i, i % 8, 0.01 * i);
+    r.tenant_id = 0;  // one tenant floods the cluster
+    gpus_used.insert(placer.Assign(r));
+  }
+  EXPECT_GT(gpus_used.size(), 1u) << "bounded load must spill a flooding tenant";
 }
 
 TEST(PlacerTest, RoundRobinCycles) {

@@ -58,6 +58,14 @@ void ExpectNoPrefetchActivity(const ServeReport& r) {
   EXPECT_DOUBLE_EQ(r.stall_hidden_s, 0.0);
 }
 
+// ISSUE 5 extension: with SchedulerConfig defaults (single tenant, FCFS,
+// shedding off) the multi-tenant machinery must leave no trace in the report.
+void ExpectNoTenantActivity(const ServeReport& r) {
+  EXPECT_EQ(r.TotalShed(), 0);
+  EXPECT_EQ(r.n_tenants, 1);
+  EXPECT_DOUBLE_EQ(r.JainFairnessIndex(), 1.0);
+}
+
 TEST(GoldenReportTest, DeltaZipEngineMatchesPrePrefetchBehavior) {
   const Trace trace = GenerateTrace(GoldenTraceConfig());
   const ServeReport r = MakeDeltaZipEngine(GoldenEngineConfig())->Serve(trace);
@@ -70,6 +78,28 @@ TEST(GoldenReportTest, DeltaZipEngineMatchesPrePrefetchBehavior) {
   EXPECT_EQ(r.total_loads, 10);
   EXPECT_EQ(r.disk_loads, 10);
   ExpectNoPrefetchActivity(r);
+  ExpectNoTenantActivity(r);
+}
+
+// The scheduler refactor must not shift the default path by a single double:
+// an explicitly-constructed default SchedulerConfig, and priority scheduling
+// over a single-class trace (which degenerates to the same stable sort),
+// both reproduce the PR 4 golden numbers exactly.
+TEST(GoldenReportTest, SchedulerDefaultsAndDegeneratePriorityStayGolden) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  for (SchedPolicy policy : {SchedPolicy::kFcfs, SchedPolicy::kPriority}) {
+    EngineConfig cfg = GoldenEngineConfig();
+    cfg.scheduler = SchedulerConfig();
+    cfg.scheduler.policy = policy;
+    const ServeReport r = MakeDeltaZipEngine(cfg)->Serve(trace);
+    ASSERT_EQ(r.records.size(), 89u);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 90.574333173805186);
+    const GoldenSums s = SumsOf(r);
+    EXPECT_DOUBLE_EQ(s.sum_start, 4434.3527165309852);
+    EXPECT_DOUBLE_EQ(s.sum_first, 4435.5281193914107);
+    EXPECT_DOUBLE_EQ(s.sum_finish, 4487.3900915944778);
+    ExpectNoTenantActivity(r);
+  }
 }
 
 TEST(GoldenReportTest, VllmScbEngineMatchesPrePrefetchBehavior) {
@@ -86,6 +116,7 @@ TEST(GoldenReportTest, VllmScbEngineMatchesPrePrefetchBehavior) {
   EXPECT_EQ(r.total_loads, 10);
   EXPECT_EQ(r.disk_loads, 10);
   ExpectNoPrefetchActivity(r);
+  ExpectNoTenantActivity(r);
 }
 
 TEST(GoldenReportTest, EightGpuClusterMatchesPrePrefetchBehavior) {
@@ -109,6 +140,8 @@ TEST(GoldenReportTest, EightGpuClusterMatchesPrePrefetchBehavior) {
   EXPECT_EQ(r.TotalDiskLoads(), 50);
   ExpectNoPrefetchActivity(r.merged);
   EXPECT_EQ(r.TotalPrefetchIssued(), 0);
+  ExpectNoTenantActivity(r.merged);
+  EXPECT_EQ(r.TotalShed(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,385 @@
+// Scheduler policies, admission control, and their engine/cluster integration:
+// FCFS defaults must be bit-identical to the pre-scheduler engines, priority
+// must actually protect the interactive class under a flash crowd, DWFQ must
+// keep a light tenant ahead of a flooding one, and shed accounting must close
+// (completed + shed == offered).
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/router.h"
+#include "src/serving/engine.h"
+#include "src/serving/scheduler.h"
+#include "src/workload/trace.h"
+
+namespace dz {
+namespace {
+
+TEST(SchedPolicyTest, NamesRoundTrip) {
+  for (SchedPolicy p : {SchedPolicy::kFcfs, SchedPolicy::kPriority, SchedPolicy::kDwfq}) {
+    SchedPolicy parsed;
+    ASSERT_TRUE(ParseSchedPolicy(SchedPolicyName(p), parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  SchedPolicy out;
+  EXPECT_FALSE(ParseSchedPolicy("lifo", out));
+}
+
+TEST(SloClassTest, NamesRoundTrip) {
+  for (SloClass s : {SloClass::kInteractive, SloClass::kStandard, SloClass::kBatch}) {
+    SloClass parsed;
+    ASSERT_TRUE(ParseSloClass(SloClassName(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  SloClass out;
+  EXPECT_FALSE(ParseSloClass("premium", out));
+}
+
+TEST(TenantScenarioNamesTest, NamesRoundTrip) {
+  for (TenantScenario s : {TenantScenario::kSteady, TenantScenario::kDiurnal,
+                           TenantScenario::kFlashCrowd, TenantScenario::kHeavyTail}) {
+    TenantScenario parsed;
+    ASSERT_TRUE(ParseTenantScenario(TenantScenarioName(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  TenantScenario out;
+  EXPECT_FALSE(ParseTenantScenario("weekend", out));
+}
+
+// Minimal queue element for the ordering template (mirrors the engines'
+// PendingReq surface).
+struct PendingLike {
+  TraceRequest req;
+  double fair_tag = -1.0;
+};
+
+PendingLike Req(int id, int tenant, SloClass slo, double arrival, int tokens = 100) {
+  PendingLike p;
+  p.req.id = id;
+  p.req.tenant_id = tenant;
+  p.req.slo = slo;
+  p.req.arrival_s = arrival;
+  p.req.prompt_tokens = tokens / 2;
+  p.req.output_tokens = tokens - tokens / 2;
+  return p;
+}
+
+TEST(OrderQueueTest, FcfsKeepsArrivalOrder) {
+  SchedulerConfig cfg;
+  FairQueue fq(cfg);
+  std::vector<PendingLike> q = {Req(0, 0, SloClass::kBatch, 2.0),
+                                Req(1, 0, SloClass::kInteractive, 1.0),
+                                Req(2, 1, SloClass::kStandard, 3.0)};
+  OrderQueueForPolicy(cfg, fq, q);
+  EXPECT_EQ(q[0].req.id, 1);
+  EXPECT_EQ(q[1].req.id, 0);
+  EXPECT_EQ(q[2].req.id, 2);
+}
+
+TEST(OrderQueueTest, PriorityOrdersByClassThenArrival) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kPriority;
+  FairQueue fq(cfg);
+  std::vector<PendingLike> q = {Req(0, 0, SloClass::kBatch, 1.0),
+                                Req(1, 0, SloClass::kStandard, 2.0),
+                                Req(2, 0, SloClass::kInteractive, 3.0),
+                                Req(3, 0, SloClass::kInteractive, 2.5),
+                                Req(4, 0, SloClass::kBatch, 0.5)};
+  OrderQueueForPolicy(cfg, fq, q);
+  // Interactive first (by arrival), then standard, then batch (by arrival).
+  EXPECT_EQ(q[0].req.id, 3);
+  EXPECT_EQ(q[1].req.id, 2);
+  EXPECT_EQ(q[2].req.id, 1);
+  EXPECT_EQ(q[3].req.id, 4);
+  EXPECT_EQ(q[4].req.id, 0);
+}
+
+TEST(OrderQueueTest, DwfqKeepsLightTenantAheadOfFlood) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kDwfq;
+  FairQueue fq(cfg);
+  // Tenant 0 floods 8 requests; tenant 1 submits one, last in arrival order.
+  std::vector<PendingLike> q;
+  for (int i = 0; i < 8; ++i) {
+    q.push_back(Req(i, 0, SloClass::kStandard, 0.1 * i));
+  }
+  q.push_back(Req(100, 1, SloClass::kStandard, 0.9));
+  OrderQueueForPolicy(cfg, fq, q);
+  size_t pos_light = 0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q[i].req.id == 100) {
+      pos_light = i;
+    }
+  }
+  // Under FCFS it would sit at index 8; fair queueing pulls it to the front
+  // (the flood tenant's virtual time races ahead after its first request).
+  EXPECT_LE(pos_light, 1u);
+  // Tags persist: re-ordering must not re-stamp (idempotent ordering).
+  const double tag = q[pos_light].fair_tag;
+  OrderQueueForPolicy(cfg, fq, q);
+  EXPECT_DOUBLE_EQ(q[pos_light].fair_tag, tag);
+}
+
+TEST(OrderQueueTest, DwfqClassWeightsFavorInteractive) {
+  SchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kDwfq;
+  FairQueue fq(cfg);
+  // Same tenant, same arrival, same size: the interactive request's cost is
+  // divided by a 4× weight, so its finish tag lands earlier.
+  std::vector<PendingLike> q = {Req(0, 0, SloClass::kBatch, 0.0),
+                                Req(1, 1, SloClass::kInteractive, 0.0)};
+  OrderQueueForPolicy(cfg, fq, q);
+  EXPECT_EQ(q[0].req.id, 1);
+}
+
+TEST(DeadlineTest, UnmeetableOnlyWhenEstimateOverrunsDeadline) {
+  SchedulerConfig cfg;
+  TraceRequest req;
+  req.slo = SloClass::kInteractive;  // default E2E deadline: 60 s
+  req.arrival_s = 10.0;
+  EXPECT_FALSE(DeadlineUnmeetable(cfg, req, 20.0, 5.0));   // 25 < 70
+  EXPECT_FALSE(DeadlineUnmeetable(cfg, req, 60.0, 9.0));   // 69 < 70
+  EXPECT_TRUE(DeadlineUnmeetable(cfg, req, 60.0, 11.0));   // 71 > 70
+  EXPECT_TRUE(DeadlineUnmeetable(cfg, req, 75.0, 0.001));  // already past
+}
+
+// ---- engine integration ----------------------------------------------------
+
+EngineConfig SmallEngine() {
+  EngineConfig cfg;
+  cfg.exec.shape = ModelShape::Llama13B();
+  cfg.exec.gpu = GpuSpec::A800();
+  cfg.exec.tp = 4;
+  cfg.max_concurrent_deltas = 8;
+  return cfg;
+}
+
+TraceConfig FlashCrowdConfig() {
+  TraceConfig tc;
+  tc.n_models = 32;
+  tc.arrival_rate = 6.0;
+  tc.duration_s = 150.0;
+  tc.dist = PopularityDist::kAzure;
+  tc.output_mean_tokens = 120.0;
+  tc.output_max_tokens = 400;
+  tc.seed = 2121;
+  tc.tenants.n_tenants = 6;
+  tc.tenants.scenario = TenantScenario::kFlashCrowd;
+  tc.tenants.interactive_frac = 0.25;
+  tc.tenants.batch_frac = 0.35;
+  tc.tenants.flash_boost = 25.0;
+  return tc;
+}
+
+// Tight interactive deadlines so the flash crowd actually endangers them.
+void TightenSlo(SchedulerConfig& sched) {
+  sched.slo.per_class[static_cast<int>(SloClass::kInteractive)] = {1.0, 20.0};
+  sched.slo.per_class[static_cast<int>(SloClass::kStandard)] = {10.0, 90.0};
+}
+
+void ExpectSameRecords(const ServeReport& a, const ServeReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].id, b.records[i].id);
+    EXPECT_DOUBLE_EQ(a.records[i].start_s, b.records[i].start_s);
+    EXPECT_DOUBLE_EQ(a.records[i].first_token_s, b.records[i].first_token_s);
+    EXPECT_DOUBLE_EQ(a.records[i].finish_s, b.records[i].finish_s);
+  }
+}
+
+TEST(SchedulerEngineTest, PriorityEqualsFcfsOnSingleClassTrace) {
+  // With every request in the same class, priority ordering degenerates to the
+  // FCFS stable sort — bit-identical schedules on both engines.
+  TraceConfig tc;
+  tc.n_models = 12;
+  tc.arrival_rate = 2.0;
+  tc.duration_s = 60.0;
+  tc.dist = PopularityDist::kAzure;
+  tc.seed = 31;
+  const Trace trace = GenerateTrace(tc);
+
+  EngineConfig fcfs = SmallEngine();
+  EngineConfig prio = SmallEngine();
+  prio.scheduler.policy = SchedPolicy::kPriority;
+  ExpectSameRecords(MakeDeltaZipEngine(fcfs)->Serve(trace),
+                    MakeDeltaZipEngine(prio)->Serve(trace));
+  EngineConfig fcfs_scb = fcfs;
+  EngineConfig prio_scb = prio;
+  fcfs_scb.artifact = ArtifactKind::kFullModel;
+  prio_scb.artifact = ArtifactKind::kFullModel;
+  ExpectSameRecords(MakeVllmScbEngine(fcfs_scb)->Serve(trace),
+                    MakeVllmScbEngine(prio_scb)->Serve(trace));
+}
+
+TEST(SchedulerEngineTest, PriorityBeatsFcfsUnderFlashCrowd) {
+  // The PR's acceptance gate as a test: under the flash-crowd scenario,
+  // class-aware scheduling must lift interactive-class attainment over FCFS
+  // without giving up more than 10% aggregate token throughput.
+  const Trace trace = GenerateTrace(FlashCrowdConfig());
+
+  EngineConfig fcfs = SmallEngine();
+  TightenSlo(fcfs.scheduler);
+  EngineConfig prio = fcfs;
+  prio.scheduler.policy = SchedPolicy::kPriority;
+  prio.scheduler.class_preemption = true;
+
+  const ServeReport r_fcfs = MakeDeltaZipEngine(fcfs)->Serve(trace);
+  const ServeReport r_prio = MakeDeltaZipEngine(prio)->Serve(trace);
+  EXPECT_GT(r_prio.ClassAttainment(SloClass::kInteractive),
+            r_fcfs.ClassAttainment(SloClass::kInteractive) + 0.05);
+  EXPECT_GE(r_prio.TokenThroughput(), 0.9 * r_fcfs.TokenThroughput());
+  // Reordering must not lose work: both complete the whole trace.
+  EXPECT_EQ(r_prio.records.size(), trace.requests.size());
+  EXPECT_EQ(r_fcfs.records.size(), trace.requests.size());
+}
+
+TEST(SchedulerEngineTest, AdmissionControlAccountingCloses) {
+  const Trace trace = GenerateTrace(FlashCrowdConfig());
+  EngineConfig cfg = SmallEngine();
+  TightenSlo(cfg.scheduler);
+  cfg.scheduler.admission_control = true;
+  const ServeReport r = MakeDeltaZipEngine(cfg)->Serve(trace);
+  EXPECT_GT(r.TotalShed(), 0) << "this scenario overloads the engine";
+  EXPECT_EQ(r.records.size() + static_cast<size_t>(r.TotalShed()),
+            trace.requests.size());
+  // A shed request must never also complete: ids in records stay unique.
+  std::vector<int> ids;
+  for (const auto& rec : r.records) {
+    ids.push_back(rec.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(SchedulerEngineTest, SheddingTheLastRequestTerminatesCleanly) {
+  // Regression: when admission control sheds the final outstanding request(s)
+  // while nothing is running, the engines must finish (and report the sheds)
+  // instead of DZ_CHECK-aborting in the idle fast-forward with no next event.
+  Trace trace;
+  trace.n_models = 2;
+  trace.duration_s = 10.0;
+  TraceRequest doomed;
+  doomed.id = 0;
+  doomed.model_id = 0;
+  doomed.arrival_s = 1.0;
+  doomed.prompt_tokens = 100;
+  doomed.output_tokens = 100000;  // optimistic service alone blows the deadline
+  trace.requests.push_back(doomed);
+  trace.CheckWellFormed();
+
+  EngineConfig cfg = SmallEngine();
+  cfg.scheduler.admission_control = true;
+  const ServeReport r_dz = MakeDeltaZipEngine(cfg)->Serve(trace);
+  EXPECT_EQ(r_dz.records.size(), 0u);
+  EXPECT_EQ(r_dz.TotalShed(), 1);
+
+  EngineConfig scb = cfg;
+  scb.artifact = ArtifactKind::kFullModel;
+  const ServeReport r_scb = MakeVllmScbEngine(scb)->Serve(trace);
+  EXPECT_EQ(r_scb.records.size(), 0u);
+  EXPECT_EQ(r_scb.TotalShed(), 1);
+}
+
+TEST(SchedulerEngineTest, SheddingOffByDefault) {
+  const Trace trace = GenerateTrace(FlashCrowdConfig());
+  const ServeReport r = MakeDeltaZipEngine(SmallEngine())->Serve(trace);
+  EXPECT_EQ(r.TotalShed(), 0);
+  EXPECT_EQ(r.records.size(), trace.requests.size());
+}
+
+TEST(SchedulerEngineTest, VllmEngineHonorsSchedulerAndSheds) {
+  TraceConfig tc = FlashCrowdConfig();
+  tc.arrival_rate = 1.0;  // full-model swapping saturates far earlier
+  tc.duration_s = 120.0;
+  const Trace trace = GenerateTrace(tc);
+  EngineConfig cfg = SmallEngine();
+  cfg.artifact = ArtifactKind::kFullModel;
+  TightenSlo(cfg.scheduler);
+  cfg.scheduler.policy = SchedPolicy::kPriority;
+  cfg.scheduler.admission_control = true;
+  const ServeReport r = MakeVllmScbEngine(cfg)->Serve(trace);
+  EXPECT_EQ(r.records.size() + static_cast<size_t>(r.TotalShed()),
+            trace.requests.size());
+  EXPECT_EQ(r.n_tenants, 6);
+}
+
+TEST(SchedulerEngineTest, RecordsCarryTenantAndClass) {
+  TraceConfig tc = FlashCrowdConfig();
+  tc.arrival_rate = 1.0;
+  tc.duration_s = 40.0;
+  const Trace trace = GenerateTrace(tc);
+  const ServeReport r = MakeDeltaZipEngine(SmallEngine())->Serve(trace);
+  ASSERT_EQ(r.records.size(), trace.requests.size());
+  for (const auto& rec : r.records) {
+    const TraceRequest& req = trace.requests[static_cast<size_t>(rec.id)];
+    EXPECT_EQ(rec.tenant_id, req.tenant_id);
+    EXPECT_EQ(rec.slo, req.slo);
+  }
+}
+
+// ---- cluster integration ---------------------------------------------------
+
+TEST(SchedulerClusterTest, ClusterMergesTenantMetrics) {
+  TraceConfig tc = FlashCrowdConfig();
+  tc.arrival_rate = 8.0;
+  const Trace trace = GenerateTrace(tc);
+
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 2;
+  cfg.placer.policy = PlacementPolicy::kTenantAffinity;
+  cfg.engine = SmallEngine();
+  TightenSlo(cfg.engine.scheduler);
+  cfg.engine.scheduler.admission_control = true;
+  const ClusterReport r = Cluster(cfg).Serve(trace);
+
+  EXPECT_EQ(r.merged.n_tenants, 6);
+  int shed_sum = 0;
+  for (const ServeReport& g : r.per_gpu) {
+    shed_sum += g.TotalShed();
+  }
+  EXPECT_EQ(r.TotalShed(), shed_sum);
+  EXPECT_EQ(r.merged.records.size() + static_cast<size_t>(r.TotalShed()),
+            trace.requests.size());
+  const double jain = r.JainFairnessIndex();
+  EXPECT_GT(jain, 0.0);
+  EXPECT_LE(jain, 1.0);
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const double att = r.ClassAttainment(static_cast<SloClass>(c));
+    EXPECT_GE(att, 0.0);
+    EXPECT_LE(att, 1.0);
+  }
+  // The tenant rows render without disturbing the table machinery.
+  const std::string summary = r.Summary(120.0, 30.0);
+  EXPECT_NE(summary.find("Jain fairness"), std::string::npos);
+  EXPECT_NE(summary.find("shed"), std::string::npos);
+}
+
+TEST(SchedulerClusterTest, TenantAffinityKeepsTenantsTogether) {
+  TraceConfig tc = FlashCrowdConfig();
+  tc.tenants.scenario = TenantScenario::kSteady;
+  tc.arrival_rate = 4.0;
+  tc.duration_s = 100.0;
+  const Trace trace = GenerateTrace(tc);
+
+  PlacerConfig pc;
+  pc.n_gpus = 4;
+  pc.policy = PlacementPolicy::kTenantAffinity;
+  const std::vector<int> shard_of = AssignTrace(trace, pc);
+
+  // Absent bounded-load spill every request of a tenant lands on its ring
+  // home; with spill allowed, the dominant GPU should still carry the vast
+  // majority of each tenant's traffic.
+  Placer placer(pc);
+  size_t on_home = 0;
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    if (shard_of[i] == placer.HomeGpuForTenant(trace.requests[i].tenant_id)) {
+      ++on_home;
+    }
+  }
+  EXPECT_GT(static_cast<double>(on_home),
+            0.6 * static_cast<double>(trace.requests.size()));
+}
+
+}  // namespace
+}  // namespace dz

@@ -91,6 +91,62 @@ TEST(TraceIoTest, SortsByArrival) {
   EXPECT_EQ(decoded.requests[1].id, 1);
 }
 
+TEST(TraceIoTest, SingleTenantSerializationHasNoTenantFields) {
+  // Pre-tenant byte format stays stable: default traces carry no tenant keys.
+  const std::string text = TraceToJsonl(SampleTrace());
+  EXPECT_EQ(text.find("tenant"), std::string::npos);
+  EXPECT_EQ(text.find("class"), std::string::npos);
+}
+
+TEST(TraceIoTest, MultiTenantRoundTrip) {
+  TraceConfig cfg;
+  cfg.n_models = 8;
+  cfg.arrival_rate = 3.0;
+  cfg.duration_s = 40.0;
+  cfg.seed = 99;
+  cfg.tenants.n_tenants = 4;
+  cfg.tenants.scenario = TenantScenario::kFlashCrowd;
+  cfg.tenants.interactive_frac = 0.3;
+  cfg.tenants.batch_frac = 0.2;
+  const Trace trace = GenerateTrace(cfg);
+  Trace decoded;
+  ASSERT_TRUE(TraceFromJsonl(TraceToJsonl(trace), decoded));
+  EXPECT_EQ(decoded.n_tenants, 4);
+  ASSERT_EQ(decoded.requests.size(), trace.requests.size());
+  for (size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(decoded.requests[i].tenant_id, trace.requests[i].tenant_id);
+    EXPECT_EQ(decoded.requests[i].slo, trace.requests[i].slo);
+  }
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeTenant) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"n_tenants\":2,\"duration\":10}\n"
+      "{\"id\":0,\"model\":0,\"tenant\":5,\"class\":1,\"arrival\":1.0,\"prompt\":10,\"output\":10}\n";
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl(text, decoded));
+}
+
+TEST(TraceIoTest, RejectsBadSloClass) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"n_tenants\":2,\"duration\":10}\n"
+      "{\"id\":0,\"model\":0,\"tenant\":1,\"class\":7,\"arrival\":1.0,\"prompt\":10,\"output\":10}\n";
+  Trace decoded;
+  EXPECT_FALSE(TraceFromJsonl(text, decoded));
+}
+
+TEST(TraceIoTest, PreTenantFilesDefaultToSingleTenant) {
+  const std::string text =
+      "{\"type\":\"dz-trace\",\"version\":1,\"n_models\":2,\"duration\":10}\n"
+      "{\"id\":0,\"model\":1,\"arrival\":1.0,\"prompt\":10,\"output\":10}\n";
+  Trace decoded;
+  ASSERT_TRUE(TraceFromJsonl(text, decoded));
+  EXPECT_EQ(decoded.n_tenants, 1);
+  ASSERT_EQ(decoded.requests.size(), 1u);
+  EXPECT_EQ(decoded.requests[0].tenant_id, 0);
+  EXPECT_EQ(decoded.requests[0].slo, SloClass::kStandard);
+}
+
 TEST(TraceIoTest, HandComposedTraceDrivesEngine) {
   // Hand-written JSONL can drive the serving engines directly (the paper-AE workflow).
   const std::string text =

@@ -41,30 +41,47 @@ const std::vector<SubcommandSpec>& Subcommands() {
       {"trace",
        "usage: dzip trace --out t.jsonl [--models 32] [--rate 1.0] [--duration 300]\n"
        "                  [--dist uniform|zipf|azure] [--alpha 1.5] [--seed 7]\n"
-       "  Generates a multi-variant serving trace and writes it as JSONL.\n",
-       {"out", "models", "rate", "duration", "dist", "alpha", "seed"}},
+       "                  [--tenants 1] [--scenario steady|diurnal|flash-crowd|heavy-tail]\n"
+       "                  [--interactive-frac 0] [--batch-frac 0] [--flash-boost 8]\n"
+       "  Generates a multi-variant serving trace and writes it as JSONL.\n"
+       "  --tenants > 1 (or a non-steady --scenario / non-zero class fractions)\n"
+       "  layers multi-tenant traffic with per-request SLO classes on top of the\n"
+       "  model-popularity distribution.\n",
+       {"out", "models", "rate", "duration", "dist", "alpha", "seed", "tenants",
+        "scenario", "interactive-frac", "batch-frac", "flash-boost"}},
       {"simulate",
        "usage: dzip simulate --trace t.jsonl [--engine deltazip|vllm-scb|lora]\n"
        "                     [--model 7b|13b|70b|pythia] [--gpu a800|3090] [--tp 4]\n"
        "                     [--n 8] [--bits 4|2] [--rank 16] [--prefetch 0|1]\n"
-       "                     [--lookahead 4]\n"
+       "                     [--lookahead 4] [--sched fcfs|priority|dwfq]\n"
+       "                     [--admission 0|1] [--class-preempt 0|1]\n"
        "  Replays the trace against the serving simulator and prints the report.\n"
        "  --prefetch 1 enables the async artifact-prefetch pipeline (--lookahead\n"
-       "  sets W, the number of waiting variants warmed ahead of admission).\n",
+       "  sets W, the number of waiting variants warmed ahead of admission).\n"
+       "  --sched picks the scheduler policy (priority = strict by SLO class,\n"
+       "  dwfq = fair queueing across tenants); --admission 1 sheds requests whose\n"
+       "  class deadline is already unmeetable; --class-preempt 1 lets interactive\n"
+       "  requests preempt running batch-class skippers (deltazip engine, takes\n"
+       "  effect with --sched priority|dwfq).\n",
        {"trace", "engine", "model", "gpu", "tp", "n", "bits", "rank", "prefetch",
-        "lookahead"}},
+        "lookahead", "sched", "admission", "class-preempt"}},
       {"cluster",
        "usage: dzip cluster --trace t.jsonl --gpus 4\n"
-       "                    [--policy round-robin|least-outstanding|delta-affinity]\n"
+       "                    [--policy round-robin|least-outstanding|delta-affinity|\n"
+       "                     tenant-affinity]\n"
        "                    [--engine deltazip|vllm-scb|lora] [--model 7b|13b|70b|pythia]\n"
        "                    [--gpu a800|3090] [--tp 4] [--n 8] [--bits 4|2] [--rank 16]\n"
        "                    [--prefetch 0|1] [--lookahead 4] [--slo-e2e 120]\n"
-       "                    [--slo-ttft 30]\n"
+       "                    [--slo-ttft 30] [--sched fcfs|priority|dwfq]\n"
+       "                    [--admission 0|1] [--class-preempt 0|1]\n"
        "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
        "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
-       "  router feeds each worker ring-predicted warm hints.\n",
+       "  router feeds each worker ring-predicted warm hints. tenant-affinity\n"
+       "  routes each tenant's whole traffic to its ring home GPU; the scheduler\n"
+       "  flags configure every worker engine.\n",
        {"trace", "gpus", "policy", "engine", "model", "gpu", "tp", "n", "bits", "rank",
-        "prefetch", "lookahead", "slo-e2e", "slo-ttft"}},
+        "prefetch", "lookahead", "slo-e2e", "slo-ttft", "sched", "admission",
+        "class-preempt"}},
       {"inspect",
        "usage: dzip inspect --artifact delta.bin\n"
        "  Prints a summary of an on-disk compressed-delta artifact.\n",
@@ -152,14 +169,41 @@ int CmdTrace(const ArgMap& args) {
     std::fprintf(stderr, "error: unknown --dist '%s'\n", dist.c_str());
     return 1;
   }
+  cfg.tenants.n_tenants = static_cast<int>(GetNum(args, "tenants", 1));
+  if (cfg.tenants.n_tenants < 1) {
+    std::fprintf(stderr, "error: --tenants must be >= 1\n");
+    return 1;
+  }
+  const std::string scenario = Get(args, "scenario", "steady");
+  if (!ParseTenantScenario(scenario, cfg.tenants.scenario)) {
+    std::fprintf(stderr,
+                 "error: unknown --scenario '%s' (steady, diurnal, flash-crowd, "
+                 "heavy-tail)\n",
+                 scenario.c_str());
+    return 1;
+  }
+  cfg.tenants.interactive_frac = GetNum(args, "interactive-frac", 0.0);
+  cfg.tenants.batch_frac = GetNum(args, "batch-frac", 0.0);
+  cfg.tenants.flash_boost = GetNum(args, "flash-boost", cfg.tenants.flash_boost);
+  if (cfg.tenants.interactive_frac < 0.0 || cfg.tenants.batch_frac < 0.0 ||
+      cfg.tenants.interactive_frac + cfg.tenants.batch_frac > 1.0) {
+    std::fprintf(stderr,
+                 "error: --interactive-frac and --batch-frac must be >= 0 and sum "
+                 "to <= 1\n");
+    return 1;
+  }
+  if (cfg.tenants.flash_boost <= 0.0) {
+    std::fprintf(stderr, "error: --flash-boost must be > 0\n");
+    return 1;
+  }
   const Trace trace = GenerateTrace(cfg);
   if (!WriteTraceFile(out, trace)) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("wrote %zu requests over %.0f s (%d models, %s) to %s\n",
-              trace.requests.size(), trace.duration_s, trace.n_models, dist.c_str(),
-              out.c_str());
+  std::printf("wrote %zu requests over %.0f s (%d models, %d tenants, %s, %s) to %s\n",
+              trace.requests.size(), trace.duration_s, trace.n_models, trace.n_tenants,
+              dist.c_str(), scenario.c_str(), out.c_str());
   return 0;
 }
 
@@ -208,6 +252,14 @@ bool ParseEngineArgs(const ArgMap& args, EngineConfig& cfg, bool& vllm_baseline)
   }
   cfg.prefetch.enabled = GetNum(args, "prefetch", 0) != 0;
   cfg.prefetch.lookahead = static_cast<int>(GetNum(args, "lookahead", 4));
+  const std::string sched = Get(args, "sched", "fcfs");
+  if (!ParseSchedPolicy(sched, cfg.scheduler.policy)) {
+    std::fprintf(stderr, "error: unknown --sched '%s' (fcfs, priority, dwfq)\n",
+                 sched.c_str());
+    return false;
+  }
+  cfg.scheduler.admission_control = GetNum(args, "admission", 0) != 0;
+  cfg.scheduler.class_preemption = GetNum(args, "class-preempt", 0) != 0;
   return true;
 }
 
@@ -257,6 +309,9 @@ int CmdSimulate(const ArgMap& args) {
                       std::to_string(report.prefetch_wasted)});
     table.AddRow({"stall hidden by prefetch (s)", Table::Num(report.stall_hidden_s, 3)});
   }
+  // Tenant/class rows only for multi-tenant traffic or actual sheds, matching
+  // the pre-tenant rendering otherwise (AppendTenantRows gates internally).
+  AppendTenantRows(table, report);
   std::printf("%s", table.ToAscii().c_str());
   return 0;
 }
@@ -283,7 +338,7 @@ int CmdCluster(const ArgMap& args) {
   if (!ParsePlacementPolicy(policy, cfg.placer.policy)) {
     std::fprintf(stderr,
                  "error: unknown --policy '%s' (round-robin, least-outstanding, "
-                 "delta-affinity)\n",
+                 "delta-affinity, tenant-affinity)\n",
                  policy.c_str());
     return 1;
   }
