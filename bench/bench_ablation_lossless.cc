@@ -6,8 +6,6 @@
 #include "src/compress/lossless.h"
 #include "src/simgpu/kernel_model.h"
 
-#include <chrono>
-
 namespace dz {
 namespace {
 
@@ -27,9 +25,9 @@ void Run() {
     const CompressedDelta delta = DeltaCompress(
         family.base->weights(), family.finetuned->weights(), family.calibration, cfg);
     const ByteBuffer raw = delta.Serialize();
-    const auto t0 = std::chrono::steady_clock::now();
+    const SteadyTimer timer;
     const ByteBuffer gz = GdeflateCompress(raw);
-    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = timer.Seconds();
     DZ_CHECK(GdeflateDecompress(gz) == raw);
     const ByteBuffer rle = RleCompress(raw);
     measured_ratio = CompressionRatio(raw.size(), gz.size());
@@ -37,7 +35,6 @@ void Run() {
                   std::to_string(gz.size()),
                   Table::Num(CompressionRatio(raw.size(), gz.size()), 3),
                   std::to_string(rle.size())});
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
     std::printf("  [bits=%d] gdeflate throughput %.1f MB/s (host-side; the paper uses "
                 "GPU decompression engines)\n",
                 bits, raw.size() / 1e6 / std::max(secs, 1e-9));

@@ -149,16 +149,33 @@ inline const char* ParseStringFlag(int argc, char** argv, const char* flag) {
   return nullptr;
 }
 
+// The one wall-clock source for every bench measurement: monotonic
+// (steady_clock), so NTP steps or suspend/resume can never produce negative or
+// wildly wrong durations mid-measurement. Benches must not touch
+// std::chrono::*_clock directly — construct (or Reset) a SteadyTimer and read
+// Seconds().
+class SteadyTimer {
+ public:
+  SteadyTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 // Median-free single timing helper for the measured-kernel bench sections:
 // runs fn() `reps` times and returns seconds per rep.
 template <typename Fn>
 double TimeSecsPerRep(int reps, Fn&& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const SteadyTimer timer;
   for (int r = 0; r < reps; ++r) {
     fn();
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count() / std::max(reps, 1);
+  return timer.Seconds() / std::max(reps, 1);
 }
 
 // Self-calibrating variant: doubles the rep count until the measurement window

@@ -69,8 +69,9 @@ double ClusterReport::MeanUtilization() const {
   return MeanUtilizationOf(PerGpuStats());
 }
 
-// BuildClusterReport already accumulates the per-GPU artifact/prefetch totals
-// into `merged`; these accessors just name that single source of truth.
+// BuildClusterReport merges the per-GPU metrics snapshots into `merged` and
+// materializes its scalar fields from them; these accessors just name that
+// single source of truth.
 int ClusterReport::TotalLoads() const { return merged.total_loads; }
 
 int ClusterReport::TotalDiskLoads() const { return merged.disk_loads; }
@@ -161,19 +162,13 @@ ClusterReport BuildClusterReport(std::string cluster_name, PlacementPolicy polic
     total += r.records.size();
     report.merged.makespan_s = std::max(report.merged.makespan_s, r.makespan_s);
     report.merged.n_tenants = std::max(report.merged.n_tenants, r.n_tenants);
-    for (int c = 0; c < kNumSloClasses; ++c) {
-      report.merged.shed_by_class[static_cast<size_t>(c)] +=
-          r.shed_by_class[static_cast<size_t>(c)];
-    }
-    report.merged.total_loads += r.total_loads;
-    report.merged.disk_loads += r.disk_loads;
-    report.merged.prefetch_issued += r.prefetch_issued;
-    report.merged.prefetch_hits += r.prefetch_hits;
-    report.merged.prefetch_wasted += r.prefetch_wasted;
-    report.merged.stall_hidden_s += r.stall_hidden_s;
-    report.merged.disk_busy_s += r.disk_busy_s;
-    report.merged.pcie_busy_s += r.pcie_busy_s;
+    // Snapshot-level merge in GPU order: counters add in the same order the old
+    // per-field `+=` loop did, so the materialized scalars below stay
+    // bit-identical (golden-enforced); histograms merge bucket-wise.
+    report.merged.metrics.MergeFrom(r.metrics);
   }
+  report.merged.metrics.sim_time_s = report.merged.makespan_s;
+  MaterializeReportFromSnapshot(report.merged);
   report.merged.records.reserve(total);
   for (const ServeReport& r : per_gpu) {
     report.merged.records.insert(report.merged.records.end(), r.records.begin(),

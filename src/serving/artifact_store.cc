@@ -7,9 +7,23 @@
 
 namespace dz {
 
-ArtifactStore::ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts)
+ArtifactStore::ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts,
+                             MetricsRegistry* registry)
     : config_(config), entries_(static_cast<size_t>(n_artifacts)) {
   DZ_CHECK_GT(config_.artifact_bytes, 0u);
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  loads_total_ = registry->GetCounter("store.loads.total");
+  loads_disk_ = registry->GetCounter("store.loads.disk");
+  prefetch_issued_ = registry->GetCounter("store.prefetch.issued");
+  prefetch_hits_ = registry->GetCounter("store.prefetch.hits");
+  prefetch_wasted_ = registry->GetCounter("store.prefetch.wasted");
+  stall_hidden_s_ = registry->GetCounter("store.prefetch.stall_hidden_s");
+  disk_busy_s_ = registry->GetCounter("store.channel.busy_s", {{"channel", "disk"}});
+  pcie_busy_s_ = registry->GetCounter("store.channel.busy_s", {{"channel", "pcie"}});
+  gpu_resident_ = registry->GetGauge("store.gpu.resident");
 }
 
 bool ArtifactStore::IsResident(int id, double now) const {
@@ -62,7 +76,7 @@ bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned,
   Entry& e = entries_[static_cast<size_t>(victim)];
   if (e.prefetched) {
     // Warmed speculatively, evicted before any demand use: the prefetch was wasted.
-    ++prefetch_wasted_;
+    prefetch_wasted_->Inc();
     e.prefetched = false;
   }
   // Demote to host if the host cache can plausibly hold it, else to disk. Host
@@ -76,6 +90,7 @@ bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned,
   }
   e.tier = on_cpu < cpu_slots ? Tier::kCpu : Tier::kDisk;
   e.in_flight = false;
+  gpu_resident_->Set(static_cast<double>(GpuCount(now)));
   return true;
 }
 
@@ -83,8 +98,8 @@ void ArtifactStore::ResolvePrefetchHit(Entry& e, double now) {
   // A demand request found the artifact warmed: the wait it skipped is the transfer
   // the prefetch paid, minus whatever is still in flight at `now`.
   const double remaining = std::max(0.0, e.ready_at - now);
-  stall_hidden_s_ += std::max(0.0, e.prefetch_cost_s - remaining);
-  ++prefetch_hits_;
+  stall_hidden_s_->Inc(std::max(0.0, e.prefetch_cost_s - remaining));
+  prefetch_hits_->Inc();
   e.prefetched = false;
 }
 
@@ -128,14 +143,14 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
     const double start = std::max(now, disk_free_at_);
     ready = start + config_.disk_read_s;
     disk_free_at_ = ready;
-    disk_busy_s_ += config_.disk_read_s;
+    disk_busy_s_->Inc(config_.disk_read_s);
     cost += config_.disk_read_s;
-    ++disk_loads_;
+    loads_disk_->Inc();
   }
   const double h2d_start = std::max(ready, pcie_free_at_);
   ready = h2d_start + config_.h2d_s;
   pcie_free_at_ = ready;
-  pcie_busy_s_ += config_.h2d_s;
+  pcie_busy_s_->Inc(config_.h2d_s);
   cost += config_.h2d_s;
 
   e.tier = Tier::kGpu;
@@ -144,10 +159,11 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
   e.last_use = now;
   e.prefetched = is_prefetch;
   e.prefetch_cost_s = is_prefetch ? cost : 0.0;
-  ++total_loads_;
+  loads_total_->Inc();
   if (is_prefetch) {
-    ++prefetch_issued_;
+    prefetch_issued_->Inc();
   }
+  gpu_resident_->Set(static_cast<double>(GpuCount(now)));
   return {true, ready};
 }
 

@@ -15,7 +15,10 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <vector>
+
+#include "src/metrics/metrics.h"
 
 namespace dz {
 
@@ -30,7 +33,13 @@ struct ArtifactStoreConfig {
 class ArtifactStore {
  public:
   // `n_artifacts` is the number of distinct artifact ids (variants) tracked.
-  ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts);
+  // All statistics live as "store.*" instruments in `registry` (the unified
+  // metrics layer); when the caller passes none, the store owns a private
+  // registry so the accessors below keep working stand-alone (tests, ad-hoc
+  // use). Engines inject their per-run registry so store counters appear in
+  // ServeReport::metrics snapshots alongside engine and scheduler metrics.
+  ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts,
+                MetricsRegistry* registry = nullptr);
 
   // True when artifact is on the GPU and usable now.
   bool IsResident(int id, double now) const;
@@ -79,21 +88,23 @@ class ArtifactStore {
   // Earliest pending load completion after `now` (or infinity when none).
   double NextLoadReady(double now) const;
 
-  // Statistics. Loads count PCIe (H2D) transfers; disk_loads the subset that also
-  // paid the disk read. Prefetches are included in both (they move real bytes).
-  int total_loads() const { return total_loads_; }
-  int disk_loads() const { return disk_loads_; }
+  // Statistics — thin views over the registry instruments (the store keeps no
+  // hand-maintained counters). Loads count PCIe (H2D) transfers; disk_loads the
+  // subset that also paid the disk read. Prefetches are included in both (they
+  // move real bytes).
+  int total_loads() const { return static_cast<int>(loads_total_->value()); }
+  int disk_loads() const { return static_cast<int>(loads_disk_->value()); }
   // Prefetch effectiveness: transfers issued speculatively, those demand-used at
   // least once (hits), and those evicted without ever being used (wasted).
-  int prefetch_issued() const { return prefetch_issued_; }
-  int prefetch_hits() const { return prefetch_hits_; }
-  int prefetch_wasted() const { return prefetch_wasted_; }
+  int prefetch_issued() const { return static_cast<int>(prefetch_issued_->value()); }
+  int prefetch_hits() const { return static_cast<int>(prefetch_hits_->value()); }
+  int prefetch_wasted() const { return static_cast<int>(prefetch_wasted_->value()); }
   // Seconds of artifact wait that demand requests skipped because a prefetch had
   // already (partially) covered the transfer.
-  double stall_hidden_s() const { return stall_hidden_s_; }
+  double stall_hidden_s() const { return stall_hidden_s_->value(); }
   // Cumulative busy seconds per transfer channel (for utilization = busy/makespan).
-  double disk_busy_s() const { return disk_busy_s_; }
-  double pcie_busy_s() const { return pcie_busy_s_; }
+  double disk_busy_s() const { return disk_busy_s_->value(); }
+  double pcie_busy_s() const { return pcie_busy_s_->value(); }
 
  private:
   enum class Tier { kDisk, kCpu, kGpu };
@@ -118,14 +129,18 @@ class ArtifactStore {
   std::vector<Entry> entries_;
   double disk_free_at_ = 0.0;  // disk channel availability
   double pcie_free_at_ = 0.0;  // PCIe channel availability
-  int total_loads_ = 0;
-  int disk_loads_ = 0;
-  int prefetch_issued_ = 0;
-  int prefetch_hits_ = 0;
-  int prefetch_wasted_ = 0;
-  double stall_hidden_s_ = 0.0;
-  double disk_busy_s_ = 0.0;
-  double pcie_busy_s_ = 0.0;
+  // Registry-backed statistics ("store.*" instruments, resolved once at
+  // construction). `owned_registry_` backs the stand-alone (no injection) case.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  Counter* loads_total_ = nullptr;
+  Counter* loads_disk_ = nullptr;
+  Counter* prefetch_issued_ = nullptr;
+  Counter* prefetch_hits_ = nullptr;
+  Counter* prefetch_wasted_ = nullptr;
+  Counter* stall_hidden_s_ = nullptr;
+  Counter* disk_busy_s_ = nullptr;
+  Counter* pcie_busy_s_ = nullptr;
+  Gauge* gpu_resident_ = nullptr;
 };
 
 }  // namespace dz

@@ -4,12 +4,12 @@
 // through the SBMM execution model. Scheduling is iteration-level FCFS with
 // skip-the-line admission and parent-finish preemption (§5.4).
 #include <algorithm>
-#include <array>
 #include <deque>
 #include <limits>
 #include <map>
 #include <set>
 
+#include "src/metrics/metrics.h"
 #include "src/serving/artifact_store.h"
 #include "src/serving/engine.h"
 #include "src/serving/prefetcher.h"
@@ -82,6 +82,30 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   ServeReport report;
   report.engine_name = name();
 
+  // One registry per engine run (share-nothing: cluster workers run Serve on
+  // parallel threads, and snapshots merge at the cluster layer instead). Every
+  // stat of this run lives here; the ServeReport scalar fields are materialized
+  // from the final snapshot by FinalizeServeMetrics.
+  MetricsRegistry registry;
+  Counter* shed_count[kNumSloClasses];
+  Counter* completed_count[kNumSloClasses];
+  LogHistogram* e2e_hist[kNumSloClasses];
+  LogHistogram* ttft_hist[kNumSloClasses];
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const MetricLabels by_class = {
+        {"class", SloClassName(static_cast<SloClass>(c))}};
+    shed_count[c] = registry.GetCounter("sched.shed", by_class);
+    completed_count[c] = registry.GetCounter("engine.requests.completed", by_class);
+    e2e_hist[c] = registry.GetHistogram("latency.e2e_s", by_class);
+    ttft_hist[c] = registry.GetHistogram("latency.ttft_s", by_class);
+  }
+  LogHistogram* queue_hist = registry.GetHistogram("latency.queue_s");
+  LogHistogram* load_hist = registry.GetHistogram("latency.load_s");
+  Counter* tokens_out = registry.GetCounter("engine.tokens.output");
+  Counter* tokens_prompt = registry.GetCounter("engine.tokens.prompt");
+  Counter* preempt_count = registry.GetCounter("engine.preemptions");
+  Counter* rounds_count = registry.GetCounter("engine.rounds");
+
   const size_t artifact_bytes = ArtifactBytes();
   const size_t total_mem =
       static_cast<size_t>(config_.exec.tp) * config_.exec.gpu.mem_bytes();
@@ -127,7 +151,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   store_config.h2d_s = config_.artifact == ArtifactKind::kLoraAdapter
                            ? exec_.LoadLoraFromHost(config_.lora_rank)
                            : exec_.LoadDeltaFromHost();
-  ArtifactStore store(store_config, trace.n_models);
+  ArtifactStore store(store_config, trace.n_models, &registry);
   DZ_CHECK_GE(store.GpuCapacity(), 1);
   // Scheduling concurrency excludes only the staging headroom the budget actually
   // granted: the batch still spans at most N variants, the spare slots stay
@@ -156,8 +180,8 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   double now = 0.0;
   double pending_swap_s = 0.0;  // accumulated KV swap work for the next iteration
   FairQueue fair_queue(config_.scheduler);
-  std::array<int, kNumSloClasses> shed_by_class = {0, 0, 0};
-  size_t shed_total = 0;
+  size_t shed_total = 0;  // loop control only; per-class counts live in the registry
+  double next_snapshot_s = config_.metrics.interval_s;
 
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
@@ -204,6 +228,13 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   };
 
   while (report.records.size() + shed_total < trace.requests.size()) {
+    // In-run timeline: sample the registry on the simulated clock. Pure reads —
+    // scheduling below is untouched, so any interval stays bit-identical.
+    while (config_.metrics.interval_s > 0.0 && now >= next_snapshot_s) {
+      report.timeline.push_back(registry.Snapshot(next_snapshot_s));
+      next_snapshot_s += config_.metrics.interval_s;
+    }
+    rounds_count->Inc();
     ingest(now);
 
     // ---- admission control: shed requests whose deadline is already lost ----
@@ -214,7 +245,10 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
           return p.decoded > 0 ? p.req.output_tokens - p.decoded
                                : p.req.prompt_tokens + p.req.output_tokens;
         },
-        shed_by_class, shed_total);
+        [&](SloClass slo) {
+          shed_count[static_cast<int>(slo)]->Inc();
+          ++shed_total;
+        });
     if (report.records.size() + shed_total == trace.requests.size()) {
       break;  // shedding retired the last outstanding requests: nothing left to
               // simulate, and the idle fast-forward below would have no event
@@ -339,6 +373,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
             remaining > config_.preempt_min_remaining_tokens) {
           PendingReq back = it->state;
           ++back.preemptions;
+          preempt_count->Inc();
           back.min_service_s = -1.0;  // re-estimate from the banked progress
           if (it->prefilled && !it->needs_kv_restore) {
             // Only KV actually materialized on the GPU costs a swap-out: a
@@ -452,6 +487,14 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         rec.first_token_s = it->state.first_token_s;
         rec.finish_s = now;
         rec.preemptions = it->state.preemptions;
+        const int cls = static_cast<int>(rec.slo);
+        completed_count[cls]->Inc();
+        e2e_hist[cls]->Record(rec.E2eLatency());
+        ttft_hist[cls]->Record(rec.Ttft());
+        queue_hist->Record(rec.QueueingTime());
+        load_hist->Record(rec.LoadingTime());
+        tokens_out->Inc(static_cast<double>(rec.output_tokens));
+        tokens_prompt->Inc(static_cast<double>(rec.prompt_tokens));
         report.records.push_back(rec);
         if (!it->is_skipper) {
           finished_parents.push_back(it->state.req.id);
@@ -473,6 +516,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         if (orphaned && remaining > config_.preempt_min_remaining_tokens) {
           PendingReq back = it->state;
           ++back.preemptions;
+          preempt_count->Inc();
           back.min_service_s = -1.0;  // re-estimate from the banked progress
           // Swap intermediate state (KV) to host; cost lands on the next iteration.
           pending_swap_s +=
@@ -491,8 +535,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   }
   report.n_tenants = std::max(1, trace.n_tenants);
   report.slo_spec = config_.scheduler.slo;
-  report.shed_by_class = shed_by_class;
-  FillArtifactStats(store, report);
+  FinalizeServeMetrics(registry, report);
   return report;
 }
 

@@ -59,6 +59,18 @@ struct PrefetchConfig {
   std::vector<int> warm_hints;
 };
 
+// In-run metrics export (the unified metrics layer). Every engine run always
+// keeps a registry and returns its final snapshot in ServeReport::metrics;
+// this config additionally samples the registry DURING the run on the
+// simulated clock, producing the ServeReport::timeline JSONL time series
+// (`dzip_cli --metrics-out/--metrics-interval`, bench_soak).
+struct MetricsExportConfig {
+  // Simulated seconds between in-run snapshots; 0 (default) disables the
+  // timeline (final snapshot only). Snapshots never perturb scheduling, so any
+  // interval is bit-identical to interval 0 (golden-enforced).
+  double interval_s = 0.0;
+};
+
 // One worker's configuration. Units: times in (simulated) seconds, sizes in GB
 // where named so, token budgets in tokens.
 struct EngineConfig {
@@ -78,6 +90,7 @@ struct EngineConfig {
   long long max_prefill_tokens = 2048;  // per-iteration prompt-token budget
   double kv_reserve_fraction = 0.05;    // GPU memory fraction reserved for activations
   PrefetchConfig prefetch;              // async artifact prefetch (off by default)
+  MetricsExportConfig metrics;          // in-run snapshot timeline (off by default)
   // Multi-tenant scheduling policy + admission control. Defaults (FCFS, no
   // shedding, no class preemption) are bit-identical to the pre-scheduler
   // engines (golden-enforced).

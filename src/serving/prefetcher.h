@@ -101,19 +101,6 @@ void RunPrefetchPass(ArtifactStore& store, const PrefetchConfig& config, double 
   }
 }
 
-// Copies the store's artifact-movement and prefetch-effectiveness totals into
-// the report (both engines call this once at the end of Serve).
-inline void FillArtifactStats(const ArtifactStore& store, ServeReport& report) {
-  report.total_loads = store.total_loads();
-  report.disk_loads = store.disk_loads();
-  report.prefetch_issued = store.prefetch_issued();
-  report.prefetch_hits = store.prefetch_hits();
-  report.prefetch_wasted = store.prefetch_wasted();
-  report.stall_hidden_s = store.stall_hidden_s();
-  report.disk_busy_s = store.disk_busy_s();
-  report.pcie_busy_s = store.pcie_busy_s();
-}
-
 }  // namespace dz
 
 #endif  // SRC_SERVING_PREFETCHER_H_

@@ -146,6 +146,27 @@ double ServeReport::JainFairnessIndex() const {
   return sum * sum / (static_cast<double>(tokens.size()) * sum_sq);
 }
 
+void MaterializeReportFromSnapshot(ServeReport& report) {
+  const MetricsSnapshot& m = report.metrics;
+  report.total_loads = static_cast<int>(m.Value("store.loads.total"));
+  report.disk_loads = static_cast<int>(m.Value("store.loads.disk"));
+  report.prefetch_issued = static_cast<int>(m.Value("store.prefetch.issued"));
+  report.prefetch_hits = static_cast<int>(m.Value("store.prefetch.hits"));
+  report.prefetch_wasted = static_cast<int>(m.Value("store.prefetch.wasted"));
+  report.stall_hidden_s = m.Value("store.prefetch.stall_hidden_s");
+  report.disk_busy_s = m.Value("store.channel.busy_s", {{"channel", "disk"}});
+  report.pcie_busy_s = m.Value("store.channel.busy_s", {{"channel", "pcie"}});
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    report.shed_by_class[static_cast<size_t>(c)] = static_cast<int>(
+        m.Value("sched.shed", {{"class", SloClassName(static_cast<SloClass>(c))}}));
+  }
+}
+
+void FinalizeServeMetrics(MetricsRegistry& registry, ServeReport& report) {
+  report.metrics = registry.Snapshot(report.makespan_s);
+  MaterializeReportFromSnapshot(report);
+}
+
 void AppendTenantRows(Table& table, const ServeReport& report) {
   if (report.n_tenants <= 1 && report.TotalShed() == 0) {
     return;  // single-tenant output matches the pre-tenant rendering

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/metrics.h"
 #include "src/workload/trace.h"
 
 namespace dz {
@@ -39,11 +40,22 @@ struct RequestRecord {
   }
 };
 
-// One engine run over one trace: per-request records plus artifact-movement and
-// prefetch-effectiveness totals from the engine's ArtifactStore.
+// One engine run over one trace: per-request records plus the run's metrics
+// registry snapshot. The scalar stat fields below are thin views materialized
+// from that snapshot at the end of Serve (FinalizeServeMetrics) — no engine or
+// store keeps hand-maintained counters anymore — and stay bit-identical to the
+// pre-registry fields (golden-enforced).
 struct ServeReport {
   std::string engine_name;
   std::vector<RequestRecord> records;
+  // Final registry snapshot of the run ("store.*", "sched.*", "engine.*",
+  // "latency.*" instruments), tagged with the run's makespan. Cluster merges
+  // combine these snapshots worker-by-worker (MetricsSnapshot::MergeFrom).
+  MetricsSnapshot metrics;
+  // Periodic in-run snapshots on the simulated clock, captured every
+  // EngineConfig::metrics.interval_s seconds (empty when the interval is 0).
+  // `dzip_cli --metrics-out` serializes these as a JSONL time series.
+  std::vector<MetricsSnapshot> timeline;
   double makespan_s = 0.0;  // time when the last request finished (s)
   // Artifact-movement totals from the engine's ArtifactStore: every load crosses
   // PCIe (host → device); `disk_loads` additionally paid the disk → host read.
@@ -111,6 +123,17 @@ class Table;
 // so single-tenant renderings stay unchanged. Shared by `dzip_cli simulate`
 // and ClusterReport::Summary.
 void AppendTenantRows(Table& table, const ServeReport& report);
+
+// Takes the run's final registry snapshot (tagged with the report's makespan)
+// and materializes the legacy scalar stat fields from it: artifact/prefetch/
+// channel totals from the "store.*" instruments and shed_by_class from the
+// "sched.shed" counters. Both engines call this once at the end of Serve;
+// BuildClusterReport applies the same materialization to the merged snapshot.
+void FinalizeServeMetrics(MetricsRegistry& registry, ServeReport& report);
+
+// The snapshot → scalar-fields half of FinalizeServeMetrics, reused for merged
+// cluster snapshots (report.metrics must already be populated).
+void MaterializeReportFromSnapshot(ServeReport& report);
 
 }  // namespace dz
 

@@ -26,7 +26,6 @@
 #define SRC_SERVING_SCHEDULER_H_
 
 #include <algorithm>
-#include <array>
 #include <map>
 #include <string>
 
@@ -165,18 +164,18 @@ inline bool DeadlineUnmeetable(const SchedulerConfig& config, const TraceRequest
 }
 
 // The per-round admission-control pass shared by both engines: sheds every
-// queued request whose deadline is already unmeetable, refunds its tenant's
-// DWFQ virtual time for the unserved tokens, and keeps the per-class counts.
-// `min_service_s(elem)` returns the engine's optimistic service estimate;
-// `unserved_tokens(elem)` the tokens the request will now never receive
-// (everything for a fresh request, the remaining output for a resumed one).
-// No-op unless `config.admission_control`.
-template <typename Queue, typename Estimator, typename Unserved>
+// queued request whose deadline is already unmeetable and refunds its tenant's
+// DWFQ virtual time for the unserved tokens. `min_service_s(elem)` returns the
+// engine's optimistic service estimate; `unserved_tokens(elem)` the tokens the
+// request will now never receive (everything for a fresh request, the
+// remaining output for a resumed one). Per-class accounting is the caller's:
+// `on_shed(SloClass)` fires once per shed request, and the engines route it
+// into their "sched.shed{class=...}" registry counters — the scheduler keeps
+// no counters of its own. No-op unless `config.admission_control`.
+template <typename Queue, typename Estimator, typename Unserved, typename OnShed>
 void ShedUnmeetable(const SchedulerConfig& config, FairQueue& fair_queue,
                     Queue& queue, double now, Estimator&& min_service_s,
-                    Unserved&& unserved_tokens,
-                    std::array<int, kNumSloClasses>& shed_by_class,
-                    size_t& shed_total) {
+                    Unserved&& unserved_tokens, OnShed&& on_shed) {
   if (!config.admission_control) {
     return;
   }
@@ -185,8 +184,7 @@ void ShedUnmeetable(const SchedulerConfig& config, FairQueue& fair_queue,
       if (config.policy == SchedPolicy::kDwfq && it->fair_tag >= 0.0) {
         fair_queue.OnShed(it->req, unserved_tokens(*it));
       }
-      ++shed_by_class[static_cast<int>(it->req.slo)];
-      ++shed_total;
+      on_shed(it->req.slo);
       it = queue.erase(it);
     } else {
       ++it;

@@ -5,12 +5,12 @@
 // batch across variants and must move full fp16 checkpoints on every swap — the two
 // costs DeltaZip removes.
 #include <algorithm>
-#include <array>
 #include <deque>
 #include <limits>
 #include <map>
 #include <set>
 
+#include "src/metrics/metrics.h"
 #include "src/serving/artifact_store.h"
 #include "src/serving/engine.h"
 #include "src/serving/prefetcher.h"
@@ -54,6 +54,27 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   ServeReport report;
   report.engine_name = name();
 
+  // Per-run registry, mirroring DeltaZipEngine (share-nothing across cluster
+  // worker threads; ServeReport scalars materialize from the final snapshot).
+  MetricsRegistry registry;
+  Counter* shed_count[kNumSloClasses];
+  Counter* completed_count[kNumSloClasses];
+  LogHistogram* e2e_hist[kNumSloClasses];
+  LogHistogram* ttft_hist[kNumSloClasses];
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const MetricLabels by_class = {
+        {"class", SloClassName(static_cast<SloClass>(c))}};
+    shed_count[c] = registry.GetCounter("sched.shed", by_class);
+    completed_count[c] = registry.GetCounter("engine.requests.completed", by_class);
+    e2e_hist[c] = registry.GetHistogram("latency.e2e_s", by_class);
+    ttft_hist[c] = registry.GetHistogram("latency.ttft_s", by_class);
+  }
+  LogHistogram* queue_hist = registry.GetHistogram("latency.queue_s");
+  LogHistogram* load_hist = registry.GetHistogram("latency.load_s");
+  Counter* tokens_out = registry.GetCounter("engine.tokens.output");
+  Counter* tokens_prompt = registry.GetCounter("engine.tokens.prompt");
+  Counter* rounds_count = registry.GetCounter("engine.rounds");
+
   const size_t total_mem =
       static_cast<size_t>(config_.exec.tp) * config_.exec.gpu.mem_bytes();
   const size_t model_bytes = exec_.BaseWeightBytesPerGpu() * config_.exec.tp;
@@ -72,7 +93,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   store_config.cpu_budget_bytes = 0;
   store_config.disk_read_s = exec_.LoadFullModelFromDisk();
   store_config.h2d_s = exec_.LoadFullModelFromHost();
-  ArtifactStore store(store_config, trace.n_models);
+  ArtifactStore store(store_config, trace.n_models, &registry);
   DZ_CHECK_GE(store.GpuCapacity(), 1);
 
   // Placement-aware warm-up (prefetch only): the router's predicted models,
@@ -91,8 +112,8 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   double demand_ready = -std::numeric_limits<double>::infinity();
 
   FairQueue fair_queue(config_.scheduler);
-  std::array<int, kNumSloClasses> shed_by_class = {0, 0, 0};
-  size_t shed_total = 0;
+  size_t shed_total = 0;  // loop control only; per-class counts live in the registry
+  double next_snapshot_s = config_.metrics.interval_s;
 
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
@@ -130,6 +151,13 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   };
 
   while (report.records.size() + shed_total < trace.requests.size()) {
+    // In-run timeline: sample the registry on the simulated clock (pure reads,
+    // bit-identical to interval 0).
+    while (config_.metrics.interval_s > 0.0 && now >= next_snapshot_s) {
+      report.timeline.push_back(registry.Snapshot(next_snapshot_s));
+      next_snapshot_s += config_.metrics.interval_s;
+    }
+    rounds_count->Inc();
     ingest(now);
 
     // ---- admission control: shed requests whose deadline is already lost ----
@@ -139,7 +167,10 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
           // No preemption here: a queued request has received nothing.
           return p.req.prompt_tokens + p.req.output_tokens;
         },
-        shed_by_class, shed_total);
+        [&](SloClass slo) {
+          shed_count[static_cast<int>(slo)]->Inc();
+          ++shed_total;
+        });
     if (report.records.size() + shed_total == trace.requests.size()) {
       break;  // shedding retired the last outstanding requests: nothing left to
               // simulate, and the idle fast-forward below would have no event
@@ -289,6 +320,14 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         rec.start_s = it->start_s;
         rec.first_token_s = it->first_token_s;
         rec.finish_s = now;
+        const int cls = static_cast<int>(rec.slo);
+        completed_count[cls]->Inc();
+        e2e_hist[cls]->Record(rec.E2eLatency());
+        ttft_hist[cls]->Record(rec.Ttft());
+        queue_hist->Record(rec.QueueingTime());
+        load_hist->Record(rec.LoadingTime());
+        tokens_out->Inc(static_cast<double>(rec.output_tokens));
+        tokens_prompt->Inc(static_cast<double>(rec.prompt_tokens));
         report.records.push_back(rec);
         it = running.erase(it);
       } else {
@@ -302,8 +341,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   }
   report.n_tenants = std::max(1, trace.n_tenants);
   report.slo_spec = config_.scheduler.slo;
-  report.shed_by_class = shed_by_class;
-  FillArtifactStats(store, report);
+  FinalizeServeMetrics(registry, report);
   return report;
 }
 

@@ -198,5 +198,27 @@ TEST(ArtifactStoreTest, NextLoadReadyTracksInFlight) {
   EXPECT_TRUE(std::isinf(store.NextLoadReady(load.ready_at + 0.01)));
 }
 
+TEST(ArtifactStoreTest, InjectedRegistryBacksTheStats) {
+  // The store's stat accessors are views over "store.*" registry instruments:
+  // with a caller-owned registry, the same counts are visible from both sides.
+  MetricsRegistry registry;
+  ArtifactStore store(SmallConfig(), 8, &registry);
+  double t = store.RequestLoad(0, 0.0, {}).ready_at;
+  t = store.RequestLoad(1, t, {}).ready_at;
+  EXPECT_EQ(store.total_loads(), 2);
+  EXPECT_EQ(store.disk_loads(), 2);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Value("store.loads.total"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Value("store.loads.disk"), 2.0);
+  EXPECT_GT(snap.Value("store.channel.busy_s", {{"channel", "disk"}}), 0.0);
+  EXPECT_GT(snap.Value("store.channel.busy_s", {{"channel", "pcie"}}), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Value("store.gpu.resident"), 2.0);
+  // Without an injected registry the store owns a private one, and the
+  // accessors behave identically (every pre-registry test above runs that way).
+  ArtifactStore standalone(SmallConfig(), 8);
+  standalone.RequestLoad(0, 0.0, {});
+  EXPECT_EQ(standalone.total_loads(), 1);
+}
+
 }  // namespace
 }  // namespace dz

@@ -66,6 +66,41 @@ void ExpectNoTenantActivity(const ServeReport& r) {
   EXPECT_DOUBLE_EQ(r.JainFairnessIndex(), 1.0);
 }
 
+// ISSUE 6 extension: the scalar stat fields are now thin views over the run's
+// registry snapshot, so the snapshot must carry exactly the same doubles —
+// EXPECT_EQ, not near — and the per-request histograms must cover every record.
+void ExpectSnapshotBacksReport(const ServeReport& r) {
+  const MetricsSnapshot& m = r.metrics;
+  ASSERT_FALSE(m.points.empty());
+  EXPECT_EQ(m.sim_time_s, r.makespan_s);
+  EXPECT_EQ(m.Value("store.loads.total"), static_cast<double>(r.total_loads));
+  EXPECT_EQ(m.Value("store.loads.disk"), static_cast<double>(r.disk_loads));
+  EXPECT_EQ(m.Value("store.prefetch.issued"),
+            static_cast<double>(r.prefetch_issued));
+  EXPECT_EQ(m.Value("store.prefetch.stall_hidden_s"), r.stall_hidden_s);
+  EXPECT_EQ(m.Value("store.channel.busy_s", {{"channel", "disk"}}),
+            r.disk_busy_s);
+  EXPECT_EQ(m.Value("store.channel.busy_s", {{"channel", "pcie"}}),
+            r.pcie_busy_s);
+  double completed = 0.0;
+  long long e2e_samples = 0;
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const MetricLabels by_class = {
+        {"class", SloClassName(static_cast<SloClass>(c))}};
+    completed += m.Value("engine.requests.completed", by_class);
+    EXPECT_EQ(m.Value("sched.shed", by_class),
+              static_cast<double>(r.shed_by_class[static_cast<size_t>(c)]));
+    const LogHistogram* h = m.Hist("latency.e2e_s", by_class);
+    ASSERT_NE(h, nullptr);
+    e2e_samples += h->count();
+  }
+  EXPECT_EQ(completed, static_cast<double>(r.records.size()));
+  EXPECT_EQ(e2e_samples, static_cast<long long>(r.records.size()));
+  const LogHistogram* queue_h = m.Hist("latency.queue_s");
+  ASSERT_NE(queue_h, nullptr);
+  EXPECT_EQ(queue_h->count(), static_cast<long long>(r.records.size()));
+}
+
 TEST(GoldenReportTest, DeltaZipEngineMatchesPrePrefetchBehavior) {
   const Trace trace = GenerateTrace(GoldenTraceConfig());
   const ServeReport r = MakeDeltaZipEngine(GoldenEngineConfig())->Serve(trace);
@@ -79,6 +114,40 @@ TEST(GoldenReportTest, DeltaZipEngineMatchesPrePrefetchBehavior) {
   EXPECT_EQ(r.disk_loads, 10);
   ExpectNoPrefetchActivity(r);
   ExpectNoTenantActivity(r);
+  ExpectSnapshotBacksReport(r);
+}
+
+// ISSUE 6: the in-run snapshot timeline is pure reads off the registry, so
+// enabling it at any interval must reproduce the golden doubles exactly while
+// producing monotone snapshots.
+TEST(GoldenReportTest, MetricsTimelineIsBitIdenticalToDisabled) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  EngineConfig cfg = GoldenEngineConfig();
+  cfg.metrics.interval_s = 5.0;
+  const ServeReport r = MakeDeltaZipEngine(cfg)->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 90.574333173805186);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 4434.3527165309852);
+  EXPECT_DOUBLE_EQ(s.sum_first, 4435.5281193914107);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 4487.3900915944778);
+  ASSERT_GE(r.timeline.size(), 10u);  // ~90s of simulated time at 5s intervals
+  double prev_completed = 0.0;
+  for (size_t i = 0; i < r.timeline.size(); ++i) {
+    const MetricsSnapshot& snap = r.timeline[i];
+    if (i > 0) {
+      EXPECT_GT(snap.sim_time_s, r.timeline[i - 1].sim_time_s);
+    }
+    double completed = 0.0;
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      completed += snap.Value(
+          "engine.requests.completed",
+          {{"class", SloClassName(static_cast<SloClass>(c))}});
+    }
+    EXPECT_GE(completed, prev_completed);  // counters are monotone over time
+    prev_completed = completed;
+  }
+  EXPECT_LE(prev_completed, static_cast<double>(r.records.size()));
 }
 
 // The scheduler refactor must not shift the default path by a single double:
@@ -117,6 +186,7 @@ TEST(GoldenReportTest, VllmScbEngineMatchesPrePrefetchBehavior) {
   EXPECT_EQ(r.disk_loads, 10);
   ExpectNoPrefetchActivity(r);
   ExpectNoTenantActivity(r);
+  ExpectSnapshotBacksReport(r);
 }
 
 TEST(GoldenReportTest, EightGpuClusterMatchesPrePrefetchBehavior) {
@@ -142,6 +212,15 @@ TEST(GoldenReportTest, EightGpuClusterMatchesPrePrefetchBehavior) {
   EXPECT_EQ(r.TotalPrefetchIssued(), 0);
   ExpectNoTenantActivity(r.merged);
   EXPECT_EQ(r.TotalShed(), 0);
+  // The merged snapshot (per-GPU MergeFrom in GPU order) must back the merged
+  // scalars bit-for-bit, exactly like a single worker's snapshot backs its own.
+  ExpectSnapshotBacksReport(r.merged);
+  double per_gpu_loads = 0.0;
+  for (const ServeReport& g : r.per_gpu) {
+    ExpectSnapshotBacksReport(g);
+    per_gpu_loads += g.metrics.Value("store.loads.total");
+  }
+  EXPECT_EQ(per_gpu_loads, r.merged.metrics.Value("store.loads.total"));
 }
 
 }  // namespace

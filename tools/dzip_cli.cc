@@ -18,6 +18,7 @@
 
 #include "src/cluster/router.h"
 #include "src/compress/serialize.h"
+#include "src/metrics/metrics.h"
 #include "src/serving/engine.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -55,6 +56,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                     [--n 8] [--bits 4|2] [--rank 16] [--prefetch 0|1]\n"
        "                     [--lookahead 4] [--sched fcfs|priority|dwfq]\n"
        "                     [--admission 0|1] [--class-preempt 0|1]\n"
+       "                     [--metrics-out m.jsonl] [--metrics-interval 10]\n"
        "  Replays the trace against the serving simulator and prints the report.\n"
        "  --prefetch 1 enables the async artifact-prefetch pipeline (--lookahead\n"
        "  sets W, the number of waiting variants warmed ahead of admission).\n"
@@ -62,9 +64,14 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "  dwfq = fair queueing across tenants); --admission 1 sheds requests whose\n"
        "  class deadline is already unmeetable; --class-preempt 1 lets interactive\n"
        "  requests preempt running batch-class skippers (deltazip engine, takes\n"
-       "  effect with --sched priority|dwfq).\n",
+       "  effect with --sched priority|dwfq).\n"
+       "  --metrics-out writes the run's metrics registry as a JSONL time series\n"
+       "  (counters, gauges, latency histograms with p50/p99/p999);\n"
+       "  --metrics-interval <secs> adds in-run snapshots every that many\n"
+       "  simulated seconds (0 = final snapshot only).\n",
        {"trace", "engine", "model", "gpu", "tp", "n", "bits", "rank", "prefetch",
-        "lookahead", "sched", "admission", "class-preempt"}},
+        "lookahead", "sched", "admission", "class-preempt", "metrics-out",
+        "metrics-interval"}},
       {"cluster",
        "usage: dzip cluster --trace t.jsonl --gpus 4\n"
        "                    [--policy round-robin|least-outstanding|delta-affinity|\n"
@@ -74,14 +81,19 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                    [--prefetch 0|1] [--lookahead 4] [--slo-e2e 120]\n"
        "                    [--slo-ttft 30] [--sched fcfs|priority|dwfq]\n"
        "                    [--admission 0|1] [--class-preempt 0|1]\n"
+       "                    [--metrics-out m.jsonl] [--metrics-interval 10]\n"
        "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
        "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
        "  router feeds each worker ring-predicted warm hints. tenant-affinity\n"
        "  routes each tenant's whole traffic to its ring home GPU; the scheduler\n"
-       "  flags configure every worker engine.\n",
+       "  flags configure every worker engine.\n"
+       "  --metrics-out writes a JSONL time series: each worker's snapshots\n"
+       "  (tagged gpu=<i>) followed by the merged cluster snapshot (gpu=merged);\n"
+       "  --metrics-interval <secs> adds per-worker in-run snapshots on the\n"
+       "  simulated clock (0 = final snapshots only).\n",
        {"trace", "gpus", "policy", "engine", "model", "gpu", "tp", "n", "bits", "rank",
         "prefetch", "lookahead", "slo-e2e", "slo-ttft", "sched", "admission",
-        "class-preempt"}},
+        "class-preempt", "metrics-out", "metrics-interval"}},
       {"inspect",
        "usage: dzip inspect --artifact delta.bin\n"
        "  Prints a summary of an on-disk compressed-delta artifact.\n",
@@ -276,6 +288,20 @@ bool LoadTraceArg(const ArgMap& args, const char* subcommand, Trace& trace) {
   return true;
 }
 
+// One run's JSONL export: every in-run timeline snapshot, then the final
+// snapshot (tagged phase=final), all with the caller's context labels.
+bool AppendRunMetrics(MetricsJsonlWriter& writer, const ServeReport& report,
+                      std::vector<std::pair<std::string, std::string>> context) {
+  context.emplace_back("phase", "timeline");
+  for (const MetricsSnapshot& snap : report.timeline) {
+    if (!writer.Append(snap, context)) {
+      return false;
+    }
+  }
+  context.back().second = "final";
+  return writer.Append(report.metrics, context);
+}
+
 int CmdSimulate(const ArgMap& args) {
   Trace trace;
   if (!LoadTraceArg(args, "simulate", trace)) {
@@ -286,10 +312,23 @@ int CmdSimulate(const ArgMap& args) {
   if (!ParseEngineArgs(args, cfg, vllm_baseline)) {
     return 1;
   }
+  const std::string metrics_out = Get(args, "metrics-out", "");
+  cfg.metrics.interval_s = GetNum(args, "metrics-interval", 0.0);
   std::unique_ptr<ServingEngine> engine =
       vllm_baseline ? MakeVllmScbEngine(cfg) : MakeDeltaZipEngine(cfg);
 
   const ServeReport report = engine->Serve(trace);
+  if (!metrics_out.empty()) {
+    MetricsJsonlWriter writer(metrics_out);
+    if (!writer.ok() ||
+        !AppendRunMetrics(writer, report,
+                          {{"cmd", "simulate"}, {"engine", report.engine_name}})) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %d metrics snapshots to %s\n", writer.lines_written(),
+                metrics_out.c_str());
+  }
   Table table({"metric", "value"});
   table.AddRow({"engine", report.engine_name});
   table.AddRow({"requests", std::to_string(report.completed())});
@@ -342,7 +381,26 @@ int CmdCluster(const ArgMap& args) {
                  policy.c_str());
     return 1;
   }
+  const std::string metrics_out = Get(args, "metrics-out", "");
+  cfg.engine.metrics.interval_s = GetNum(args, "metrics-interval", 0.0);
   const ClusterReport report = Cluster(cfg).Serve(trace);
+  if (!metrics_out.empty()) {
+    MetricsJsonlWriter writer(metrics_out);
+    bool ok = writer.ok();
+    for (size_t g = 0; ok && g < report.per_gpu.size(); ++g) {
+      ok = AppendRunMetrics(writer, report.per_gpu[g],
+                            {{"cmd", "cluster"}, {"gpu", std::to_string(g)}});
+    }
+    ok = ok && writer.Append(report.merged.metrics,
+                             {{"cmd", "cluster"}, {"gpu", "merged"},
+                              {"phase", "final"}});
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %d metrics snapshots to %s\n", writer.lines_written(),
+                metrics_out.c_str());
+  }
   std::printf("%s", report.Summary(GetNum(args, "slo-e2e", 120.0),
                                    GetNum(args, "slo-ttft", 30.0)).c_str());
   return 0;
