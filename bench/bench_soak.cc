@@ -11,6 +11,12 @@
 //     sustained drift means state is leaking across Serve() calls).
 // Exit code 1 on either gate failing, so CI can run it directly.
 //
+// Every worker additionally runs a flight recorder: a bounded TraceEvent ring
+// (fixed memory, always-on) whose most recent merged contents are dumped as a
+// Chrome trace JSON postmortem (`--flightrec-out`, default soak_flightrec.json)
+// when a health gate trips — the "what was the cluster doing right before it
+// went bad" view CI attaches as a failure artifact.
+//
 // `--quick` (CI smoke, ASan-friendly) still streams >= 1M requests; the full
 // run is 5M. `--metrics-out <path>` selects the JSONL path, `--json <path>`
 // writes the bench-summary JSON (dz-bench-v1 schema).
@@ -22,6 +28,7 @@
 #include "bench/bench_common.h"
 #include "src/cluster/router.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/trace_export.h"
 
 namespace dz {
 namespace {
@@ -75,6 +82,12 @@ void Run(int argc, char** argv) {
   const char* metrics_path_flag = ParseStringFlag(argc, argv, "--metrics-out");
   const std::string metrics_path =
       metrics_path_flag != nullptr ? metrics_path_flag : "soak_metrics.jsonl";
+  const char* flightrec_flag = ParseStringFlag(argc, argv, "--flightrec-out");
+  const std::string flightrec_path =
+      flightrec_flag != nullptr ? flightrec_flag : "soak_flightrec.json";
+  // Flight-recorder ring per worker: 4096 events bound each worker's tracing
+  // memory to ~hundreds of KB regardless of how many requests stream through.
+  constexpr size_t kFlightRingCapacity = 4096;
   // Aggregate arrival rate an 8-GPU cluster absorbs without unbounded backlog
   // (the golden cluster scenario sustains 6 req/s; short outputs raise capacity).
   const double rate = 24.0;
@@ -86,6 +99,8 @@ void Run(int argc, char** argv) {
   }
 
   std::vector<WindowResult> windows;
+  std::vector<TraceEvent> last_flight;  // most recent window's merged rings
+  long long flight_dropped = 0;
   double cumulative_requests = 0.0;
   const SteadyTimer total_timer;
   for (int w = 0; w < n_windows; ++w) {
@@ -114,10 +129,16 @@ void Run(int argc, char** argv) {
     cfg.engine.max_concurrent_deltas = 8;
     cfg.engine.scheduler.policy = SchedPolicy::kPriority;
     cfg.engine.scheduler.slo = SloSpecs();
+    cfg.engine.tracing.enabled = true;
+    cfg.engine.tracing.ring_capacity = kFlightRingCapacity;
 
     const SteadyTimer window_timer;
     const Trace trace = GenerateTrace(tc);
     const ClusterReport report = Cluster(cfg).Serve(trace);
+    // Postmortem view: keep only the most recent window's merged rings (a gate
+    // trip dumps "what the cluster was doing right before the end").
+    last_flight = report.MergedTraceEvents();
+    flight_dropped = report.merged.trace_events_dropped;
 
     WindowResult res;
     res.wall_s = window_timer.Seconds();
@@ -203,6 +224,9 @@ void Run(int argc, char** argv) {
   summary.AddRow({"p99 E2E baseline/peak (s)", Table::Num(p99_baseline, 2) +
                                                    " / " + Table::Num(p99_peak, 2)});
   summary.AddRow({"metrics JSONL lines", std::to_string(writer.lines_written())});
+  summary.AddRow({"flight recorder events (ring)",
+                  std::to_string(last_flight.size()) + " (+" +
+                      std::to_string(flight_dropped) + " overwritten)"});
   summary.AddRow({"health gates", ok ? "PASS" : "FAIL"});
   std::printf("\n%s\n", summary.ToAscii().c_str());
 
@@ -218,6 +242,17 @@ void Run(int argc, char** argv) {
   }
 
   if (!ok) {
+    // Postmortem: dump the flight-recorder rings of the last window so CI can
+    // attach them (Perfetto-loadable) next to the failing log.
+    if (WriteChromeTrace(flightrec_path, last_flight)) {
+      std::fprintf(stderr,
+                   "bench_soak: dumped %zu flight-recorder events (last window, "
+                   "%lld overwritten) to %s\n",
+                   last_flight.size(), flight_dropped, flightrec_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_soak: cannot write flight recorder dump to %s\n",
+                   flightrec_path.c_str());
+    }
     std::exit(1);
   }
 }

@@ -116,6 +116,9 @@ std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
   // control actually shed something (AppendTenantRows gates internally), so
   // single-tenant output matches the pre-tenant rendering.
   AppendTenantRows(agg, merged);
+  // Critical-path attribution rows appear only for traced runs (the gate lives
+  // in AppendAttributionRows), so untraced output is unchanged.
+  AppendAttributionRows(agg, merged);
 
   // The per-GPU prefetch column appears only when prefetch actually ran, like
   // the aggregate rows above, so prefetch-off output matches the pre-prefetch
@@ -179,7 +182,41 @@ ClusterReport BuildClusterReport(std::string cluster_name, PlacementPolicy polic
                      return a.finish_s < b.finish_s;
                    });
   report.per_gpu = std::move(per_gpu);
+  // Trace views: each worker ran share-nothing with gpu left -1; stamp the
+  // owning GPU now, and fold per-GPU critical-path attributions and ring-drop
+  // counts into the merged view in GPU order (deterministic like the snapshot
+  // merge above). Events themselves stay per-GPU; MergedTraceEvents() builds
+  // the flat stream on demand so merged reports don't double the event memory.
+  for (size_t g = 0; g < report.per_gpu.size(); ++g) {
+    ServeReport& r = report.per_gpu[g];
+    for (TraceEvent& e : r.trace_events) {
+      e.gpu = static_cast<int>(g);
+    }
+    report.merged.trace_events_dropped += r.trace_events_dropped;
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      report.merged.path_by_class[static_cast<size_t>(c)].Merge(
+          r.path_by_class[static_cast<size_t>(c)]);
+    }
+  }
   return report;
+}
+
+std::vector<TraceEvent> ClusterReport::MergedTraceEvents() const {
+  std::vector<TraceEvent> out;
+  size_t total = router_events.size();
+  for (const ServeReport& r : per_gpu) {
+    total += r.trace_events.size();
+  }
+  out.reserve(total);
+  out.insert(out.end(), router_events.begin(), router_events.end());
+  for (const ServeReport& r : per_gpu) {
+    out.insert(out.end(), r.trace_events.begin(), r.trace_events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_s < b.ts_s;
+                   });
+  return out;
 }
 
 }  // namespace dz

@@ -37,6 +37,15 @@ struct ClusterReport {
   // 1-GPU cluster this is exactly the worker's report, so cluster and direct
   // engine runs compare bit-identically.
   ServeReport merged;
+  // Router-side trace events (router.place / router.warm_hint), empty unless
+  // tracing is on. Worker events stay in per_gpu[g].trace_events (tagged with
+  // gpu = g by BuildClusterReport); MergedTraceEvents() combines both views.
+  std::vector<TraceEvent> router_events;
+
+  // One cluster-wide event stream: every worker's events (in GPU order) plus
+  // the router's, re-sorted by timestamp (stable, so same-instant events keep
+  // GPU order). This is what --trace-out exports.
+  std::vector<TraceEvent> MergedTraceEvents() const;
 
   size_t completed() const { return merged.records.size(); }
   double makespan_s() const { return merged.makespan_s; }

@@ -112,7 +112,42 @@ ClusterReport Cluster::Serve(const Trace& trace) const {
       run_worker(gpu);
     }
   }
-  return BuildClusterReport(name(), config_.placer.policy, std::move(reports));
+  ClusterReport report =
+      BuildClusterReport(name(), config_.placer.policy, std::move(reports));
+
+  // Router-side tracing: one router.place per request (the placement decision,
+  // stamped at the request's arrival) and one router.warm_hint per predicted
+  // variant home (stamped at t = 0 — hints are computed before serving starts).
+  // Recorded through the same TraceRecorder as the workers so flight-recorder
+  // ring bounds apply uniformly.
+  if (config_.engine.tracing.enabled) {
+    TraceRecorder recorder(config_.engine.tracing);
+    for (size_t i = 0; i < trace.requests.size(); ++i) {
+      const TraceRequest& req = trace.requests[i];
+      TraceEvent ev;
+      ev.type = TraceEventType::kRouterPlace;
+      ev.ts_s = req.arrival_s;
+      ev.request_id = req.id;
+      ev.model_id = req.model_id;
+      ev.tenant_id = req.tenant_id;
+      ev.slo = req.slo;
+      ev.gpu = shard_of[i];
+      recorder.Emit(ev);
+    }
+    for (size_t gpu = 0; gpu < warm_hints.size(); ++gpu) {
+      for (size_t rank = 0; rank < warm_hints[gpu].size(); ++rank) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kRouterWarmHint;
+        ev.ts_s = 0.0;
+        ev.model_id = warm_hints[gpu][rank];
+        ev.gpu = static_cast<int>(gpu);
+        ev.aux = static_cast<int>(rank);
+        recorder.Emit(ev);
+      }
+    }
+    report.router_events = recorder.Drain();
+  }
+  return report;
 }
 
 }  // namespace dz

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "src/util/check.h"
+#include "src/util/json.h"
 
 namespace dz {
 
@@ -197,44 +198,6 @@ void MetricsSnapshot::SetValue(const std::string& name, MetricKind kind, double 
   });
   points.insert(pos, p);
 }
-
-namespace {
-
-// Minimal JSON string escaping for metric keys and context values.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string JsonNum(double v) {
-  if (!std::isfinite(v)) {
-    return "0";  // JSON has no inf/nan; metrics values should never be either
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-}  // namespace
 
 std::string MetricsSnapshot::ToJsonLine(
     const std::vector<std::pair<std::string, std::string>>& context) const {

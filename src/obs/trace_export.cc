@@ -1,0 +1,195 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace dz {
+
+namespace {
+
+// Track (tid) layout inside each GPU process. Values are arbitrary but stable;
+// metadata events below give them human names in the viewer.
+enum Track : int {
+  kTrackRequests = 0,  // async request spans render on their own track group
+  kTrackRounds = 1,
+  kTrackDisk = 2,
+  kTrackPcie = 3,
+  kTrackSched = 4,
+  kTrackRouter = 5,
+};
+
+int PidOf(const TraceEvent& e) { return e.gpu < 0 ? 0 : e.gpu; }
+
+void AppendCommon(std::string& out, const TraceEvent& e, const char* ph,
+                  int tid) {
+  out += "{\"name\":\"";
+  out += TraceEventTypeName(e.type);
+  out += "\",\"ph\":\"";
+  out += ph;
+  out += "\",\"ts\":" + JsonNum(e.ts_s * 1e6);
+  out += ",\"pid\":" + std::to_string(PidOf(e));
+  out += ",\"tid\":" + std::to_string(tid);
+}
+
+void AppendArgs(std::string& out, const TraceEvent& e) {
+  out += ",\"args\":{";
+  bool first = true;
+  auto arg = [&](const char* k, const std::string& v) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    out += k;
+    out += "\":" + v;
+  };
+  if (e.request_id >= 0) {
+    arg("request", std::to_string(e.request_id));
+  }
+  if (e.model_id >= 0) {
+    arg("model", std::to_string(e.model_id));
+  }
+  if (e.tenant_id >= 0) {
+    arg("tenant", std::to_string(e.tenant_id));
+  }
+  if (e.request_id >= 0) {
+    arg("class", std::string("\"") + JsonEscape(SloClassName(e.slo)) + "\"");
+  }
+  if (e.bytes > 0.0) {
+    arg("bytes", JsonNum(e.bytes));
+  }
+  if (e.type == TraceEventType::kBatchRound) {
+    arg("batch", std::to_string(e.aux));
+  }
+  if (e.type == TraceEventType::kKvSwap) {
+    arg("direction", e.aux == 0 ? "\"out\"" : "\"restore\"");
+  }
+  if (e.type == TraceEventType::kRouterWarmHint) {
+    arg("rank", std::to_string(e.aux));
+  }
+  out += "}";
+}
+
+void AppendMeta(std::string& out, int pid, int tid, const char* what,
+                const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"ts\":0,\"pid\":" + std::to_string(pid);
+  if (tid >= 0) {
+    out += ",\"tid\":" + std::to_string(tid);
+  }
+  out += ",\"args\":{\"name\":\"" + JsonEscape(name) + "\"}},\n";
+}
+
+// Complete span ("X": ts + dur) on a named track.
+void AppendSpan(std::string& out, const TraceEvent& e, int tid) {
+  AppendCommon(out, e, "X", tid);
+  out += ",\"dur\":" + JsonNum(e.dur_s * 1e6);
+  AppendArgs(out, e);
+  out += "},\n";
+}
+
+// Thread-scoped instant ("i").
+void AppendInstant(std::string& out, const TraceEvent& e, int tid) {
+  AppendCommon(out, e, "i", tid);
+  out += ",\"s\":\"t\"";
+  AppendArgs(out, e);
+  out += "},\n";
+}
+
+// Async nestable event ("b"/"n"/"e") keyed by request id: Perfetto draws one
+// bar per id from its "b" to its "e", with "n" marks inside.
+void AppendAsync(std::string& out, const TraceEvent& e, const char* ph) {
+  AppendCommon(out, e, ph, kTrackRequests);
+  out += ",\"cat\":\"request\",\"id\":" + std::to_string(e.request_id);
+  AppendArgs(out, e);
+  out += "},\n";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+
+  // Process/thread name metadata first: one process per GPU seen in the
+  // stream (plus GPU 0 for unattributed single-engine runs).
+  std::set<int> pids;
+  for (const TraceEvent& e : events) {
+    pids.insert(PidOf(e));
+  }
+  if (pids.empty()) {
+    pids.insert(0);
+  }
+  for (int pid : pids) {
+    AppendMeta(out, pid, -1, "process_name", "GPU " + std::to_string(pid));
+    AppendMeta(out, pid, kTrackRounds, "thread_name", "batch rounds");
+    AppendMeta(out, pid, kTrackDisk, "thread_name", "disk channel");
+    AppendMeta(out, pid, kTrackPcie, "thread_name", "pcie channel");
+    AppendMeta(out, pid, kTrackSched, "thread_name", "scheduler");
+    AppendMeta(out, pid, kTrackRouter, "thread_name", "router");
+  }
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kBatchRound:
+        AppendSpan(out, e, kTrackRounds);
+        break;
+      case TraceEventType::kStoreLoad:
+      case TraceEventType::kStorePrefetch:
+        AppendSpan(out, e,
+                   e.channel == TraceChannel::kDisk ? kTrackDisk : kTrackPcie);
+        break;
+      case TraceEventType::kKvSwap:
+        AppendSpan(out, e, kTrackPcie);
+        break;
+      case TraceEventType::kSchedDispatch:
+      case TraceEventType::kKvPreempt:
+        AppendInstant(out, e, kTrackSched);
+        break;
+      case TraceEventType::kRouterPlace:
+      case TraceEventType::kRouterWarmHint:
+        AppendInstant(out, e, kTrackRouter);
+        break;
+      case TraceEventType::kRequestQueued:
+        AppendAsync(out, e, "b");
+        break;
+      case TraceEventType::kRequestFirstToken:
+        AppendAsync(out, e, "n");
+        break;
+      case TraceEventType::kRequestDone:
+        AppendAsync(out, e, "e");
+        break;
+      case TraceEventType::kAdmissionShed:
+        // A shed both marks the scheduler decision and terminates the
+        // request's async span (it will never emit request.done).
+        AppendInstant(out, e, kTrackSched);
+        AppendAsync(out, e, "e");
+        break;
+    }
+  }
+
+  // Trailing ",\n" → close the array. Every Append helper emits at least the
+  // metadata lines, so the trim is always safe.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ChromeTraceJson(events);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  return written == json.size() && flushed;
+}
+
+}  // namespace dz

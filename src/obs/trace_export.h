@@ -1,0 +1,32 @@
+// Chrome trace_event JSON exporter: serializes a drained TraceEvent stream
+// into the format chrome://tracing and Perfetto (ui.perfetto.dev) load
+// natively — `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+//
+// Layout: one process (pid) per GPU, with named threads (tids) as tracks —
+// batch rounds, the disk and PCIe transfer channels, scheduler decisions, and
+// router placement. Each request additionally becomes an async nestable span
+// ("b"/"e" with id = request id) from queued to done/shed, with first-token
+// and preemption instants nested inside, so a request's whole life reads as
+// one horizontal bar across the timeline. Timestamps are simulated
+// microseconds (ts_s * 1e6).
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace_recorder.h"
+
+namespace dz {
+
+// Renders `events` (timestamp-ordered, as TraceRecorder::Drain returns them)
+// as a Chrome trace JSON document.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+// Writes ChromeTraceJson(events) to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceEvent>& events);
+
+}  // namespace dz
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

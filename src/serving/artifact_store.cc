@@ -8,8 +8,9 @@
 namespace dz {
 
 ArtifactStore::ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts,
-                             MetricsRegistry* registry)
-    : config_(config), entries_(static_cast<size_t>(n_artifacts)) {
+                             MetricsRegistry* registry, TraceRecorder* recorder)
+    : config_(config), entries_(static_cast<size_t>(n_artifacts)),
+      recorder_(recorder) {
   DZ_CHECK_GT(config_.artifact_bytes, 0u);
   if (registry == nullptr) {
     owned_registry_ = std::make_unique<MetricsRegistry>();
@@ -137,6 +138,11 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
       return {false, 0.0};
     }
   }
+  // One channel-occupancy span per transfer segment: when the artifact starts
+  // on disk, a disk-read span followed by the (possibly later, the PCIe
+  // channel may be busy) H2D span.
+  const TraceEventType span_type = is_prefetch ? TraceEventType::kStorePrefetch
+                                               : TraceEventType::kStoreLoad;
   double ready = now;
   double cost = 0.0;
   if (e.tier == Tier::kDisk) {
@@ -146,12 +152,32 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
     disk_busy_s_->Inc(config_.disk_read_s);
     cost += config_.disk_read_s;
     loads_disk_->Inc();
+    if (recorder_ != nullptr) {
+      TraceEvent ev;
+      ev.type = span_type;
+      ev.ts_s = start;
+      ev.dur_s = config_.disk_read_s;
+      ev.model_id = id;
+      ev.channel = TraceChannel::kDisk;
+      ev.bytes = static_cast<double>(config_.artifact_bytes);
+      recorder_->Emit(ev);
+    }
   }
   const double h2d_start = std::max(ready, pcie_free_at_);
   ready = h2d_start + config_.h2d_s;
   pcie_free_at_ = ready;
   pcie_busy_s_->Inc(config_.h2d_s);
   cost += config_.h2d_s;
+  if (recorder_ != nullptr) {
+    TraceEvent ev;
+    ev.type = span_type;
+    ev.ts_s = h2d_start;
+    ev.dur_s = config_.h2d_s;
+    ev.model_id = id;
+    ev.channel = TraceChannel::kPcie;
+    ev.bytes = static_cast<double>(config_.artifact_bytes);
+    recorder_->Emit(ev);
+  }
 
   e.tier = Tier::kGpu;
   e.in_flight = true;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/metrics/metrics.h"
+#include "src/obs/trace_recorder.h"
 
 namespace dz {
 
@@ -38,8 +39,12 @@ class ArtifactStore {
   // registry so the accessors below keep working stand-alone (tests, ad-hoc
   // use). Engines inject their per-run registry so store counters appear in
   // ServeReport::metrics snapshots alongside engine and scheduler metrics.
+  // `recorder` (optional, engine-owned, may be disabled) receives one
+  // store.load / store.prefetch span per channel segment of every transfer —
+  // channel occupancy as the trace viewer's disk/pcie tracks.
   ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts,
-                MetricsRegistry* registry = nullptr);
+                MetricsRegistry* registry = nullptr,
+                TraceRecorder* recorder = nullptr);
 
   // True when artifact is on the GPU and usable now.
   bool IsResident(int id, double now) const;
@@ -141,6 +146,7 @@ class ArtifactStore {
   Counter* disk_busy_s_ = nullptr;
   Counter* pcie_busy_s_ = nullptr;
   Gauge* gpu_resident_ = nullptr;
+  TraceRecorder* recorder_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace dz

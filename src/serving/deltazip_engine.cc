@@ -151,7 +151,11 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   store_config.h2d_s = config_.artifact == ArtifactKind::kLoraAdapter
                            ? exec_.LoadLoraFromHost(config_.lora_rank)
                            : exec_.LoadDeltaFromHost();
-  ArtifactStore store(store_config, trace.n_models, &registry);
+  // Recorder before store: the store emits per-channel transfer spans into it.
+  // Pure observation — no emission below feeds back into scheduling, so traced
+  // runs stay bit-identical to untraced ones (golden-enforced).
+  TraceRecorder recorder(config_.tracing);
+  ArtifactStore store(store_config, trace.n_models, &registry, &recorder);
   DZ_CHECK_GE(store.GpuCapacity(), 1);
   // Scheduling concurrency excludes only the staging headroom the budget actually
   // granted: the batch still spans at most N variants, the spare slots stay
@@ -183,11 +187,34 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   size_t shed_total = 0;  // loop control only; per-class counts live in the registry
   double next_snapshot_s = config_.metrics.interval_s;
 
+  // Request-attributed trace emission (one branch when tracing is off). kv.swap
+  // is the only request event that occupies a channel (KV pages over PCIe).
+  auto emit_req = [&](TraceEventType type, double ts, const TraceRequest& req,
+                      double dur = 0.0, int aux = 0) {
+    if (!recorder.enabled()) {
+      return;
+    }
+    TraceEvent ev;
+    ev.type = type;
+    ev.ts_s = ts;
+    ev.dur_s = dur;
+    ev.request_id = req.id;
+    ev.model_id = req.model_id;
+    ev.tenant_id = req.tenant_id;
+    ev.slo = req.slo;
+    ev.aux = aux;
+    if (type == TraceEventType::kKvSwap) {
+      ev.channel = TraceChannel::kPcie;
+    }
+    recorder.Emit(ev);
+  };
+
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
            trace.requests[next_arrival].arrival_s <= t) {
       PendingReq p;
       p.req = trace.requests[next_arrival++];
+      emit_req(TraceEventType::kRequestQueued, p.req.arrival_s, p.req);
       queue.push_back(p);
     }
     // Policy order doubles as the re-sort of preempted re-queued requests
@@ -245,9 +272,10 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
           return p.decoded > 0 ? p.req.output_tokens - p.decoded
                                : p.req.prompt_tokens + p.req.output_tokens;
         },
-        [&](SloClass slo) {
-          shed_count[static_cast<int>(slo)]->Inc();
+        [&](const TraceRequest& req) {
+          shed_count[static_cast<int>(req.slo)]->Inc();
           ++shed_total;
+          emit_req(TraceEventType::kAdmissionShed, now, req);
         });
     if (report.records.size() + shed_total == trace.requests.size()) {
       break;  // shedding retired the last outstanding requests: nothing left to
@@ -304,6 +332,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       }
       // Admit.
       store.Touch(variant, now);
+      emit_req(TraceEventType::kSchedDispatch, now, it->req);
       if (config_.scheduler.policy == SchedPolicy::kDwfq) {
         fair_queue.OnAdmit(it->fair_tag);
       }
@@ -374,12 +403,16 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
           PendingReq back = it->state;
           ++back.preemptions;
           preempt_count->Inc();
+          emit_req(TraceEventType::kKvPreempt, now, back.req);
           back.min_service_s = -1.0;  // re-estimate from the banked progress
           if (it->prefilled && !it->needs_kv_restore) {
             // Only KV actually materialized on the GPU costs a swap-out: a
             // skipper admitted this round has produced none, and a resumed one
             // whose restore has not run yet still has its state on the host.
-            pending_swap_s += exec_.KvSwapTime(back.req.prompt_tokens + back.decoded);
+            const double swap_s =
+                exec_.KvSwapTime(back.req.prompt_tokens + back.decoded);
+            pending_swap_s += swap_s;
+            emit_req(TraceEventType::kKvSwap, now, back.req, swap_s, /*aux=*/0);
           }
           queue.push_back(back);  // keeps its fair_tag; re-ordered next ingest
           it = running.erase(it);
@@ -422,7 +455,10 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         prefilling.push_back(&r);
       }
       if (r.needs_kv_restore) {
-        pending_swap_s += exec_.KvSwapTime(r.state.req.prompt_tokens + r.state.decoded);
+        const double swap_s =
+            exec_.KvSwapTime(r.state.req.prompt_tokens + r.state.decoded);
+        pending_swap_s += swap_s;
+        emit_req(TraceEventType::kKvSwap, now, r.state.req, swap_s, /*aux=*/1);
         r.needs_kv_restore = false;
       }
     }
@@ -450,6 +486,14 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       iter += exec_.DecodeIterTime(decode_batch, ctx_sum / decode_batch);
       iter += ArtifactDecodeIter(reqs_per_variant);
     }
+    if (recorder.enabled()) {
+      TraceEvent round;
+      round.type = TraceEventType::kBatchRound;
+      round.ts_s = now;
+      round.dur_s = iter;
+      round.aux = static_cast<int>(running.size());
+      recorder.Emit(round);
+    }
     now += iter;
 
     // ---- apply iteration results ----
@@ -459,6 +503,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       if (!r->state.has_first_token) {
         r->state.has_first_token = true;
         r->state.first_token_s = now;
+        emit_req(TraceEventType::kRequestFirstToken, now, r->state.req);
       }
     }
     std::vector<int> finished_parents;
@@ -496,6 +541,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         tokens_out->Inc(static_cast<double>(rec.output_tokens));
         tokens_prompt->Inc(static_cast<double>(rec.prompt_tokens));
         report.records.push_back(rec);
+        emit_req(TraceEventType::kRequestDone, now, it->state.req);
         if (!it->is_skipper) {
           finished_parents.push_back(it->state.req.id);
         }
@@ -517,10 +563,13 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
           PendingReq back = it->state;
           ++back.preemptions;
           preempt_count->Inc();
+          emit_req(TraceEventType::kKvPreempt, now, back.req);
           back.min_service_s = -1.0;  // re-estimate from the banked progress
           // Swap intermediate state (KV) to host; cost lands on the next iteration.
-          pending_swap_s +=
+          const double swap_s =
               exec_.KvSwapTime(back.req.prompt_tokens + back.decoded);
+          pending_swap_s += swap_s;
+          emit_req(TraceEventType::kKvSwap, now, back.req, swap_s, /*aux=*/0);
           queue.push_back(back);  // re-sorted by arrival on next ingest
           it = running.erase(it);
         } else {
@@ -536,6 +585,11 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   report.n_tenants = std::max(1, trace.n_tenants);
   report.slo_spec = config_.scheduler.slo;
   FinalizeServeMetrics(registry, report);
+  if (recorder.enabled()) {
+    report.trace_events = recorder.Drain();
+    report.trace_events_dropped = recorder.dropped();
+    report.path_by_class = BuildClassAttribution(ComputeCriticalPaths(report));
+  }
   return report;
 }
 

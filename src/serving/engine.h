@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/trace_recorder.h"
 #include "src/serving/report.h"
 #include "src/serving/scheduler.h"
 #include "src/simgpu/exec_model.h"
@@ -91,6 +92,10 @@ struct EngineConfig {
   double kv_reserve_fraction = 0.05;    // GPU memory fraction reserved for activations
   PrefetchConfig prefetch;              // async artifact prefetch (off by default)
   MetricsExportConfig metrics;          // in-run snapshot timeline (off by default)
+  // Per-request tracing (src/obs/): off by default and bit-identical to the
+  // untraced engines; on, it is pure observation — no report scalar changes
+  // (both golden-enforced). ring_capacity > 0 selects flight-recorder mode.
+  TracingConfig tracing;
   // Multi-tenant scheduling policy + admission control. Defaults (FCFS, no
   // shedding, no class preemption) are bit-identical to the pre-scheduler
   // engines (golden-enforced).

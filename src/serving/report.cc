@@ -146,6 +146,33 @@ double ServeReport::JainFairnessIndex() const {
   return sum * sum / (static_cast<double>(tokens.size()) * sum_sq);
 }
 
+bool ServeReport::HasPathAttribution() const {
+  for (const PathAttribution& a : path_by_class) {
+    if (a.n > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RequestPathBreakdown> ComputeCriticalPaths(const ServeReport& report) {
+  std::vector<RequestTimes> times;
+  times.reserve(report.records.size());
+  for (const RequestRecord& r : report.records) {
+    RequestTimes t;
+    t.id = r.id;
+    t.slo = r.slo;
+    t.arrival_s = r.arrival_s;
+    t.sched_attempt_s = r.sched_attempt_s;
+    t.start_s = r.start_s;
+    t.first_token_s = r.first_token_s;
+    t.finish_s = r.finish_s;
+    t.preemptions = r.preemptions;
+    times.push_back(t);
+  }
+  return AttributeRequests(times, report.trace_events);
+}
+
 void MaterializeReportFromSnapshot(ServeReport& report) {
   const MetricsSnapshot& m = report.metrics;
   report.total_loads = static_cast<int>(m.Value("store.loads.total"));
@@ -190,6 +217,34 @@ void AppendTenantRows(Table& table, const ServeReport& report) {
     shed_label += SloClassName(static_cast<SloClass>(c));
   }
   table.AddRow({shed_label + ")", shed});
+}
+
+void AppendAttributionRows(Table& table, const ServeReport& report) {
+  if (!report.HasPathAttribution()) {
+    return;  // untraced runs render exactly as before
+  }
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const PathAttribution& a = report.path_by_class[static_cast<size_t>(c)];
+    if (a.n == 0) {
+      continue;
+    }
+    const double n = static_cast<double>(a.n);
+    const std::string cls = SloClassName(static_cast<SloClass>(c));
+    table.AddRow({"E2E breakdown " + cls + " q/l/c/p (s)",
+                  Table::Num(a.e2e.queue_s / n, 2) + "/" +
+                      Table::Num(a.e2e.load_s / n, 2) + "/" +
+                      Table::Num(a.e2e.compute_s / n, 2) + "/" +
+                      Table::Num(a.e2e.preempt_s / n, 2)});
+    table.AddRow({"TTFT breakdown " + cls + " q/l/c/p (s)",
+                  Table::Num(a.ttft.queue_s / n, 2) + "/" +
+                      Table::Num(a.ttft.load_s / n, 2) + "/" +
+                      Table::Num(a.ttft.compute_s / n, 2) + "/" +
+                      Table::Num(a.ttft.preempt_s / n, 2)});
+    if (a.incomplete > 0) {
+      table.AddRow({"attribution incomplete " + cls,
+                    std::to_string(a.incomplete) + "/" + std::to_string(a.n)});
+    }
+  }
 }
 
 }  // namespace dz

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/metrics/metrics.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/trace_recorder.h"
 #include "src/workload/trace.h"
 
 namespace dz {
@@ -79,6 +81,21 @@ struct ServeReport {
   // Admission-control sheds per SLO class (all 0 when shedding is disabled).
   // Shed requests have no RequestRecord; attainment counts them as misses.
   std::array<int, kNumSloClasses> shed_by_class = {0, 0, 0};
+  // Per-request trace events of the run (empty unless EngineConfig::tracing is
+  // enabled), timestamp-ordered as TraceRecorder::Drain returns them, plus the
+  // events a flight-recorder ring overwrote. Feeds the Chrome-trace exporter
+  // and the critical-path attribution below; never influences any scalar
+  // above (pure observation, golden-enforced).
+  std::vector<TraceEvent> trace_events;
+  long long trace_events_dropped = 0;
+  // Critical-path attribution per SLO class (all zero when tracing is off):
+  // each completed request's E2E and TTFT split into queue / load / compute /
+  // preempt segments that sum back to the measured latency within 1e-9
+  // (test-enforced). Cluster merges add these in GPU order like snapshots.
+  ClassPathAttribution path_by_class = {};
+
+  // True when the attribution table has content (some request was attributed).
+  bool HasPathAttribution() const;
 
   size_t completed() const { return records.size(); }
   double ThroughputRps() const;    // completed requests / makespan
@@ -134,6 +151,19 @@ void FinalizeServeMetrics(MetricsRegistry& registry, ServeReport& report);
 // The snapshot → scalar-fields half of FinalizeServeMetrics, reused for merged
 // cluster snapshots (report.metrics must already be populated).
 void MaterializeReportFromSnapshot(ServeReport& report);
+
+// Per-request critical-path breakdowns of the report's records against its
+// trace_events (record-only fallback when events are missing/ring-dropped).
+// Engines call this at the end of a traced Serve() to fill path_by_class;
+// tests call it directly to check the 1e-9 segment-sum contract.
+std::vector<RequestPathBreakdown> ComputeCriticalPaths(const ServeReport& report);
+
+// Appends the per-class critical-path attribution rows (mean seconds in
+// queue / load / compute / preempt for E2E, plus the TTFT split) to a
+// metric/value table — only when the report actually carries an attribution,
+// so untraced renderings stay unchanged. Shared by `dzip_cli simulate` and
+// ClusterReport::Summary.
+void AppendAttributionRows(Table& table, const ServeReport& report);
 
 }  // namespace dz
 

@@ -168,10 +168,11 @@ inline bool DeadlineUnmeetable(const SchedulerConfig& config, const TraceRequest
 // DWFQ virtual time for the unserved tokens. `min_service_s(elem)` returns the
 // engine's optimistic service estimate; `unserved_tokens(elem)` the tokens the
 // request will now never receive (everything for a fresh request, the
-// remaining output for a resumed one). Per-class accounting is the caller's:
-// `on_shed(SloClass)` fires once per shed request, and the engines route it
-// into their "sched.shed{class=...}" registry counters — the scheduler keeps
-// no counters of its own. No-op unless `config.admission_control`.
+// remaining output for a resumed one). Per-request accounting is the caller's:
+// `on_shed(const TraceRequest&)` fires once per shed request, and the engines
+// route it into their "sched.shed{class=...}" registry counters and (when
+// tracing) an admission.shed trace event — the scheduler keeps no counters of
+// its own. No-op unless `config.admission_control`.
 template <typename Queue, typename Estimator, typename Unserved, typename OnShed>
 void ShedUnmeetable(const SchedulerConfig& config, FairQueue& fair_queue,
                     Queue& queue, double now, Estimator&& min_service_s,
@@ -184,7 +185,7 @@ void ShedUnmeetable(const SchedulerConfig& config, FairQueue& fair_queue,
       if (config.policy == SchedPolicy::kDwfq && it->fair_tag >= 0.0) {
         fair_queue.OnShed(it->req, unserved_tokens(*it));
       }
-      on_shed(it->req.slo);
+      on_shed(it->req);
       it = queue.erase(it);
     } else {
       ++it;

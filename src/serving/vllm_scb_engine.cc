@@ -93,7 +93,10 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   store_config.cpu_budget_bytes = 0;
   store_config.disk_read_s = exec_.LoadFullModelFromDisk();
   store_config.h2d_s = exec_.LoadFullModelFromHost();
-  ArtifactStore store(store_config, trace.n_models, &registry);
+  // Recorder before store: the store emits per-channel transfer spans into it.
+  // Pure observation, bit-identical when disabled (golden-enforced).
+  TraceRecorder recorder(config_.tracing);
+  ArtifactStore store(store_config, trace.n_models, &registry, &recorder);
   DZ_CHECK_GE(store.GpuCapacity(), 1);
 
   // Placement-aware warm-up (prefetch only): the router's predicted models,
@@ -115,11 +118,28 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   size_t shed_total = 0;  // loop control only; per-class counts live in the registry
   double next_snapshot_s = config_.metrics.interval_s;
 
+  // Request-attributed trace emission (one branch when tracing is off). This
+  // engine has no preemption, so kv.preempt / kv.swap are never emitted here.
+  auto emit_req = [&](TraceEventType type, double ts, const TraceRequest& req) {
+    if (!recorder.enabled()) {
+      return;
+    }
+    TraceEvent ev;
+    ev.type = type;
+    ev.ts_s = ts;
+    ev.request_id = req.id;
+    ev.model_id = req.model_id;
+    ev.tenant_id = req.tenant_id;
+    ev.slo = req.slo;
+    recorder.Emit(ev);
+  };
+
   auto ingest = [&](double t) {
     while (next_arrival < trace.requests.size() &&
            trace.requests[next_arrival].arrival_s <= t) {
       PendingReq p;
       p.req = trace.requests[next_arrival++];
+      emit_req(TraceEventType::kRequestQueued, p.req.arrival_s, p.req);
       queue.push_back(p);
     }
     // This engine never re-queues (no preemption), so the queue is permanently
@@ -167,9 +187,10 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
           // No preemption here: a queued request has received nothing.
           return p.req.prompt_tokens + p.req.output_tokens;
         },
-        [&](SloClass slo) {
-          shed_count[static_cast<int>(slo)]->Inc();
+        [&](const TraceRequest& req) {
+          shed_count[static_cast<int>(req.slo)]->Inc();
           ++shed_total;
+          emit_req(TraceEventType::kAdmissionShed, now, req);
         });
     if (report.records.size() + shed_total == trace.requests.size()) {
       break;  // shedding retired the last outstanding requests: nothing left to
@@ -219,6 +240,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         continue;
       }
       store.Touch(model, now);
+      emit_req(TraceEventType::kSchedDispatch, now, it->req);
       if (config_.scheduler.policy == SchedPolicy::kDwfq) {
         fair_queue.OnAdmit(it->fair_tag);
       }
@@ -289,6 +311,14 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       iter += exec_.DecodeIterTime(batch_ctx.first,
                                    batch_ctx.second / batch_ctx.first);
     }
+    if (recorder.enabled()) {
+      TraceEvent round;
+      round.type = TraceEventType::kBatchRound;
+      round.ts_s = now;
+      round.dur_s = iter;
+      round.aux = static_cast<int>(running.size());
+      recorder.Emit(round);
+    }
     now += iter;
 
     for (auto* r : prefilling) {
@@ -297,6 +327,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       if (!r->has_first_token) {
         r->has_first_token = true;
         r->first_token_s = now;
+        emit_req(TraceEventType::kRequestFirstToken, now, r->state.req);
       }
     }
     for (auto& r : running) {
@@ -329,6 +360,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         tokens_out->Inc(static_cast<double>(rec.output_tokens));
         tokens_prompt->Inc(static_cast<double>(rec.prompt_tokens));
         report.records.push_back(rec);
+        emit_req(TraceEventType::kRequestDone, now, it->state.req);
         it = running.erase(it);
       } else {
         ++it;
@@ -342,6 +374,11 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   report.n_tenants = std::max(1, trace.n_tenants);
   report.slo_spec = config_.scheduler.slo;
   FinalizeServeMetrics(registry, report);
+  if (recorder.enabled()) {
+    report.trace_events = recorder.Drain();
+    report.trace_events_dropped = recorder.dropped();
+    report.path_by_class = BuildClassAttribution(ComputeCriticalPaths(report));
+  }
   return report;
 }
 

@@ -1,0 +1,27 @@
+// Small shared JSON serialization helpers. Every hand-rolled JSON emitter in
+// the repo (metrics JSONL, the Chrome trace exporter, bench summaries) must
+// escape strings through JsonEscape — RFC 8259 requires `"`, `\`, and ALL
+// control characters below 0x20 to be escaped, and a single raw control byte
+// (a `\r` in a tenant label, say) makes the whole line unparseable.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <string>
+
+namespace dz {
+
+// Returns `s` with JSON string escaping applied: `"` and `\` are backslash-
+// escaped, the common control characters get their short forms (\n, \t, \r,
+// \b, \f), and every other byte < 0x20 becomes a \u00XX escape. The result is
+// safe to place between double quotes in a JSON document. Bytes >= 0x20 pass
+// through untouched (UTF-8 sequences are valid JSON as-is).
+std::string JsonEscape(const std::string& s);
+
+// Formats a double as a JSON number: round-trippable %.17g for finite values.
+// JSON has no inf/nan, so non-finite values serialize as 0 (metric and trace
+// values should never be non-finite in the first place).
+std::string JsonNum(double v);
+
+}  // namespace dz
+
+#endif  // SRC_UTIL_JSON_H_

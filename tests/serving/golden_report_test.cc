@@ -4,9 +4,12 @@
 // below were captured from the engines as of PR 2 (commit a78d406) on the fixed
 // scenarios here; any scheduling, artifact-store, or merge change that shifts a
 // single double breaks this test.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/cluster/router.h"
+#include "src/obs/critical_path.h"
 #include "src/serving/engine.h"
 #include "src/workload/trace.h"
 
@@ -99,6 +102,140 @@ void ExpectSnapshotBacksReport(const ServeReport& r) {
   const LogHistogram* queue_h = m.Hist("latency.queue_s");
   ASSERT_NE(queue_h, nullptr);
   EXPECT_EQ(queue_h->count(), static_cast<long long>(r.records.size()));
+}
+
+// PR 7: enabling tracing must not move a single double (pure observation),
+// and every request's critical-path segments must sum back to its measured
+// E2E/TTFT latency within 1e-9 via the full event-derived chain.
+void ExpectExactAttribution(const ServeReport& r) {
+  ASSERT_FALSE(r.trace_events.empty());
+  EXPECT_EQ(r.trace_events_dropped, 0);  // full-trace mode drops nothing
+  EXPECT_TRUE(r.HasPathAttribution());
+  const std::vector<RequestPathBreakdown> breakdowns = ComputeCriticalPaths(r);
+  ASSERT_EQ(breakdowns.size(), r.records.size());
+  for (size_t i = 0; i < breakdowns.size(); ++i) {
+    const RequestPathBreakdown& b = breakdowns[i];
+    const RequestRecord& rec = r.records[i];
+    EXPECT_EQ(b.id, rec.id);
+    EXPECT_TRUE(b.complete) << "request " << rec.id
+                            << " fell back to the record-only split";
+    EXPECT_LE(std::abs(b.e2e.Sum() - rec.E2eLatency()), 1e-9)
+        << "request " << rec.id;
+    EXPECT_LE(std::abs(b.ttft.Sum() - rec.Ttft()), 1e-9) << "request " << rec.id;
+  }
+  // The report's embedded per-class table is exactly the rollup of these
+  // breakdowns.
+  const ClassPathAttribution by_class = BuildClassAttribution(breakdowns);
+  long long n = 0;
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const PathAttribution& got = r.path_by_class[static_cast<size_t>(c)];
+    const PathAttribution& want = by_class[static_cast<size_t>(c)];
+    EXPECT_EQ(got.n, want.n);
+    EXPECT_EQ(got.incomplete, 0);
+    EXPECT_DOUBLE_EQ(got.e2e.Sum(), want.e2e.Sum());
+    EXPECT_DOUBLE_EQ(got.ttft.Sum(), want.ttft.Sum());
+    n += got.n;
+  }
+  EXPECT_EQ(n, static_cast<long long>(r.records.size()));
+}
+
+TEST(GoldenReportTest, DeltaZipTracingOnStaysGoldenAndSumsExactly) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  EngineConfig cfg = GoldenEngineConfig();
+  cfg.tracing.enabled = true;
+  const ServeReport r = MakeDeltaZipEngine(cfg)->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 90.574333173805186);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 4434.3527165309852);
+  EXPECT_DOUBLE_EQ(s.sum_first, 4435.5281193914107);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 4487.3900915944778);
+  EXPECT_EQ(r.total_loads, 10);
+  EXPECT_EQ(r.disk_loads, 10);
+  ExpectSnapshotBacksReport(r);
+  ExpectExactAttribution(r);
+}
+
+TEST(GoldenReportTest, VllmScbTracingOnStaysGoldenAndSumsExactly) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  EngineConfig cfg = GoldenEngineConfig();
+  cfg.artifact = ArtifactKind::kFullModel;
+  cfg.tracing.enabled = true;
+  const ServeReport r = MakeVllmScbEngine(cfg)->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 335.98768124384088);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 17801.296086912476);
+  EXPECT_DOUBLE_EQ(s.sum_first, 20102.295867942015);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 26333.080092819353);
+  ExpectSnapshotBacksReport(r);
+  ExpectExactAttribution(r);
+}
+
+TEST(GoldenReportTest, EightGpuClusterTracingOnStaysGoldenAndMerges) {
+  TraceConfig tc = GoldenTraceConfig();
+  tc.arrival_rate = 6.0;
+  tc.n_models = 32;
+  tc.seed = 808;
+  const Trace trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 8;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = GoldenEngineConfig();
+  cfg.engine.tracing.enabled = true;
+  const ClusterReport r = Cluster(cfg).Serve(trace);
+  ASSERT_EQ(r.merged.records.size(), 551u);
+  EXPECT_DOUBLE_EQ(r.merged.makespan_s, 90.801221883859554);
+  const GoldenSums s = SumsOf(r.merged);
+  EXPECT_DOUBLE_EQ(s.sum_start, 24782.342195479043);
+  EXPECT_DOUBLE_EQ(s.sum_first, 24789.924368478765);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 25123.902618151558);
+  EXPECT_EQ(r.TotalLoads(), 50);
+  EXPECT_EQ(r.TotalDiskLoads(), 50);
+
+  // Per-worker recorders are share-nothing: each GPU's report attributes its
+  // own requests exactly, and the merged table is their GPU-order sum.
+  ClassPathAttribution expected = {};
+  long long n = 0;
+  for (size_t g = 0; g < r.per_gpu.size(); ++g) {
+    const ServeReport& worker = r.per_gpu[g];
+    ExpectExactAttribution(worker);
+    for (const TraceEvent& e : worker.trace_events) {
+      EXPECT_EQ(e.gpu, static_cast<int>(g));  // cluster merge stamps the GPU
+    }
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      expected[static_cast<size_t>(c)].Merge(
+          worker.path_by_class[static_cast<size_t>(c)]);
+    }
+  }
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    const PathAttribution& got = r.merged.path_by_class[static_cast<size_t>(c)];
+    const PathAttribution& want = expected[static_cast<size_t>(c)];
+    EXPECT_EQ(got.n, want.n);
+    EXPECT_DOUBLE_EQ(got.e2e.Sum(), want.e2e.Sum());
+    EXPECT_DOUBLE_EQ(got.ttft.Sum(), want.ttft.Sum());
+    n += got.n;
+  }
+  EXPECT_EQ(n, static_cast<long long>(r.merged.records.size()));
+
+  // The merged event stream carries the router placements plus every worker
+  // event, timestamp-ordered for export.
+  const std::vector<TraceEvent> merged = r.MergedTraceEvents();
+  size_t worker_events = r.router_events.size();
+  size_t placements = 0;
+  for (const TraceEvent& e : r.router_events) {
+    if (e.type == TraceEventType::kRouterPlace) {
+      ++placements;
+    }
+  }
+  EXPECT_EQ(placements, trace.requests.size());
+  for (const ServeReport& worker : r.per_gpu) {
+    worker_events += worker.trace_events.size();
+  }
+  ASSERT_EQ(merged.size(), worker_events);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].ts_s, merged[i].ts_s);
+  }
 }
 
 TEST(GoldenReportTest, DeltaZipEngineMatchesPrePrefetchBehavior) {

@@ -1,0 +1,58 @@
+// Shared JSON string escaping (src/util/json.h), used by the metrics JSONL
+// writer and the Chrome trace exporter. Regression for the PR 7 satellite: a
+// label value containing quotes, backslashes, or control characters must still
+// produce valid JSON.
+#include "src/util/json.h"
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dz {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape("store.loads.total"), "store.loads.total");
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("class=interactive gpu:3"), "class=interactive gpu:3");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscapeTest, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // NUL embedded in a std::string must not truncate the output.
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, LeavesMultibyteUtf8Alone) {
+  // Bytes >= 0x80 are not control characters; UTF-8 payloads pass through.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumTest, RoundTripsDoublesAndSanitizesNonFinite) {
+  EXPECT_EQ(JsonNum(0.0), "0");
+  EXPECT_EQ(JsonNum(2.5), "2.5");
+  // %.17g keeps full double precision.
+  EXPECT_EQ(std::stod(JsonNum(0.1)), 0.1);
+  EXPECT_EQ(std::stod(JsonNum(90.574333173805186)), 90.574333173805186);
+  // Non-finite values would be invalid JSON literals.
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNum(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+}  // namespace
+}  // namespace dz

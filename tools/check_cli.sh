@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end CLI flag-validation smoke (tools/check_cli ctest and the CI smoke
+# job): malformed --metrics-interval / --trace-out values must fail fast with a
+# usage error instead of silently running a misconfigured simulation, and a
+# good --trace-out run must produce a Chrome trace JSON that passes
+# tools/check_trace.sh.
+# Usage: tools/check_cli.sh path/to/dzip_cli [repo-root]
+set -u
+
+if [ $# -lt 1 ] || [ ! -x "$1" ]; then
+  echo "usage: tools/check_cli.sh path/to/dzip_cli [repo-root]" >&2
+  exit 1
+fi
+cli="$1"
+root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+# A small trace every case below replays (2 models, ~20 requests).
+if ! "$cli" trace --out "$tmp/t.jsonl" --models 2 --rate 2.0 --duration 10 \
+    --seed 7 >/dev/null; then
+  echo "FAIL: trace generation"
+  exit 1
+fi
+
+# Each bad invocation must exit non-zero AND mention the offending flag.
+expect_reject() {
+  local what="$1" flag="$2"
+  shift 2
+  if "$cli" "$@" >"$tmp/out" 2>"$tmp/err"; then
+    echo "FAIL: $what — expected a usage error, got exit 0"
+    fail=1
+  elif ! grep -q -- "$flag" "$tmp/err"; then
+    echo "FAIL: $what — stderr does not mention $flag:"
+    cat "$tmp/err"
+    fail=1
+  else
+    echo "ok: $what rejected"
+  fi
+}
+
+expect_reject "non-numeric metrics interval" "metrics-interval" \
+  simulate --trace "$tmp/t.jsonl" --metrics-interval abc
+expect_reject "negative metrics interval" "metrics-interval" \
+  simulate --trace "$tmp/t.jsonl" --metrics-interval -5
+expect_reject "empty trace-out path" "trace-out" \
+  simulate --trace "$tmp/t.jsonl" --trace-out ""
+expect_reject "trace-out without a value" "trace-out" \
+  simulate --trace "$tmp/t.jsonl" --trace-out
+expect_reject "cluster non-numeric metrics interval" "metrics-interval" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --metrics-interval abc
+expect_reject "cluster empty trace-out path" "trace-out" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --trace-out ""
+
+# Good runs: simulate and cluster each write a validating Chrome trace.
+if ! "$cli" simulate --trace "$tmp/t.jsonl" --trace-out "$tmp/sim.json" \
+    >"$tmp/out" 2>&1; then
+  echo "FAIL: traced simulate run"
+  cat "$tmp/out"
+  fail=1
+elif ! grep -q "trace events" "$tmp/out"; then
+  echo "FAIL: traced simulate run did not report its trace export"
+  fail=1
+else
+  "$root/tools/check_trace.sh" "$tmp/sim.json" || fail=1
+fi
+
+if ! "$cli" cluster --trace "$tmp/t.jsonl" --gpus 2 --trace-out "$tmp/clu.json" \
+    >"$tmp/out" 2>&1; then
+  echo "FAIL: traced cluster run"
+  cat "$tmp/out"
+  fail=1
+else
+  "$root/tools/check_trace.sh" "$tmp/clu.json" || fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "cli check FAILED"
+  exit 1
+fi
+echo "cli check OK"

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Validates a Chrome trace_event JSON file produced by `dzip_cli ... --trace-out`
+# (CI smoke job and the tools/check_trace ctest). Checks that the file parses,
+# the traceEvents array is non-empty, every event carries the required keys
+# with sane types, and the async request spans / duration spans the exporter
+# promises are actually present — i.e. the file will load in Perfetto or
+# chrome://tracing rather than silently rendering nothing.
+# Usage: tools/check_trace.sh trace.json
+set -u
+
+if [ $# -ne 1 ] || [ ! -f "$1" ]; then
+  echo "usage: tools/check_trace.sh trace.json (file must exist)" >&2
+  exit 1
+fi
+
+python3 - "$1" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+events = doc.get("traceEvents")
+if not isinstance(events, list) or not events:
+    sys.exit(f"{path}: traceEvents missing or empty")
+
+phases = {}
+for i, e in enumerate(events):
+    if not isinstance(e, dict):
+        sys.exit(f"{path}: event {i} is not an object")
+    for key in ("ph", "ts", "pid"):
+        if key not in e:
+            sys.exit(f"{path}: event {i} lacks required key '{key}'")
+    if not isinstance(e["ts"], (int, float)):
+        sys.exit(f"{path}: event {i} has non-numeric ts {e['ts']!r}")
+    if e["ph"] != "M" and e["ts"] < 0:
+        sys.exit(f"{path}: event {i} has negative ts {e['ts']}")
+    phases[e["ph"]] = phases.get(e["ph"], 0) + 1
+
+# The exporter always emits process/thread metadata, complete spans (batch
+# rounds at minimum), and async begin/end pairs for the request lifecycles.
+for ph, what in (("M", "metadata"), ("X", "complete spans"),
+                 ("b", "async begins"), ("e", "async ends")):
+    if phases.get(ph, 0) == 0:
+        sys.exit(f"{path}: no '{ph}' events ({what}) — exporter regression?")
+if phases["b"] < phases["e"]:
+    sys.exit(f"{path}: more async ends ({phases['e']}) than begins ({phases['b']})")
+
+mix = ", ".join(f"{ph}:{n}" for ph, n in sorted(phases.items()))
+print(f"trace check OK: {path} ({len(events)} events; {mix})")
+PY

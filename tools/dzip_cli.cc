@@ -19,6 +19,7 @@
 #include "src/cluster/router.h"
 #include "src/compress/serialize.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/trace_export.h"
 #include "src/serving/engine.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -57,6 +58,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                     [--lookahead 4] [--sched fcfs|priority|dwfq]\n"
        "                     [--admission 0|1] [--class-preempt 0|1]\n"
        "                     [--metrics-out m.jsonl] [--metrics-interval 10]\n"
+       "                     [--trace-out trace.json]\n"
        "  Replays the trace against the serving simulator and prints the report.\n"
        "  --prefetch 1 enables the async artifact-prefetch pipeline (--lookahead\n"
        "  sets W, the number of waiting variants warmed ahead of admission).\n"
@@ -68,10 +70,13 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "  --metrics-out writes the run's metrics registry as a JSONL time series\n"
        "  (counters, gauges, latency histograms with p50/p99/p999);\n"
        "  --metrics-interval <secs> adds in-run snapshots every that many\n"
-       "  simulated seconds (0 = final snapshot only).\n",
+       "  simulated seconds (0 = final snapshot only).\n"
+       "  --trace-out enables per-request tracing and writes a Chrome\n"
+       "  trace_event JSON (load in Perfetto or chrome://tracing); the report\n"
+       "  additionally shows per-class TTFT/E2E critical-path breakdowns.\n",
        {"trace", "engine", "model", "gpu", "tp", "n", "bits", "rank", "prefetch",
         "lookahead", "sched", "admission", "class-preempt", "metrics-out",
-        "metrics-interval"}},
+        "metrics-interval", "trace-out"}},
       {"cluster",
        "usage: dzip cluster --trace t.jsonl --gpus 4\n"
        "                    [--policy round-robin|least-outstanding|delta-affinity|\n"
@@ -82,6 +87,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                    [--slo-ttft 30] [--sched fcfs|priority|dwfq]\n"
        "                    [--admission 0|1] [--class-preempt 0|1]\n"
        "                    [--metrics-out m.jsonl] [--metrics-interval 10]\n"
+       "                    [--trace-out trace.json]\n"
        "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
        "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
        "  router feeds each worker ring-predicted warm hints. tenant-affinity\n"
@@ -90,10 +96,13 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "  --metrics-out writes a JSONL time series: each worker's snapshots\n"
        "  (tagged gpu=<i>) followed by the merged cluster snapshot (gpu=merged);\n"
        "  --metrics-interval <secs> adds per-worker in-run snapshots on the\n"
-       "  simulated clock (0 = final snapshots only).\n",
+       "  simulated clock (0 = final snapshots only).\n"
+       "  --trace-out enables per-request tracing on every worker and the router\n"
+       "  and writes one merged Chrome trace_event JSON (one process per GPU;\n"
+       "  load in Perfetto or chrome://tracing).\n",
        {"trace", "gpus", "policy", "engine", "model", "gpu", "tp", "n", "bits", "rank",
         "prefetch", "lookahead", "slo-e2e", "slo-ttft", "sched", "admission",
-        "class-preempt", "metrics-out", "metrics-interval"}},
+        "class-preempt", "metrics-out", "metrics-interval", "trace-out"}},
       {"inspect",
        "usage: dzip inspect --artifact delta.bin\n"
        "  Prints a summary of an on-disk compressed-delta artifact.\n",
@@ -156,6 +165,50 @@ std::string Get(const ArgMap& args, const std::string& key, const std::string& f
 double GetNum(const ArgMap& args, const std::string& key, double fallback) {
   const auto it = args.find(key);
   return it == args.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+// Strict numeric flag parsing for flags where GetNum's silent strtod fallback
+// ("abc" → 0) would mask an operator typo as a valid configuration. The value
+// must parse in full as a number and (with `require_positive`) be > 0;
+// violations print a usage error and fail the subcommand.
+bool GetCheckedNum(const ArgMap& args, const std::string& key, double fallback,
+                   bool require_positive, double& out) {
+  const auto it = args.find(key);
+  if (it == args.end()) {
+    out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "error: --%s needs a number, got '%s'\n", key.c_str(),
+                 it->second.c_str());
+    return false;
+  }
+  if (require_positive && v <= 0.0) {
+    std::fprintf(stderr, "error: --%s must be > 0, got '%s'\n", key.c_str(),
+                 it->second.c_str());
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+// --trace-out: an explicitly passed empty path would silently disable tracing;
+// reject it instead. Returns false only on that usage error; `out` is empty
+// when the flag is absent (tracing off).
+bool GetTraceOut(const ArgMap& args, std::string& out) {
+  const auto it = args.find("trace-out");
+  if (it == args.end()) {
+    out.clear();
+    return true;
+  }
+  if (it->second.empty()) {
+    std::fprintf(stderr, "error: --trace-out needs a non-empty path\n");
+    return false;
+  }
+  out = it->second;
+  return true;
 }
 
 int CmdTrace(const ArgMap& args) {
@@ -313,11 +366,27 @@ int CmdSimulate(const ArgMap& args) {
     return 1;
   }
   const std::string metrics_out = Get(args, "metrics-out", "");
-  cfg.metrics.interval_s = GetNum(args, "metrics-interval", 0.0);
+  if (!GetCheckedNum(args, "metrics-interval", 0.0, /*require_positive=*/true,
+                     cfg.metrics.interval_s)) {
+    return 1;
+  }
+  std::string trace_out;
+  if (!GetTraceOut(args, trace_out)) {
+    return 1;
+  }
+  cfg.tracing.enabled = !trace_out.empty();
   std::unique_ptr<ServingEngine> engine =
       vllm_baseline ? MakeVllmScbEngine(cfg) : MakeDeltaZipEngine(cfg);
 
   const ServeReport report = engine->Serve(trace);
+  if (!trace_out.empty()) {
+    if (!WriteChromeTrace(trace_out, report.trace_events)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", report.trace_events.size(),
+                trace_out.c_str());
+  }
   if (!metrics_out.empty()) {
     MetricsJsonlWriter writer(metrics_out);
     if (!writer.ok() ||
@@ -351,6 +420,8 @@ int CmdSimulate(const ArgMap& args) {
   // Tenant/class rows only for multi-tenant traffic or actual sheds, matching
   // the pre-tenant rendering otherwise (AppendTenantRows gates internally).
   AppendTenantRows(table, report);
+  // Critical-path breakdown rows only for traced runs (gated internally).
+  AppendAttributionRows(table, report);
   std::printf("%s", table.ToAscii().c_str());
   return 0;
 }
@@ -382,8 +453,24 @@ int CmdCluster(const ArgMap& args) {
     return 1;
   }
   const std::string metrics_out = Get(args, "metrics-out", "");
-  cfg.engine.metrics.interval_s = GetNum(args, "metrics-interval", 0.0);
+  if (!GetCheckedNum(args, "metrics-interval", 0.0, /*require_positive=*/true,
+                     cfg.engine.metrics.interval_s)) {
+    return 1;
+  }
+  std::string trace_out;
+  if (!GetTraceOut(args, trace_out)) {
+    return 1;
+  }
+  cfg.engine.tracing.enabled = !trace_out.empty();
   const ClusterReport report = Cluster(cfg).Serve(trace);
+  if (!trace_out.empty()) {
+    const std::vector<TraceEvent> events = report.MergedTraceEvents();
+    if (!WriteChromeTrace(trace_out, events)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", events.size(), trace_out.c_str());
+  }
   if (!metrics_out.empty()) {
     MetricsJsonlWriter writer(metrics_out);
     bool ok = writer.ok();
