@@ -1,0 +1,313 @@
+// SLO attainment through faults and elasticity, versus a static cluster.
+//
+// Two scenarios, both gated (exit code 1 on failure, so CI runs this directly):
+//   1. 1-of-8 worker loss — an 8-GPU cluster runs near capacity; worker 2
+//      crashes and never recovers, its in-flight and homed traffic re-routed
+//      to survivors. Static baseline (autoscaler off): the 7 survivors run
+//      over capacity and the interactive backlog grows for the rest of the
+//      run. Elastic (autoscaler on): the scaler detects the TTFT/backlog
+//      breach and boots replacement capacity. Gate: elastic interactive-class
+//      SLO attainment >= 2x the static baseline, and neither run loses a
+//      request (conservation ledger).
+//   2. 4 -> 8 -> 4 diurnal cycle — a 4-GPU cluster under a sinusoidal load
+//      envelope whose peak needs ~8 workers. Gate: the scaler reaches
+//      max_workers at the peak, drains back to min_workers after the trough,
+//      and the cycle completes with zero lost requests (completed + shed ==
+//      offered, failed == 0).
+//
+// Every worker runs a bounded flight-recorder ring; when a gate trips, the
+// failing run's merged ring is dumped as a Chrome trace JSON
+// (`--flightrec-out`, default fault_flightrec.json) for CI to attach next to
+// the log. `--metrics-out` writes each run's merged cluster snapshot as a
+// JSONL time series (dz metrics schema); `--json` writes the bench-summary
+// JSON (dz-bench-v1 schema). `--quick` shortens both scenarios for CI smoke.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cluster/router.h"
+#include "src/metrics/metrics.h"
+#include "src/obs/trace_export.h"
+
+namespace dz {
+namespace {
+
+// Default-length conversational traffic. Calibration (CLI probe, priority
+// scheduler): an 8-GPU cluster's continuous-batching knee sits near 80 req/s
+// and a 7-GPU cluster's near 70 — so rates in the low 70s are healthy with 8
+// workers and divergent (growing backlog) with 7.
+TraceConfig BaseTraffic(double rate, double duration_s, uint64_t seed) {
+  TraceConfig tc;
+  tc.n_models = 32;
+  tc.arrival_rate = rate;
+  tc.duration_s = duration_s;
+  tc.dist = PopularityDist::kZipf;
+  tc.seed = seed;
+  tc.tenants.n_tenants = 6;
+  tc.tenants.interactive_frac = 0.3;
+  tc.tenants.batch_frac = 0.1;
+  return tc;
+}
+
+ClusterConfig BaseCluster(int n_gpus) {
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = n_gpus;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine.exec.shape = ModelShape::Llama13B();
+  cfg.engine.exec.gpu = GpuSpec::A800();
+  cfg.engine.exec.tp = 4;
+  cfg.engine.max_concurrent_deltas = 8;
+  // FCFS, not priority: this bench measures what capacity loss does to the
+  // interactive class. The priority scheduler would shield interactive by
+  // sacrificing standard/batch (bench_ablation_scheduler's story); FCFS lets
+  // a growing backlog hit every class, so attainment tracks capacity.
+  cfg.engine.scheduler.policy = SchedPolicy::kFcfs;
+  cfg.engine.scheduler.slo = SloSpecs();
+  // Prefetch on so membership changes re-warm caches through the router's
+  // warm-hint path (the elastic loop attributes those loads as rewarm_*).
+  cfg.engine.prefetch.enabled = true;
+  cfg.engine.tracing.enabled = true;
+  cfg.engine.tracing.ring_capacity = 4096;  // bounded flight recorder
+  return cfg;
+}
+
+// Interactive-class TTFT attainment over OFFERED interactive requests: a
+// request stranded/failed by a fault has no record and counts as a miss, so
+// losing capacity cannot inflate the score.
+double InteractiveAttainment(const Trace& trace, const ClusterReport& report,
+                             const SloSpecs& slo, long long* offered_out) {
+  long long offered = 0;
+  for (const TraceRequest& req : trace.requests) {
+    offered += req.slo == SloClass::kInteractive ? 1 : 0;
+  }
+  const double ttft_slo = slo.Of(SloClass::kInteractive).ttft_s;
+  long long hit = 0;
+  for (const RequestRecord& rec : report.merged.records) {
+    if (rec.slo == SloClass::kInteractive && rec.Ttft() <= ttft_slo) {
+      ++hit;
+    }
+  }
+  if (offered_out != nullptr) {
+    *offered_out = offered;
+  }
+  return offered > 0 ? static_cast<double>(hit) / static_cast<double>(offered)
+                     : 1.0;
+}
+
+bool ConservationHolds(const ClusterReport& r) {
+  return r.elastic.active &&
+         r.elastic.completed + r.elastic.shed + r.elastic.failed ==
+             r.elastic.offered &&
+         static_cast<long long>(r.merged.records.size()) == r.elastic.completed;
+}
+
+struct GateState {
+  bool ok = true;
+  std::vector<TraceEvent> failing_flight;  // first failing run's merged rings
+
+  void Check(bool cond, const char* what, const ClusterReport& report) {
+    if (cond) {
+      return;
+    }
+    std::fprintf(stderr, "bench_fault_slo: FAIL %s\n", what);
+    if (ok) {
+      failing_flight = report.MergedTraceEvents();
+    }
+    ok = false;
+  }
+};
+
+void Run(int argc, char** argv) {
+  const bool quick = ParseQuickFlag(argc, argv);
+  const uint64_t seed = 1313;
+  Banner("Fault injection + elastic autoscaling vs a static cluster",
+         "cluster layer (beyond paper scope)", seed);
+
+  const char* metrics_flag = ParseStringFlag(argc, argv, "--metrics-out");
+  const std::string metrics_path =
+      metrics_flag != nullptr ? metrics_flag : "fault_metrics.jsonl";
+  const char* flightrec_flag = ParseStringFlag(argc, argv, "--flightrec-out");
+  const std::string flightrec_path =
+      flightrec_flag != nullptr ? flightrec_flag : "fault_flightrec.json";
+  MetricsJsonlWriter writer(metrics_path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "bench_fault_slo: cannot open %s\n",
+                 metrics_path.c_str());
+  }
+  GateState gate;
+  const SteadyTimer total_timer;
+
+  // ---- scenario 1: 1-of-8 worker loss ------------------------------------
+  // Rate 72 on 8 workers: just under the 8-worker knee, over the 7-worker one,
+  // so the static baseline's backlog — and its interactive TTFT — grows from
+  // the crash until the trace ends while the elastic run restores capacity.
+  const double crash_duration = quick ? 200.0 : 400.0;
+  const TraceConfig crash_tc = BaseTraffic(76.0, crash_duration, seed);
+  const Trace crash_trace = GenerateTrace(crash_tc);
+
+  ClusterConfig static_cfg = BaseCluster(8);
+  const bool parsed = ParseFaultPlan("crash@20:w2,detect=3", static_cfg.faults);
+  if (!parsed) {
+    std::fprintf(stderr, "bench_fault_slo: internal fault spec rejected\n");
+    std::exit(1);
+  }
+  ClusterConfig elastic_cfg = static_cfg;
+  elastic_cfg.autoscale.enabled = true;
+  elastic_cfg.autoscale.min_workers = 4;
+  elastic_cfg.autoscale.max_workers = 10;  // headroom to drain the crash backlog
+  elastic_cfg.autoscale.decision_interval_s = 5.0;
+  elastic_cfg.autoscale.cooldown_s = 10.0;
+  elastic_cfg.autoscale.target_ttft_p99_s =
+      static_cfg.engine.scheduler.slo.Of(SloClass::kInteractive).ttft_s;
+  elastic_cfg.autoscale.scale_up_backlog_per_worker = 4.0;
+  elastic_cfg.autoscale.scale_down_backlog_per_worker = 0.5;
+
+  std::printf("  scenario 1: 1-of-8 loss, %zu requests over %.0fs, crash@20s\n",
+              crash_trace.requests.size(), crash_duration);
+  const ClusterReport static_run = Cluster(static_cfg).Serve(crash_trace);
+  const ClusterReport elastic_run = Cluster(elastic_cfg).Serve(crash_trace);
+  long long interactive_offered = 0;
+  const double static_attain =
+      InteractiveAttainment(crash_trace, static_run,
+                            static_cfg.engine.scheduler.slo, &interactive_offered);
+  const double elastic_attain = InteractiveAttainment(
+      crash_trace, elastic_run, elastic_cfg.engine.scheduler.slo, nullptr);
+  const double ratio = elastic_attain / std::max(static_attain, 1e-9);
+  std::printf(
+      "    static : attainment %.3f (%lld interactive), makespan %.0fs, "
+      "retried %lld\n",
+      static_attain, interactive_offered, static_run.makespan_s(),
+      static_run.elastic.retried);
+  std::printf(
+      "    elastic: attainment %.3f, makespan %.0fs, retried %lld, "
+      "scale ups/downs %d/%d, workers peak/final %d/%d\n",
+      elastic_attain, elastic_run.makespan_s(), elastic_run.elastic.retried,
+      elastic_run.elastic.scale_ups, elastic_run.elastic.scale_downs,
+      elastic_run.elastic.peak_workers, elastic_run.elastic.final_workers);
+
+  gate.Check(ConservationHolds(static_run), "scenario 1 static conservation",
+             static_run);
+  gate.Check(ConservationHolds(elastic_run), "scenario 1 elastic conservation",
+             elastic_run);
+  gate.Check(static_run.elastic.failed == 0 && elastic_run.elastic.failed == 0,
+             "scenario 1 lost requests (reroute must strand nothing)",
+             elastic_run);
+  gate.Check(elastic_run.elastic.scale_ups > 0,
+             "scenario 1 elastic run never scaled up", elastic_run);
+  gate.Check(ratio >= 2.0,
+             "scenario 1 attainment: elastic < 2x static baseline",
+             elastic_run);
+  if (writer.ok()) {
+    writer.Append(static_run.merged.metrics,
+                  {{"scenario", "crash-1of8"}, {"mode", "static"}});
+    writer.Append(elastic_run.merged.metrics,
+                  {{"scenario", "crash-1of8"}, {"mode", "elastic"}});
+  }
+
+  // ---- scenario 2: 4 -> 8 -> 4 diurnal cycle -----------------------------
+  // Peak demand 40 * (1 + 0.9) = 76 req/s needs the full 8-worker ceiling;
+  // the trough and the post-trace tail need only the 4-worker floor, so the
+  // trailing decision grid must drain the cluster back down.
+  const double cycle_duration = quick ? 240.0 : 480.0;
+  TraceConfig cycle_tc = BaseTraffic(40.0, cycle_duration, seed + 1);
+  cycle_tc.tenants.scenario = TenantScenario::kDiurnal;
+  cycle_tc.tenants.diurnal_period_s = cycle_duration;
+  cycle_tc.tenants.diurnal_amplitude = 0.9;
+  const Trace cycle_trace = GenerateTrace(cycle_tc);
+
+  ClusterConfig cycle_cfg = BaseCluster(4);
+  cycle_cfg.autoscale.enabled = true;
+  cycle_cfg.autoscale.min_workers = 4;
+  cycle_cfg.autoscale.max_workers = 8;
+  cycle_cfg.autoscale.decision_interval_s = 5.0;
+  cycle_cfg.autoscale.cooldown_s = 10.0;
+  cycle_cfg.autoscale.target_ttft_p99_s =
+      cycle_cfg.engine.scheduler.slo.Of(SloClass::kInteractive).ttft_s;
+  cycle_cfg.autoscale.scale_up_backlog_per_worker = 4.0;
+  cycle_cfg.autoscale.scale_down_backlog_per_worker = 0.5;
+
+  std::printf("  scenario 2: 4->8->4 diurnal cycle, %zu requests over %.0fs\n",
+              cycle_trace.requests.size(), cycle_duration);
+  const ClusterReport cycle_run = Cluster(cycle_cfg).Serve(cycle_trace);
+  std::printf(
+      "    elastic: makespan %.0fs, scale ups/downs %d/%d, workers "
+      "peak/final %d/%d, offered/completed/shed/failed %lld/%lld/%lld/%lld\n",
+      cycle_run.makespan_s(), cycle_run.elastic.scale_ups,
+      cycle_run.elastic.scale_downs, cycle_run.elastic.peak_workers,
+      cycle_run.elastic.final_workers, cycle_run.elastic.offered,
+      cycle_run.elastic.completed, cycle_run.elastic.shed,
+      cycle_run.elastic.failed);
+
+  gate.Check(ConservationHolds(cycle_run), "scenario 2 conservation", cycle_run);
+  gate.Check(cycle_run.elastic.failed == 0, "scenario 2 lost requests",
+             cycle_run);
+  gate.Check(cycle_run.elastic.peak_workers == 8,
+             "scenario 2 never reached the 8-worker peak", cycle_run);
+  gate.Check(cycle_run.elastic.final_workers == 4,
+             "scenario 2 never drained back to the 4-worker floor", cycle_run);
+  gate.Check(cycle_run.elastic.scale_downs > 0,
+             "scenario 2 never scaled down", cycle_run);
+  if (writer.ok()) {
+    writer.Append(cycle_run.merged.metrics,
+                  {{"scenario", "diurnal-4-8-4"}, {"mode", "elastic"}});
+  }
+
+  const double total_wall = total_timer.Seconds();
+  Table summary({"metric", "value"});
+  summary.AddRow({"interactive attainment (static, 1-of-8 loss)",
+                  Table::Num(static_attain, 3)});
+  summary.AddRow({"interactive attainment (elastic, 1-of-8 loss)",
+                  Table::Num(elastic_attain, 3)});
+  summary.AddRow({"attainment ratio (gate >= 2.0)", Table::Num(ratio, 2)});
+  summary.AddRow({"crash re-routes (elastic)",
+                  std::to_string(elastic_run.elastic.retried)});
+  summary.AddRow({"re-warm loads / stall hidden (s)",
+                  std::to_string(elastic_run.elastic.rewarm_loads) + " / " +
+                      Table::Num(elastic_run.elastic.rewarm_s, 1)});
+  summary.AddRow({"cycle workers peak/final",
+                  std::to_string(cycle_run.elastic.peak_workers) + " / " +
+                      std::to_string(cycle_run.elastic.final_workers)});
+  summary.AddRow({"cycle lost requests",
+                  std::to_string(cycle_run.elastic.failed)});
+  summary.AddRow({"metrics JSONL lines", std::to_string(writer.lines_written())});
+  summary.AddRow({"wall time (s)", Table::Num(total_wall, 1)});
+  summary.AddRow({"SLO gates", gate.ok ? "PASS" : "FAIL"});
+  std::printf("\n%s\n", summary.ToAscii().c_str());
+
+  if (const char* json_path = ParseStringFlag(argc, argv, "--json")) {
+    BenchJson json("bench_fault_slo");
+    json.Add("attainment_static", static_attain, "frac");
+    json.Add("attainment_elastic", elastic_attain, "frac");
+    json.Add("attainment_ratio", ratio, "x");
+    json.Add("cycle_peak_workers",
+             static_cast<double>(cycle_run.elastic.peak_workers), "workers");
+    json.Add("cycle_lost", static_cast<double>(cycle_run.elastic.failed), "req",
+             /*higher_is_better=*/false);
+    json.Add("gates_ok", gate.ok ? 1.0 : 0.0, "bool");
+    json.WriteFile(json_path);
+  }
+
+  if (!gate.ok) {
+    if (WriteChromeTrace(flightrec_path, gate.failing_flight)) {
+      std::fprintf(stderr,
+                   "bench_fault_slo: dumped %zu flight-recorder events (first "
+                   "failing run) to %s\n",
+                   gate.failing_flight.size(), flightrec_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "bench_fault_slo: cannot write flight recorder dump to %s\n",
+                   flightrec_path.c_str());
+    }
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace dz
+
+int main(int argc, char** argv) {
+  dz::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "src/cluster/autoscaler.h"
+
+namespace dz {
+
+ScaleDecision ClusterAutoscaler::Decide(const AutoscalerStats& stats) {
+  if (!config_.enabled) {
+    return ScaleDecision::kHold;
+  }
+  // Cooldown gate first: no decision, in either direction, inside the quiet
+  // period after the previous action.
+  if (stats.t - last_action_t_ < config_.cooldown_s) {
+    return ScaleDecision::kHold;
+  }
+  const bool overloaded =
+      stats.backlog_per_worker > config_.scale_up_backlog_per_worker ||
+      stats.interactive_ttft_p99_s > config_.target_ttft_p99_s;
+  if (overloaded && stats.active_workers < config_.max_workers) {
+    last_action_t_ = stats.t;
+    return ScaleDecision::kUp;
+  }
+  const bool comfortable =
+      stats.backlog_per_worker < config_.scale_down_backlog_per_worker &&
+      stats.interactive_ttft_p99_s < 0.5 * config_.target_ttft_p99_s;
+  if (comfortable && stats.active_workers > config_.min_workers) {
+    last_action_t_ = stats.t;
+    return ScaleDecision::kDown;
+  }
+  return ScaleDecision::kHold;
+}
+
+}  // namespace dz

@@ -112,6 +112,27 @@ std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
                     std::to_string(TotalPrefetchWasted())});
     agg.AddRow({"stall hidden by prefetch (s)", Table::Num(TotalStallHiddenS(), 1)});
   }
+  // Fault/elasticity rows appear only for elastic runs, following the
+  // prefetch-row gating above, so static output matches the pre-fault
+  // rendering.
+  if (elastic.active) {
+    agg.AddRow({"offered/completed/shed/failed",
+                std::to_string(elastic.offered) + "/" +
+                    std::to_string(elastic.completed) + "/" +
+                    std::to_string(elastic.shed) + "/" +
+                    std::to_string(elastic.failed)});
+    agg.AddRow({"re-routed retries", std::to_string(elastic.retried)});
+    agg.AddRow({"crashes/recoveries", std::to_string(elastic.crashes) + "/" +
+                                          std::to_string(elastic.recoveries)});
+    agg.AddRow({"scale ups/downs", std::to_string(elastic.scale_ups) + "/" +
+                                       std::to_string(elastic.scale_downs)});
+    agg.AddRow({"workers peak/final", std::to_string(elastic.peak_workers) + "/" +
+                                          std::to_string(elastic.final_workers)});
+    if (elastic.rewarm_loads > 0) {
+      agg.AddRow({"re-warm prefetches", std::to_string(elastic.rewarm_loads)});
+      agg.AddRow({"re-warm stall hidden (s)", Table::Num(elastic.rewarm_s, 1)});
+    }
+  }
   // Tenant/class rows appear only for multi-tenant traffic or when admission
   // control actually shed something (AppendTenantRows gates internally), so
   // single-tenant output matches the pre-tenant rendering.

@@ -28,10 +28,43 @@ struct GpuLoadStats {
   double stall_hidden_s = 0.0;  // artifact-wait seconds prefetch removed
 };
 
+// Conservation ledger and churn counters of an elastic (faults and/or
+// autoscaling enabled) cluster run. Invariant, DZ_CHECK-enforced at the end of
+// every elastic run and asserted by the chaos tests:
+//   completed + shed + failed == offered
+// i.e. every offered request is accounted for exactly once — nothing is lost
+// or double-completed, however the membership churned.
+struct ElasticStats {
+  bool active = false;      // false on the static (fault-free) path
+  long long offered = 0;    // trace requests the router accepted
+  long long completed = 0;  // finished with a RequestRecord
+  long long shed = 0;       // dropped by admission control
+  // Stranded on a crashed worker that never recovered (reroute=false only;
+  // with rerouting every stranded request is retried instead).
+  long long failed = 0;
+  // Re-enqueue episodes (a request re-routed twice counts twice); retried
+  // requests still end in exactly one of the three buckets above.
+  long long retried = 0;
+  int crashes = 0;
+  int recoveries = 0;
+  int scale_ups = 0;
+  int scale_downs = 0;
+  int peak_workers = 0;
+  int final_workers = 0;
+  // Re-warm attribution: artifact prefetches issued (and stall seconds hidden)
+  // in epochs that began with a membership change — the cost of re-warming
+  // caches after a crash/reroute/scale event rather than steady-state traffic.
+  long long rewarm_loads = 0;
+  double rewarm_s = 0.0;
+};
+
 struct ClusterReport {
   std::string cluster_name;  // e.g. "deltazip x4 [delta-affinity]"
   PlacementPolicy policy = PlacementPolicy::kRoundRobin;
   int n_gpus = 1;
+  // Fault/elasticity ledger; `elastic.active` is false (and every field 0) on
+  // the default static path, which leaves Summary() output unchanged.
+  ElasticStats elastic;
   std::vector<ServeReport> per_gpu;  // indexed by GPU id
   // All per-GPU records merged by finish time (stable by GPU at ties). For a
   // 1-GPU cluster this is exactly the worker's report, so cluster and direct

@@ -1,0 +1,675 @@
+#include "src/cluster/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+#include "src/util/check.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+
+namespace dz {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lifecycle of one worker slot. Global ids are stable forever; a retired slot
+// can be reactivated by a later scale-up (lowest retired id first).
+enum class WState {
+  kActive,          // serving and routable
+  kDeadUndetected,  // crashed, router unaware: routable, NOT serving
+  kDeadDetected,    // crashed, router aware. reroute=true: out of the ring,
+                    // backlog re-enqueued. reroute=false: keeps its ring arcs,
+                    // backlog waits for a recover event.
+  kDraining,        // scale-down victim: serving its backlog, not routable
+  kRetired,         // removed; may be reactivated by a scale-up
+};
+
+struct WorkerSlot {
+  int id = 0;
+  WState s = WState::kActive;
+  double speed = 1.0;        // slow-node throughput factor (1 = healthy)
+  bool partitioned = false;  // disk+PCIe blackout; serving but not routable
+  // Requests currently homed on this worker and not yet resolved: carried
+  // engine-unfinished work plus arrivals routed while it was not serving.
+  std::vector<TraceRequest> carry;
+  // Scale-down drain bookkeeping.
+  double drain_start_t = 0.0;
+  double drain_last_finish = -1.0;
+  // Committed results accumulated across this worker's epochs.
+  ServeReport acc;
+};
+
+bool Serving(const WorkerSlot& w) {
+  return w.s == WState::kActive || w.s == WState::kDraining;
+}
+
+bool Routable(const WorkerSlot& w, bool reroute) {
+  if (w.partitioned) {
+    return false;
+  }
+  return w.s == WState::kActive || w.s == WState::kDeadUndetected ||
+         (w.s == WState::kDeadDetected && !reroute);
+}
+
+// Result of running one epoch [t0, t1) against a snapshot of the cluster
+// state. Pure: computing an attempt mutates nothing, so the autoscaler can
+// discard an optimistic run and re-run a shorter prefix (see elastic.h).
+struct Attempt {
+  Attempt(size_t n_workers, const Placer& placer_copy)
+      : reports(n_workers), carry(n_workers), placer(placer_copy) {}
+
+  std::vector<ServeReport> reports;                  // indexed like workers
+  std::vector<std::vector<TraceRequest>> carry;      // post-epoch carry
+  std::vector<std::pair<TraceRequest, int>> placed;  // routed (request, worker)
+  std::vector<TraceRequest> unrouted;  // nobody routable: held for later
+  Placer placer;                       // post-routing placer state
+  bool routable = false;               // whether `placer` is meaningful
+  size_t next_arrival = 0;             // global trace cursor after the epoch
+};
+
+struct ElasticRun {
+  const ClusterConfig& cfg;
+  const Trace& trace;
+  std::vector<WorkerSlot> workers;
+  std::unique_ptr<Placer> placer;  // routes across the current routable set
+  size_t next_arrival = 0;
+  std::vector<TraceRequest> retry_pool;  // re-enqueue at the next epoch start
+  TraceRecorder recorder;  // cluster-side events (router.*, fault.*, scale.*)
+  ElasticStats stats;
+  std::vector<double> committed_finishes;  // sorted finish_s of all records
+  double max_finish = 0.0;
+
+  ElasticRun(const ClusterConfig& c, const Trace& t)
+      : cfg(c), trace(t), recorder(c.engine.tracing) {}
+
+  std::vector<int> RoutableIds() const {
+    std::vector<int> ids;
+    for (const WorkerSlot& w : workers) {
+      if (Routable(w, cfg.faults.reroute)) {
+        ids.push_back(w.id);
+      }
+    }
+    return ids;
+  }
+
+  int ActiveCount() const {
+    int n = 0;
+    for (const WorkerSlot& w : workers) {
+      n += w.s == WState::kActive ? 1 : 0;
+    }
+    return n;
+  }
+
+  void EmitCluster(TraceEventType type, double ts, int gpu, double dur = 0.0,
+                   int aux = 0) {
+    if (!recorder.enabled()) {
+      return;
+    }
+    TraceEvent ev;
+    ev.type = type;
+    ev.ts_s = ts;
+    ev.dur_s = dur;
+    ev.gpu = gpu;
+    ev.aux = aux;
+    recorder.Emit(ev);
+  }
+
+  // Rebuilds the placer iff the routable membership changed. Backlogs reset on
+  // a rebuild — accepted: a membership change invalidates the old load picture
+  // anyway, and ring arcs (the part that matters for affinity) are keyed by
+  // global id so they survive (bounded churn). Returns true on a rebuild,
+  // which marks the following epoch as a re-warm epoch for the attribution
+  // counters.
+  bool SyncPlacer() {
+    const std::vector<int> ids = RoutableIds();
+    if (ids.empty()) {
+      placer.reset();
+      return false;
+    }
+    if (placer != nullptr && placer->worker_ids() == ids) {
+      return false;
+    }
+    placer = std::make_unique<Placer>(cfg.placer, ids);
+    return true;
+  }
+
+  // One epoch [t0, t1) against the current state: route retries + window
+  // arrivals, run every serving worker on carry + routed input, collect each
+  // engine's unfinished requests as next-epoch carry. Mutates nothing.
+  Attempt RunEpoch(double t0, double t1) const {
+    Attempt a(workers.size(),
+              placer != nullptr ? *placer : Placer(cfg.placer));
+    a.routable = placer != nullptr;
+    a.next_arrival = next_arrival;
+    std::vector<std::vector<TraceRequest>> routed(workers.size());
+    auto route = [&](const TraceRequest& req) {
+      if (!a.routable) {
+        a.unrouted.push_back(req);
+        return;
+      }
+      const int gpu = a.placer.Assign(req);
+      routed[static_cast<size_t>(gpu)].push_back(req);
+      a.placed.emplace_back(req, gpu);
+    };
+    for (const TraceRequest& r : retry_pool) {
+      route(r);
+    }
+    while (a.next_arrival < trace.requests.size() &&
+           trace.requests[a.next_arrival].arrival_s < t1) {
+      route(trace.requests[a.next_arrival++]);
+    }
+
+    // Assemble per-worker inputs; non-serving workers just accumulate theirs.
+    std::vector<size_t> to_run;
+    for (size_t i = 0; i < workers.size(); ++i) {
+      const WorkerSlot& w = workers[i];
+      std::vector<TraceRequest> input = w.carry;
+      input.insert(input.end(), routed[i].begin(), routed[i].end());
+      if (!Serving(w) || input.empty()) {
+        a.carry[i] = std::move(input);
+        continue;
+      }
+      // Engines require arrival order; re-stamped carry and fresh arrivals
+      // interleave.
+      std::stable_sort(input.begin(), input.end(),
+                       [](const TraceRequest& x, const TraceRequest& y) {
+                         return x.arrival_s < y.arrival_s;
+                       });
+      a.carry[i] = std::move(input);  // replaced by `unfinished` after the run
+      to_run.push_back(i);
+    }
+    auto run_one = [&](size_t k) {
+      const size_t i = to_run[k];
+      const WorkerSlot& w = workers[i];
+      Trace shard;
+      shard.requests = a.carry[i];
+      shard.n_models = trace.n_models;
+      shard.n_tenants = trace.n_tenants;
+      shard.duration_s = trace.duration_s;
+      EngineConfig ec = cfg.engine;
+      ec.start_s = t0;
+      ec.halt_s = t1;
+      ec.speed_factor = w.speed;
+      ec.metrics.interval_s = 0.0;  // per-worker timelines: not in elastic mode
+      if (w.partitioned) {
+        ChannelOutage disk;
+        disk.channel = TraceChannel::kDisk;
+        disk.start_s = t0;
+        disk.end_s = t1;
+        ChannelOutage pcie = disk;
+        pcie.channel = TraceChannel::kPcie;
+        ec.outages.push_back(disk);
+        ec.outages.push_back(pcie);
+      }
+      if (ec.prefetch.enabled) {
+        // Warm hints from this epoch's own input, most-frequent-first — the
+        // re-warm path a re-homed tenant's requests ride after a membership
+        // change (the router's trace-wide prediction is stale by then).
+        std::map<int, int> counts;
+        std::vector<int> order;
+        for (const TraceRequest& r : shard.requests) {
+          if (counts[r.model_id]++ == 0) {
+            order.push_back(r.model_id);
+          }
+        }
+        std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+          return counts[x] > counts[y];
+        });
+        ec.prefetch.warm_hints = order;
+      }
+      std::unique_ptr<ServingEngine> engine =
+          cfg.vllm_baseline ? MakeVllmScbEngine(ec) : MakeDeltaZipEngine(ec);
+      a.reports[i] = engine->Serve(shard);
+      a.carry[i] = a.reports[i].unfinished;
+    };
+    if (cfg.parallel_workers && to_run.size() > 1) {
+      ThreadPool::Global().ForEachTask(to_run.size(), run_one);
+    } else {
+      for (size_t k = 0; k < to_run.size(); ++k) {
+        run_one(k);
+      }
+    }
+    return a;
+  }
+
+  // Applies an epoch's results: accumulate per-worker reports, swap in the
+  // new carries, advance the cursors, emit router.place events. `boundary_t`
+  // is the committed epoch end (re-stamps unrouted requests so the next
+  // epoch's placer sees non-decreasing arrivals).
+  void Commit(Attempt& a, double boundary_t, bool rewarm_epoch) {
+    for (size_t i = 0; i < workers.size(); ++i) {
+      WorkerSlot& w = workers[i];
+      ServeReport& r = a.reports[i];
+      if (!r.engine_name.empty()) {  // this worker actually ran
+        w.acc.records.insert(w.acc.records.end(), r.records.begin(),
+                             r.records.end());
+        w.acc.metrics.MergeFrom(r.metrics);
+        w.acc.makespan_s = std::max(w.acc.makespan_s, r.makespan_s);
+        w.acc.trace_events.insert(w.acc.trace_events.end(),
+                                  r.trace_events.begin(),
+                                  r.trace_events.end());
+        w.acc.trace_events_dropped += r.trace_events_dropped;
+        for (int c = 0; c < kNumSloClasses; ++c) {
+          w.acc.path_by_class[static_cast<size_t>(c)].Merge(
+              r.path_by_class[static_cast<size_t>(c)]);
+        }
+        stats.shed += r.TotalShed();
+        if (rewarm_epoch) {
+          stats.rewarm_loads += r.prefetch_issued;
+          stats.rewarm_s += r.stall_hidden_s;
+        }
+        for (const RequestRecord& rec : r.records) {
+          committed_finishes.push_back(rec.finish_s);
+          max_finish = std::max(max_finish, rec.finish_s);
+          if (w.s == WState::kDraining) {
+            w.drain_last_finish = std::max(w.drain_last_finish, rec.finish_s);
+          }
+        }
+      }
+      w.carry = std::move(a.carry[i]);
+    }
+    std::sort(committed_finishes.begin(), committed_finishes.end());
+    if (placer != nullptr && a.routable) {
+      *placer = std::move(a.placer);
+    }
+    next_arrival = a.next_arrival;
+    retry_pool.clear();
+    for (TraceRequest r : a.unrouted) {
+      // Never routed this epoch — every worker was dead or partitioned.
+      // Preserve the SLO clock, re-enqueue at the boundary.
+      r.first_arrival_s = r.SloArrival();
+      if (boundary_t < kInf) {
+        r.arrival_s = boundary_t;
+      }
+      retry_pool.push_back(r);
+    }
+    if (recorder.enabled()) {
+      for (const auto& pr : a.placed) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kRouterPlace;
+        ev.ts_s = pr.first.arrival_s;
+        ev.request_id = pr.first.id;
+        ev.model_id = pr.first.model_id;
+        ev.tenant_id = pr.first.tenant_id;
+        ev.slo = pr.first.slo;
+        ev.gpu = pr.second;
+        recorder.Emit(ev);
+      }
+    }
+  }
+
+  // Retires every draining worker whose backlog is fully served, emitting the
+  // drain protocol's completion events (drain start ≤ done ≤ remove — the
+  // ordering the autoscaler property test enforces).
+  void FinishDrains() {
+    for (WorkerSlot& w : workers) {
+      if (w.s != WState::kDraining || !w.carry.empty()) {
+        continue;
+      }
+      const double done_t = std::max(w.drain_start_t, w.drain_last_finish);
+      EmitCluster(TraceEventType::kScaleDrainDone, done_t, w.id);
+      EmitCluster(TraceEventType::kScaleRemove, done_t, w.id);
+      w.s = WState::kRetired;
+    }
+  }
+
+  // Applies every fault event and crash detection due at or before `t0`.
+  void ProcessBoundary(double t0, size_t& fault_idx,
+                       std::vector<double>& detections,
+                       std::vector<int>& detect_worker) {
+    const std::vector<FaultEvent>& evs = cfg.faults.events;
+    while (fault_idx < evs.size() && evs[fault_idx].t_s <= t0) {
+      const FaultEvent& ev = evs[fault_idx++];
+      if (ev.worker < 0 || ev.worker >= static_cast<int>(workers.size())) {
+        continue;  // plans may address workers the run never created
+      }
+      WorkerSlot& w = workers[static_cast<size_t>(ev.worker)];
+      switch (ev.type) {
+        case FaultType::kCrash:
+          // Killing a draining victim is legal chaos: the death path wins
+          // (no drain-done; its backlog fails or re-routes like any crash).
+          if (w.s == WState::kActive || w.s == WState::kDraining) {
+            w.s = WState::kDeadUndetected;
+            ++stats.crashes;
+            EmitCluster(TraceEventType::kFaultCrash, ev.t_s, w.id);
+            detections.push_back(ev.t_s + cfg.faults.detection_delay_s);
+            detect_worker.push_back(w.id);
+          }
+          break;
+        case FaultType::kRecover:
+          if (w.s == WState::kDeadUndetected || w.s == WState::kDeadDetected) {
+            w.s = WState::kActive;
+            ++stats.recoveries;
+            EmitCluster(TraceEventType::kFaultRecover, ev.t_s, w.id);
+          }
+          break;
+        case FaultType::kSlowStart: {
+          w.speed = ev.multiplier;
+          // The window length is known from the matching end event; emit the
+          // whole span now so the trace viewer shows the degraded region.
+          double end = ev.t_s;
+          for (size_t j = fault_idx; j < evs.size(); ++j) {
+            if (evs[j].type == FaultType::kSlowEnd &&
+                evs[j].worker == ev.worker) {
+              end = evs[j].t_s;
+              break;
+            }
+          }
+          EmitCluster(TraceEventType::kFaultSlow, ev.t_s, w.id, end - ev.t_s);
+          break;
+        }
+        case FaultType::kSlowEnd:
+          w.speed = 1.0;
+          break;
+        case FaultType::kPartitionStart: {
+          w.partitioned = true;
+          double end = ev.t_s;
+          for (size_t j = fault_idx; j < evs.size(); ++j) {
+            if (evs[j].type == FaultType::kPartitionEnd &&
+                evs[j].worker == ev.worker) {
+              end = evs[j].t_s;
+              break;
+            }
+          }
+          EmitCluster(TraceEventType::kFaultPartition, ev.t_s, w.id,
+                      end - ev.t_s);
+          break;
+        }
+        case FaultType::kPartitionEnd:
+          w.partitioned = false;
+          break;
+      }
+    }
+    // Crash detections due now: the router notices the death, and with
+    // rerouting the dead worker's whole backlog is re-enqueued across the
+    // survivors (SLO clocks keep the original arrivals — re-served requests
+    // still answer for their full wait).
+    for (size_t d = 0; d < detections.size();) {
+      if (detections[d] > t0) {
+        ++d;
+        continue;
+      }
+      const int id = detect_worker[d];
+      detections.erase(detections.begin() + static_cast<std::ptrdiff_t>(d));
+      detect_worker.erase(detect_worker.begin() +
+                          static_cast<std::ptrdiff_t>(d));
+      WorkerSlot& w = workers[static_cast<size_t>(id)];
+      if (w.s != WState::kDeadUndetected) {
+        continue;  // recovered before detection: nothing to do
+      }
+      w.s = WState::kDeadDetected;
+      EmitCluster(TraceEventType::kFaultDetect, t0, w.id);
+      if (cfg.faults.reroute) {
+        EmitCluster(TraceEventType::kRouterReroute, t0, w.id, /*dur=*/0.0,
+                    static_cast<int>(w.carry.size()));
+        for (TraceRequest r : w.carry) {
+          r.first_arrival_s = r.SloArrival();
+          r.arrival_s = t0;
+          retry_pool.push_back(r);
+          ++stats.retried;
+        }
+        w.carry.clear();
+      }
+    }
+  }
+
+  // Autoscaler observation at time t over committed state + the optimistic
+  // attempt: offered-but-unfinished backlog per active worker (admission sheds
+  // are invisible here — the backlog reads conservatively high on shedding
+  // clusters) and the interactive TTFT p99 over the trailing decision window.
+  AutoscalerStats ObserveAt(double t, const Attempt& a) const {
+    AutoscalerStats s;
+    s.t = t;
+    s.active_workers = std::max(1, ActiveCount());
+    long long arrived = 0;
+    for (const TraceRequest& r : trace.requests) {
+      if (r.arrival_s > t) {
+        break;  // arrival-sorted
+      }
+      ++arrived;
+    }
+    long long finished = static_cast<long long>(
+        std::upper_bound(committed_finishes.begin(), committed_finishes.end(),
+                         t) -
+        committed_finishes.begin());
+    std::vector<double> ttfts;
+    const double window = cfg.autoscale.decision_interval_s;
+    auto scan_window = [&](const std::vector<RequestRecord>& recs) {
+      for (const RequestRecord& rec : recs) {
+        if (rec.slo == SloClass::kInteractive && rec.finish_s <= t &&
+            rec.finish_s > t - window) {
+          ttfts.push_back(rec.Ttft());
+        }
+      }
+    };
+    for (const ServeReport& r : a.reports) {
+      for (const RequestRecord& rec : r.records) {
+        if (rec.finish_s <= t) {
+          ++finished;
+        }
+      }
+      scan_window(r.records);
+    }
+    for (const WorkerSlot& w : workers) {
+      scan_window(w.acc.records);
+    }
+    const double backlog = static_cast<double>(arrived - finished);
+    s.backlog_per_worker =
+        std::max(0.0, backlog) / static_cast<double>(s.active_workers);
+    s.interactive_ttft_p99_s = ttfts.empty() ? 0.0 : Percentile(ttfts, 99);
+    return s;
+  }
+};
+
+}  // namespace
+
+ClusterReport ServeElastic(const ClusterConfig& cfg, const Trace& trace) {
+  DZ_CHECK(cfg.faults.Enabled() || cfg.autoscale.Enabled());
+  DZ_CHECK_GT(cfg.placer.n_gpus, 0);
+  if (cfg.autoscale.enabled) {
+    DZ_CHECK_GE(cfg.autoscale.min_workers, 1);
+    DZ_CHECK_GE(cfg.autoscale.max_workers, cfg.autoscale.min_workers);
+    DZ_CHECK_GT(cfg.autoscale.decision_interval_s, 0.0);
+  }
+
+  ElasticRun run(cfg, trace);
+  run.stats.active = true;
+  run.stats.offered = static_cast<long long>(trace.requests.size());
+  run.workers.resize(static_cast<size_t>(cfg.placer.n_gpus));
+  for (size_t i = 0; i < run.workers.size(); ++i) {
+    run.workers[i].id = static_cast<int>(i);
+  }
+  run.stats.peak_workers = run.ActiveCount();
+  run.SyncPlacer();  // initial build; not a re-warm epoch
+
+  ClusterAutoscaler autoscaler(cfg.autoscale);
+  const double interval = cfg.autoscale.decision_interval_s;
+  const double last_arrival =
+      trace.requests.empty() ? 0.0 : trace.requests.back().arrival_s;
+
+  size_t fault_idx = 0;
+  std::vector<double> detections;
+  std::vector<int> detect_worker;
+  double t0 = 0.0;
+  bool done = false;
+  while (!done) {
+    run.ProcessBoundary(t0, fault_idx, detections, detect_worker);
+    const bool rewarm_epoch = run.SyncPlacer();
+
+    // Next externally scheduled boundary (fault event or crash detection).
+    double t_fault = kInf;
+    if (fault_idx < cfg.faults.events.size()) {
+      t_fault = cfg.faults.events[fault_idx].t_s;
+    }
+    for (double d : detections) {
+      t_fault = std::min(t_fault, d);
+    }
+
+    Attempt a = run.RunEpoch(t0, t_fault);
+    if (cfg.autoscale.enabled) {
+      // Replay the decision rule over the optimistic run. The grid extends
+      // past the last activity by one cooldown + interval so trailing
+      // scale-downs can chain all the way back to min_workers.
+      double attempt_max_finish = run.max_finish;
+      for (const ServeReport& r : a.reports) {
+        for (const RequestRecord& rec : r.records) {
+          attempt_max_finish = std::max(attempt_max_finish, rec.finish_s);
+        }
+      }
+      const double activity = std::max(last_arrival, attempt_max_finish);
+      const double bound = std::min(
+          t_fault, std::max(activity, autoscaler.last_action_t() +
+                                          cfg.autoscale.cooldown_s) +
+                       interval);
+      double action_t = -1.0;
+      ScaleDecision action = ScaleDecision::kHold;
+      for (double tk = (std::floor(t0 / interval) + 1.0) * interval;
+           tk <= bound; tk += interval) {
+        const ScaleDecision d = autoscaler.Decide(run.ObserveAt(tk, a));
+        if (d != ScaleDecision::kHold) {
+          action = d;
+          action_t = tk;
+          break;
+        }
+      }
+      if (action != ScaleDecision::kHold) {
+        // Roll back: re-run the (deterministic) prefix and commit the action
+        // as a new boundary at the decision time.
+        a = run.RunEpoch(t0, action_t);
+        run.Commit(a, action_t, rewarm_epoch);
+        run.FinishDrains();
+        if (action == ScaleDecision::kUp) {
+          WorkerSlot* slot = nullptr;
+          for (WorkerSlot& w : run.workers) {  // lowest retired id first
+            if (w.s == WState::kRetired) {
+              slot = &w;
+              break;
+            }
+          }
+          if (slot == nullptr) {
+            WorkerSlot fresh;
+            fresh.id = static_cast<int>(run.workers.size());
+            run.workers.push_back(fresh);
+            slot = &run.workers.back();
+          }
+          slot->s = WState::kActive;
+          slot->speed = 1.0;
+          slot->partitioned = false;
+          ++run.stats.scale_ups;
+          run.stats.peak_workers =
+              std::max(run.stats.peak_workers, run.ActiveCount());
+          run.EmitCluster(TraceEventType::kScaleUp, action_t, slot->id,
+                          /*dur=*/0.0, run.ActiveCount());
+        } else {
+          WorkerSlot* victim = nullptr;  // highest-id active worker
+          for (WorkerSlot& w : run.workers) {
+            if (w.s == WState::kActive) {
+              victim = &w;
+            }
+          }
+          DZ_CHECK(victim != nullptr);
+          victim->s = WState::kDraining;
+          victim->drain_start_t = action_t;
+          victim->drain_last_finish = -1.0;
+          ++run.stats.scale_downs;
+          run.EmitCluster(TraceEventType::kScaleDown, action_t, victim->id,
+                          /*dur=*/0.0, run.ActiveCount());
+          run.EmitCluster(TraceEventType::kScaleDrainStart, action_t,
+                          victim->id);
+        }
+        t0 = action_t;
+        continue;
+      }
+    }
+    run.Commit(a, t_fault, rewarm_epoch);
+    run.FinishDrains();
+    if (t_fault == kInf) {
+      done = true;
+    } else {
+      t0 = t_fault;
+    }
+  }
+
+  // Terminal accounting: whatever is still stranded on never-recovered dead
+  // workers (reroute=false) or was unroutable while every worker was down has
+  // failed — it will never be served.
+  for (WorkerSlot& w : run.workers) {
+    if (!Serving(w)) {
+      run.stats.failed += static_cast<long long>(w.carry.size());
+      w.carry.clear();
+    } else {
+      // A serving worker's final epoch ran to halt = inf: nothing may remain.
+      DZ_CHECK_EQ(w.carry.size(), 0u);
+    }
+  }
+  run.stats.failed += static_cast<long long>(run.retry_pool.size());
+  run.retry_pool.clear();
+  for (const WorkerSlot& w : run.workers) {
+    run.stats.completed += static_cast<long long>(w.acc.records.size());
+  }
+  run.stats.final_workers = run.ActiveCount();
+  DZ_CHECK_EQ(run.stats.completed + run.stats.shed + run.stats.failed,
+              run.stats.offered);
+
+  // Assemble the cluster report: per-worker accumulated reports in global-id
+  // order (BuildClusterReport stamps gpu = index, which equals the id here).
+  const char* engine_name =
+      cfg.vllm_baseline
+          ? "vllm-scb"
+          : (cfg.engine.artifact == ArtifactKind::kLoraAdapter ? "deltazip-lora"
+                                                               : "deltazip");
+  std::vector<ServeReport> per_gpu;
+  per_gpu.reserve(run.workers.size());
+  for (WorkerSlot& w : run.workers) {
+    w.acc.engine_name = engine_name;
+    w.acc.n_tenants = std::max(1, trace.n_tenants);
+    w.acc.slo_spec = cfg.engine.scheduler.slo;
+    w.acc.metrics.sim_time_s = w.acc.makespan_s;
+    MaterializeReportFromSnapshot(w.acc);
+    per_gpu.push_back(std::move(w.acc));
+  }
+  const char* base = cfg.vllm_baseline ? "vllm-scb" : "deltazip";
+  const std::string name = std::string(base) + " x" +
+                           std::to_string(cfg.placer.n_gpus) + " [" +
+                           PlacementPolicyName(cfg.placer.policy) + "]";
+  ClusterReport report =
+      BuildClusterReport(name, cfg.placer.policy, std::move(per_gpu));
+  report.elastic = run.stats;
+
+  // Cluster-level counters join the merged snapshot so the metrics layer
+  // (JSONL export, bench gates) sees the fault/elasticity ledger.
+  MetricsRegistry cluster_reg;
+  cluster_reg.GetCounter("cluster.retried")
+      ->Inc(static_cast<double>(run.stats.retried));
+  cluster_reg.GetCounter("cluster.failed")
+      ->Inc(static_cast<double>(run.stats.failed));
+  cluster_reg.GetCounter("cluster.crashes")
+      ->Inc(static_cast<double>(run.stats.crashes));
+  cluster_reg.GetCounter("cluster.recoveries")
+      ->Inc(static_cast<double>(run.stats.recoveries));
+  cluster_reg.GetCounter("cluster.scale_ups")
+      ->Inc(static_cast<double>(run.stats.scale_ups));
+  cluster_reg.GetCounter("cluster.scale_downs")
+      ->Inc(static_cast<double>(run.stats.scale_downs));
+  cluster_reg.GetCounter("cluster.rewarm.loads")
+      ->Inc(static_cast<double>(run.stats.rewarm_loads));
+  cluster_reg.GetCounter("cluster.rewarm.stall_hidden_s")
+      ->Inc(run.stats.rewarm_s);
+  report.merged.metrics.MergeFrom(
+      cluster_reg.Snapshot(report.merged.makespan_s));
+
+  if (run.recorder.enabled()) {
+    report.router_events = run.recorder.Drain();
+  }
+  return report;
+}
+
+}  // namespace dz

@@ -1,0 +1,44 @@
+// Elastic cluster serving: the fault-injection / autoscaling execution path of
+// Cluster::Serve (dispatched when ClusterConfig::faults or ::autoscale is
+// enabled; the default static path never reaches this file).
+//
+// Execution model — epochs between boundaries. The run is cut at every fault
+// event time, every crash-detection time (crash + detection_delay_s), and
+// every committed autoscaler action; inside one epoch membership, speeds, and
+// partitions are constant, so each serving worker replays its input on a
+// fresh engine clocked [t0, t1) (EngineConfig::start_s / halt_s) and hands
+// its unfinished requests forward as next-epoch carry. Worker engines stay
+// completely unaware of the cluster: faults reach them only through the four
+// EngineConfig hooks (start/halt/speed/outages).
+//
+// Autoscaling uses optimistic-run + rollback: the loop first runs the epoch
+// to the next fault boundary, then replays the autoscaler's decision rule at
+// its grid points against the observed (offered − finished) backlog and the
+// windowed interactive TTFT p99; the first non-hold decision at t_a discards
+// the optimistic run, re-runs the (deterministic) prefix [t0, t_a), and
+// commits the action as a new boundary — so decisions take effect exactly
+// when a live controller would have made them, not at epoch granularity.
+//
+// Approximations (documented, uniform): completions of the iteration in
+// flight when a boundary lands still count (engines check halt at loop top
+// only); a crashed worker's partial decode progress is lost (re-serving pays
+// the full re-warm, prefill, and decode again); per-worker metrics timelines
+// are not collected in elastic mode.
+#ifndef SRC_CLUSTER_ELASTIC_H_
+#define SRC_CLUSTER_ELASTIC_H_
+
+#include "src/cluster/cluster_report.h"
+#include "src/cluster/router.h"
+#include "src/workload/trace.h"
+
+namespace dz {
+
+// Runs `trace` through the elastic cluster loop. Requires
+// cfg.faults.Enabled() || cfg.autoscale.Enabled(). The returned report's
+// `elastic` ledger satisfies completed + shed + failed == offered
+// (DZ_CHECK-enforced before returning).
+ClusterReport ServeElastic(const ClusterConfig& cfg, const Trace& trace);
+
+}  // namespace dz
+
+#endif  // SRC_CLUSTER_ELASTIC_H_

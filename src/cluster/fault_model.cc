@@ -1,0 +1,187 @@
+#include "src/cluster/fault_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace dz {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kCrash:
+      return "crash";
+    case FaultType::kRecover:
+      return "recover";
+    case FaultType::kSlowStart:
+      return "slow.start";
+    case FaultType::kSlowEnd:
+      return "slow.end";
+    case FaultType::kPartitionStart:
+      return "part.start";
+    case FaultType::kPartitionEnd:
+      return "part.end";
+  }
+  return "?";
+}
+
+namespace {
+
+// Parses a strictly formatted non-negative double, advancing `pos` past it.
+bool ParseNum(const std::string& s, size_t& pos, double& out) {
+  size_t end = pos;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) || s[end] == '.')) {
+    ++end;
+  }
+  if (end == pos) {
+    return false;
+  }
+  out = std::atof(s.substr(pos, end - pos).c_str());
+  pos = end;
+  return true;
+}
+
+// One spec token, e.g. "crash@30:w2" or "slow@10-50:w1x0.5".
+bool ParseToken(const std::string& tok, FaultPlan& plan) {
+  if (tok.rfind("detect=", 0) == 0) {
+    size_t pos = 7;
+    double v = 0.0;
+    if (!ParseNum(tok, pos, v) || pos != tok.size()) {
+      return false;
+    }
+    plan.detection_delay_s = v;
+    return true;
+  }
+  if (tok == "reroute=0" || tok == "reroute=1") {
+    plan.reroute = tok.back() == '1';
+    return true;
+  }
+  const size_t at = tok.find('@');
+  if (at == std::string::npos) {
+    return false;
+  }
+  const std::string kind = tok.substr(0, at);
+  size_t pos = at + 1;
+  double t1 = 0.0;
+  if (!ParseNum(tok, pos, t1)) {
+    return false;
+  }
+  double t2 = t1;
+  const bool window = pos < tok.size() && tok[pos] == '-';
+  if (window) {
+    ++pos;
+    if (!ParseNum(tok, pos, t2) || t2 <= t1) {
+      return false;
+    }
+  }
+  if (pos + 1 >= tok.size() || tok[pos] != ':' || tok[pos + 1] != 'w') {
+    return false;
+  }
+  pos += 2;
+  double worker_num = 0.0;
+  if (!ParseNum(tok, pos, worker_num)) {
+    return false;
+  }
+  const int worker = static_cast<int>(worker_num);
+  double mult = 1.0;
+  if (pos < tok.size() && tok[pos] == 'x') {
+    ++pos;
+    if (!ParseNum(tok, pos, mult) || mult <= 0.0 || mult > 1.0) {
+      return false;
+    }
+  }
+  if (pos != tok.size()) {
+    return false;
+  }
+  if (kind == "crash" && !window) {
+    plan.events.push_back({t1, FaultType::kCrash, worker, 1.0});
+  } else if (kind == "recover" && !window) {
+    plan.events.push_back({t1, FaultType::kRecover, worker, 1.0});
+  } else if (kind == "slow" && window) {
+    plan.events.push_back({t1, FaultType::kSlowStart, worker, mult});
+    plan.events.push_back({t2, FaultType::kSlowEnd, worker, 1.0});
+  } else if (kind == "part" && window) {
+    plan.events.push_back({t1, FaultType::kPartitionStart, worker, 1.0});
+    plan.events.push_back({t2, FaultType::kPartitionEnd, worker, 1.0});
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan& out) {
+  FaultPlan plan;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string tok = spec.substr(start, comma - start);
+    if (!tok.empty() && !ParseToken(tok, plan)) {
+      return false;
+    }
+    start = comma + 1;
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.t_s < b.t_s;
+                   });
+  out = std::move(plan);
+  return true;
+}
+
+FaultPlan RandomFaultPlan(uint64_t seed, int n_workers, double duration_s,
+                          int n_events) {
+  DZ_CHECK_GT(n_workers, 0);
+  DZ_CHECK_GT(duration_s, 0.0);
+  Rng rng(seed);
+  FaultPlan plan;
+  for (int i = 0; i < n_events; ++i) {
+    FaultEvent ev;
+    ev.worker = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n_workers)));
+    // Leave the tail of the run fault-free so late faults cannot strand work
+    // past the last arrival forever (recoveries land within the duration too).
+    ev.t_s = rng.Uniform(0.05, 0.7) * duration_s;
+    const double kind = rng.NextDouble();
+    if (kind < 0.4) {
+      ev.type = FaultType::kCrash;
+      plan.events.push_back(ev);
+      if (rng.NextDouble() < 0.5) {
+        FaultEvent rec = ev;
+        rec.type = FaultType::kRecover;
+        rec.t_s = ev.t_s + rng.Uniform(0.05, 0.2) * duration_s;
+        plan.events.push_back(rec);
+      }
+    } else if (kind < 0.7) {
+      ev.type = FaultType::kSlowStart;
+      ev.multiplier = rng.Uniform(0.25, 0.75);
+      plan.events.push_back(ev);
+      FaultEvent end = ev;
+      end.type = FaultType::kSlowEnd;
+      end.multiplier = 1.0;
+      end.t_s = ev.t_s + rng.Uniform(0.05, 0.25) * duration_s;
+      plan.events.push_back(end);
+    } else {
+      ev.type = FaultType::kPartitionStart;
+      plan.events.push_back(ev);
+      FaultEvent end = ev;
+      end.type = FaultType::kPartitionEnd;
+      end.t_s = ev.t_s + rng.Uniform(0.02, 0.15) * duration_s;
+      plan.events.push_back(end);
+    }
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.t_s < b.t_s;
+                   });
+  return plan;
+}
+
+}  // namespace dz

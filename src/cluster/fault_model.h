@@ -1,0 +1,75 @@
+// Typed fault injection for the cluster layer: a FaultPlan schedules worker
+// crashes, recoveries, degraded-throughput (slow-node) windows, and transient
+// disk/PCIe partitions on the simulated clock. The elastic serving loop
+// (src/cluster/elastic.cc) consumes the plan as epoch boundaries: a crash
+// kills a worker mid-run (its in-flight requests are lost and re-routed after
+// the router's detection delay), a slow window stretches every iteration by
+// the multiplier, and a partition blacks out the worker's transfer channels
+// without killing it. An empty plan (the default) keeps Cluster::Serve on the
+// fault-free code path, bit-identical to the pre-fault cluster
+// (golden-enforced).
+#ifndef SRC_CLUSTER_FAULT_MODEL_H_
+#define SRC_CLUSTER_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dz {
+
+enum class FaultType {
+  kCrash,           // worker dies at t_s; serving stops, backlog strands
+  kRecover,         // crashed worker rejoins at t_s (fresh engine, cold store)
+  kSlowStart,       // iteration times divided by `multiplier` from t_s...
+  kSlowEnd,         // ...until the matching end event
+  kPartitionStart,  // disk+PCIe channel blackout on the worker from t_s...
+  kPartitionEnd,    // ...until the matching end event
+};
+
+// Stable spec/trace name ("crash", "recover", "slow.start", ...).
+const char* FaultTypeName(FaultType type);
+
+struct FaultEvent {
+  double t_s = 0.0;
+  FaultType type = FaultType::kCrash;
+  int worker = 0;           // global worker id the fault targets
+  double multiplier = 1.0;  // kSlowStart only: throughput factor in (0, 1]
+};
+
+// A schedule of fault events plus the router's failure-handling knobs.
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by t_s (ParseFaultPlan sorts)
+  // Seconds between a crash and the router noticing (health-check period): the
+  // dead worker keeps receiving arrivals until detection, and those requests
+  // join the re-routed backlog.
+  double detection_delay_s = 0.5;
+  // When true (default) a detected-dead worker's backlog is re-enqueued across
+  // the survivors and the placement ring is rebuilt without it. When false the
+  // dead worker keeps its ring arcs and its backlog waits for a recover event;
+  // requests stranded on a never-recovered worker count as failed.
+  bool reroute = true;
+
+  bool Enabled() const { return !events.empty(); }
+};
+
+// Parses a comma-separated fault spec (the `dzip_cli cluster --faults` value):
+//   crash@T:wK        — worker K dies at T seconds
+//   recover@T:wK      — worker K rejoins at T
+//   slow@T1-T2:wKxM   — worker K runs at throughput factor M in [T1, T2)
+//   part@T1-T2:wK     — worker K's disk+PCIe channels black out in [T1, T2)
+//   detect=X          — set detection_delay_s
+//   reroute=0|1       — set reroute
+// Window specs expand to the matching start/end event pair. Events are sorted
+// by time. Returns false (leaving `out` untouched) on malformed specs.
+bool ParseFaultPlan(const std::string& spec, FaultPlan& out);
+
+// A seeded random schedule of `n_events` faults over [0, duration_s) against
+// workers [0, n_workers): a mix of crash (with a later recover for some),
+// slow, and partition windows. Deterministic per seed — the chaos test's
+// schedule generator.
+FaultPlan RandomFaultPlan(uint64_t seed, int n_workers, double duration_s,
+                          int n_events);
+
+}  // namespace dz
+
+#endif  // SRC_CLUSTER_FAULT_MODEL_H_

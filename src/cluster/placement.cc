@@ -46,17 +46,39 @@ uint64_t SplitMix64(uint64_t x) {
 
 }  // namespace
 
+namespace {
+
+std::vector<int> IotaIds(int n) {
+  std::vector<int> ids(static_cast<size_t>(std::max(0, n)));
+  for (int i = 0; i < n; ++i) {
+    ids[static_cast<size_t>(i)] = i;
+  }
+  return ids;
+}
+
+}  // namespace
+
 Placer::Placer(const PlacerConfig& config)
-    : config_(config), backlog_(static_cast<size_t>(config.n_gpus), 0.0) {
-  DZ_CHECK_GT(config_.n_gpus, 0);
+    : Placer(config, IotaIds(config.n_gpus)) {}
+
+Placer::Placer(const PlacerConfig& config, const std::vector<int>& worker_ids)
+    : config_(config), ids_(worker_ids), backlog_(worker_ids.size(), 0.0) {
+  DZ_CHECK_GT(ids_.size(), 0u);
+  DZ_CHECK_GE(ids_.front(), 0);
+  for (size_t i = 1; i < ids_.size(); ++i) {
+    DZ_CHECK_GT(ids_[i], ids_[i - 1]);  // strictly ascending → slots well-defined
+  }
   DZ_CHECK_GE(config_.drain_tokens_per_s, 0.0);
   if (config_.policy == PlacementPolicy::kDeltaAffinity ||
       config_.policy == PlacementPolicy::kTenantAffinity) {
     DZ_CHECK_GT(config_.virtual_nodes, 0);
     DZ_CHECK_GE(config_.bounded_load_factor, 1.0);
-    ring_.reserve(static_cast<size_t>(config_.n_gpus) *
-                  static_cast<size_t>(config_.virtual_nodes));
-    for (int gpu = 0; gpu < config_.n_gpus; ++gpu) {
+    ring_.reserve(ids_.size() * static_cast<size_t>(config_.virtual_nodes));
+    // Ring points hash the GLOBAL worker id: a worker contributes the same
+    // virtual nodes whatever the rest of the membership, so adding/removing a
+    // worker only moves the keys that hashed to its arcs (bounded churn), and
+    // ids {0..n-1} reproduce the static ring bit-for-bit.
+    for (int gpu : ids_) {
       for (int v = 0; v < config_.virtual_nodes; ++v) {
         const uint64_t point = SplitMix64(
             config_.hash_seed ^
@@ -68,6 +90,16 @@ Placer::Placer(const PlacerConfig& config)
       return a.hash != b.hash ? a.hash < b.hash : a.gpu < b.gpu;
     });
   }
+}
+
+size_t Placer::SlotOf(int gpu) const {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == gpu) {
+      return i;
+    }
+  }
+  DZ_CHECK(false);  // ring/backlog only ever hold known members
+  return 0;
 }
 
 void Placer::DrainBacklogs(double now) {
@@ -119,29 +151,30 @@ int Placer::AssignAffinity(size_t idx, double cost) {
   // Bounded load: walk the ring until a GPU whose *existing* backlog is under
   // c × cluster-mean (mean includes the new request, so the least-loaded GPU
   // always qualifies and an idle cluster never spills).
+  const int n = static_cast<int>(ids_.size());
   double total = cost;
   for (double b : backlog_) {
     total += b;
   }
-  const double bound =
-      config_.bounded_load_factor * total / static_cast<double>(config_.n_gpus);
+  const double bound = config_.bounded_load_factor * total / static_cast<double>(n);
   int tried = 0;
-  std::vector<bool> seen(static_cast<size_t>(config_.n_gpus), false);
-  for (size_t step = 0; step < ring_.size() && tried < config_.n_gpus; ++step) {
+  std::vector<bool> seen(ids_.size(), false);
+  for (size_t step = 0; step < ring_.size() && tried < n; ++step) {
     const int gpu = ring_[(idx + step) % ring_.size()].gpu;
-    if (seen[static_cast<size_t>(gpu)]) {
+    const size_t slot = SlotOf(gpu);
+    if (seen[slot]) {
       continue;
     }
-    seen[static_cast<size_t>(gpu)] = true;
+    seen[slot] = true;
     ++tried;
-    if (backlog_[static_cast<size_t>(gpu)] <= bound) {
+    if (backlog_[slot] <= bound) {
       return gpu;
     }
   }
   // Unreachable in practice (the argmin backlog is always ≤ mean ≤ bound), but
   // keep a deterministic fallback rather than an invariant crash.
-  return static_cast<int>(std::min_element(backlog_.begin(), backlog_.end()) -
-                          backlog_.begin());
+  return ids_[static_cast<size_t>(
+      std::min_element(backlog_.begin(), backlog_.end()) - backlog_.begin())];
 }
 
 int Placer::Assign(const TraceRequest& req) {
@@ -150,12 +183,14 @@ int Placer::Assign(const TraceRequest& req) {
   int gpu = 0;
   switch (config_.policy) {
     case PlacementPolicy::kRoundRobin:
-      gpu = rr_next_;
-      rr_next_ = (rr_next_ + 1) % config_.n_gpus;
+      gpu = ids_[static_cast<size_t>(rr_next_)];
+      rr_next_ = (rr_next_ + 1) % static_cast<int>(ids_.size());
       break;
     case PlacementPolicy::kLeastOutstanding:
-      gpu = static_cast<int>(std::min_element(backlog_.begin(), backlog_.end()) -
-                             backlog_.begin());
+      // Slot order is ascending-id order, so ties pick the lowest worker id —
+      // the static behavior, independent of membership history.
+      gpu = ids_[static_cast<size_t>(
+          std::min_element(backlog_.begin(), backlog_.end()) - backlog_.begin())];
       break;
     case PlacementPolicy::kDeltaAffinity:
       gpu = AssignAffinity(RingHome(req.model_id), cost);
@@ -164,7 +199,7 @@ int Placer::Assign(const TraceRequest& req) {
       gpu = AssignAffinity(RingHomeTenant(req.tenant_id), cost);
       break;
   }
-  backlog_[static_cast<size_t>(gpu)] += cost;
+  backlog_[SlotOf(gpu)] += cost;
   return gpu;
 }
 

@@ -61,10 +61,21 @@ struct PlacerConfig {
 // delta-affinity, the virtual-node consistent-hash ring (paper §5.4 scaled out).
 class Placer {
  public:
+  // Places across GPUs [0, n_gpus) — the static-cluster case.
   explicit Placer(const PlacerConfig& config);
 
-  // Assigns one request to a GPU in [0, n_gpus). Must be called in trace order
-  // (non-decreasing arrival_s): the placer maintains per-GPU backlog online.
+  // Places across an explicit set of global worker ids (elastic clusters:
+  // membership changes as workers crash, drain, or scale in/out, but ids are
+  // stable for a worker's lifetime). `worker_ids` must be non-empty, strictly
+  // ascending, and non-negative; config.n_gpus is ignored. Ring points hash
+  // the GLOBAL id, so a worker keeps its ring positions across membership
+  // changes (consistent hashing's bounded-churn property), and
+  // Placer(cfg, {0..n-1}) is bit-identical to Placer(cfg) (test-enforced).
+  Placer(const PlacerConfig& config, const std::vector<int>& worker_ids);
+
+  // Assigns one request to a worker, returning its GLOBAL id (one of
+  // worker_ids; [0, n_gpus) for the static ctor). Must be called in trace
+  // order (non-decreasing arrival_s): the placer maintains backlog online.
   int Assign(const TraceRequest& req);
 
   // The variant's home GPU on the consistent-hash ring, ignoring bounded load —
@@ -77,26 +88,32 @@ class Placer {
   // for kTenantAffinity (check-fails otherwise). Stateless, like HomeGpu.
   int HomeGpuForTenant(int tenant_id) const;
 
-  // Current per-GPU backlog estimates (token units), exposed for tests.
+  // Current per-worker backlog estimates (token units), aligned with
+  // worker_ids(); exposed for tests and for elastic rebuild seeding.
   const std::vector<double>& backlogs() const { return backlog_; }
+  // The global worker ids this placer routes across, ascending.
+  const std::vector<int>& worker_ids() const { return ids_; }
 
  private:
   struct RingPoint {
     uint64_t hash = 0;
-    int gpu = 0;
+    int gpu = 0;  // GLOBAL worker id
   };
 
   void DrainBacklogs(double now);
+  // backlog_/seen slot of a global worker id (linear scan; membership is tiny).
+  size_t SlotOf(int gpu) const;
   size_t RingHomeOfKey(uint64_t salted_key) const;
   size_t RingHome(int model_id) const;
   size_t RingHomeTenant(int tenant_id) const;
   int AssignAffinity(size_t home_idx, double cost);
 
   PlacerConfig config_;
-  std::vector<double> backlog_;  // token units, decayed between arrivals
+  std::vector<int> ids_;         // global worker ids, ascending
+  std::vector<double> backlog_;  // token units per slot, decayed between arrivals
   double last_now_ = 0.0;
-  int rr_next_ = 0;
-  std::vector<RingPoint> ring_;  // sorted by hash; empty unless kDeltaAffinity
+  int rr_next_ = 0;              // round-robin cursor over slots
+  std::vector<RingPoint> ring_;  // sorted by hash; empty unless affinity policies
 };
 
 // Convenience: per-request GPU assignments for a whole trace, aligned with

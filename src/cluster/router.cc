@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/cluster/elastic.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
@@ -82,6 +83,9 @@ std::string Cluster::name() const {
 
 ClusterReport Cluster::Serve(const Trace& trace) const {
   trace.CheckWellFormed();
+  if (config_.faults.Enabled() || config_.autoscale.Enabled()) {
+    return ServeElastic(config_, trace);
+  }
   const Router router(config_.placer);
   const std::vector<int> shard_of = router.Assign(trace);
   const std::vector<Trace> shards = SplitTrace(trace, shard_of, config_.placer.n_gpus);

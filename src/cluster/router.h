@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/autoscaler.h"
 #include "src/cluster/cluster_report.h"
+#include "src/cluster/fault_model.h"
 #include "src/cluster/placement.h"
 #include "src/serving/engine.h"
 #include "src/workload/trace.h"
@@ -60,6 +62,11 @@ struct ClusterConfig {
   EngineConfig engine;
   bool vllm_baseline = false;    // use the vLLM+SCB engine instead of DeltaZip
   bool parallel_workers = true;  // simulate workers on the global thread pool
+  // Fault injection and elastic autoscaling (src/cluster/elastic.cc). Both off
+  // by default, which keeps Serve() on the static path below — byte-identical
+  // behavior to the pre-fault cluster (golden-enforced).
+  FaultPlan faults;
+  AutoscalerConfig autoscale;
 };
 
 // Runs a trace through Router + per-worker ServingEngines and merges reports.

@@ -70,6 +70,12 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
   if (e.type == TraceEventType::kRouterWarmHint) {
     arg("rank", std::to_string(e.aux));
   }
+  if (e.type == TraceEventType::kRouterReroute) {
+    arg("rerouted", std::to_string(e.aux));
+  }
+  if (e.type == TraceEventType::kScaleUp || e.type == TraceEventType::kScaleDown) {
+    arg("workers", std::to_string(e.aux));
+  }
   out += "}";
 }
 
@@ -151,7 +157,21 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
         break;
       case TraceEventType::kRouterPlace:
       case TraceEventType::kRouterWarmHint:
+      case TraceEventType::kFaultCrash:
+      case TraceEventType::kFaultDetect:
+      case TraceEventType::kFaultRecover:
+      case TraceEventType::kRouterReroute:
+      case TraceEventType::kScaleUp:
+      case TraceEventType::kScaleDown:
+      case TraceEventType::kScaleDrainStart:
+      case TraceEventType::kScaleDrainDone:
+      case TraceEventType::kScaleRemove:
         AppendInstant(out, e, kTrackRouter);
+        break;
+      case TraceEventType::kFaultSlow:
+      case TraceEventType::kFaultPartition:
+        // Fault windows render as spans on the affected worker's router track.
+        AppendSpan(out, e, kTrackRouter);
         break;
       case TraceEventType::kRequestQueued:
         AppendAsync(out, e, "b");

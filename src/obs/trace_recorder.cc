@@ -30,6 +30,28 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "router.place";
     case TraceEventType::kRouterWarmHint:
       return "router.warm_hint";
+    case TraceEventType::kFaultCrash:
+      return "fault.crash";
+    case TraceEventType::kFaultDetect:
+      return "fault.detect";
+    case TraceEventType::kFaultRecover:
+      return "fault.recover";
+    case TraceEventType::kFaultSlow:
+      return "fault.slow";
+    case TraceEventType::kFaultPartition:
+      return "fault.partition";
+    case TraceEventType::kRouterReroute:
+      return "router.reroute";
+    case TraceEventType::kScaleUp:
+      return "scale.up";
+    case TraceEventType::kScaleDown:
+      return "scale.down";
+    case TraceEventType::kScaleDrainStart:
+      return "scale.drain.start";
+    case TraceEventType::kScaleDrainDone:
+      return "scale.drain.done";
+    case TraceEventType::kScaleRemove:
+      return "scale.remove";
   }
   return "unknown";
 }

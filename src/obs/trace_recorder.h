@@ -45,6 +45,18 @@ enum class TraceEventType {
   kRequestDone,        // request completed; record finalized
   kRouterPlace,        // cluster router assigned the request to a GPU shard
   kRouterWarmHint,     // router predicted a variant home; hint sent to a worker
+  // Fault-injection / elasticity events (cluster layer, gpu = worker id):
+  kFaultCrash,         // worker died (instant, at the injected crash time)
+  kFaultDetect,        // router detected the death (crash + detection delay)
+  kFaultRecover,       // worker came back and rejoined the routable set
+  kFaultSlow,          // degraded-throughput window (span; dur = window length)
+  kFaultPartition,     // disk/PCIe partition window (span; dur = window length)
+  kRouterReroute,      // dead worker's backlog re-enqueued (aux = request count)
+  kScaleUp,            // autoscaler added a worker (aux = new active count)
+  kScaleDown,          // autoscaler chose a victim to remove (aux = new count)
+  kScaleDrainStart,    // victim stopped receiving new requests
+  kScaleDrainDone,     // victim's last in-flight request finished
+  kScaleRemove,        // victim retired from the cluster
 };
 
 // Stable dotted name of an event type ("request.queued", "store.load", ...).

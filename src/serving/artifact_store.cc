@@ -95,6 +95,22 @@ bool ArtifactStore::EvictOne(double now, const std::vector<int>& pinned,
   return true;
 }
 
+double ArtifactStore::DeferPastOutages(TraceChannel channel, double t) const {
+  // Windows may abut or overlap (e.g. repeated partitions), so keep deferring
+  // until a full pass over the list moves the start no further.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const ChannelOutage& o : config_.outages) {
+      if (o.channel == channel && t >= o.start_s && t < o.end_s) {
+        t = o.end_s;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
 void ArtifactStore::ResolvePrefetchHit(Entry& e, double now) {
   // A demand request found the artifact warmed: the wait it skipped is the transfer
   // the prefetch paid, minus whatever is still in flight at `now`.
@@ -146,7 +162,8 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
   double ready = now;
   double cost = 0.0;
   if (e.tier == Tier::kDisk) {
-    const double start = std::max(now, disk_free_at_);
+    const double start =
+        DeferPastOutages(TraceChannel::kDisk, std::max(now, disk_free_at_));
     ready = start + config_.disk_read_s;
     disk_free_at_ = ready;
     disk_busy_s_->Inc(config_.disk_read_s);
@@ -163,7 +180,8 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
       recorder_->Emit(ev);
     }
   }
-  const double h2d_start = std::max(ready, pcie_free_at_);
+  const double h2d_start =
+      DeferPastOutages(TraceChannel::kPcie, std::max(ready, pcie_free_at_));
   ready = h2d_start + config_.h2d_s;
   pcie_free_at_ = ready;
   pcie_busy_s_->Inc(config_.h2d_s);

@@ -23,12 +23,27 @@
 
 namespace dz {
 
+// A transfer-channel blackout window (transient network/fabric partition,
+// fault-injection layer): while [start_s, end_s) covers a channel, no new
+// transfer segment may START on it — an affected transfer defers its start to
+// end_s (a transfer already in flight when the outage begins is assumed to
+// complete; partitions sever new I/O, they do not corrupt it). Times are
+// absolute simulated seconds on the trace clock.
+struct ChannelOutage {
+  TraceChannel channel = TraceChannel::kNone;  // kDisk or kPcie
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
 struct ArtifactStoreConfig {
   size_t artifact_bytes = 0;      // per-artifact GPU footprint (bytes)
   size_t gpu_budget_bytes = 0;    // GPU bytes available for artifacts (after base/kv)
   size_t cpu_budget_bytes = 0;    // host-memory cache capacity (bytes)
   double disk_read_s = 0.0;       // disk → host time for one artifact (seconds)
   double h2d_s = 0.0;             // host → device time for one artifact (seconds)
+  // Channel blackout windows (empty, the default, is bit-identical to the
+  // pre-fault store; golden-enforced).
+  std::vector<ChannelOutage> outages;
 };
 
 class ArtifactStore {
@@ -126,6 +141,8 @@ class ArtifactStore {
   // Evicts the LRU idle GPU resident not in `pinned`; with `spare_prefetched`,
   // unused prefetched entries are additionally protected (prefetch callers).
   bool EvictOne(double now, const std::vector<int>& pinned, bool spare_prefetched);
+  // Earliest time >= t at which `channel` is outside every outage window.
+  double DeferPastOutages(TraceChannel channel, double t) const;
   LoadResult IssueLoad(int id, double now, const std::vector<int>& pinned,
                        bool is_prefetch);
   void ResolvePrefetchHit(Entry& e, double now);

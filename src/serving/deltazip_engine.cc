@@ -151,6 +151,7 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   store_config.h2d_s = config_.artifact == ArtifactKind::kLoraAdapter
                            ? exec_.LoadLoraFromHost(config_.lora_rank)
                            : exec_.LoadDeltaFromHost();
+  store_config.outages = config_.outages;
   // Recorder before store: the store emits per-channel transfer spans into it.
   // Pure observation — no emission below feeds back into scheduling, so traced
   // runs stay bit-identical to untraced ones (golden-enforced).
@@ -181,11 +182,11 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   std::deque<PendingReq> queue;
   std::vector<RunningReq> running;
   size_t next_arrival = 0;
-  double now = 0.0;
+  double now = config_.start_s;
   double pending_swap_s = 0.0;  // accumulated KV swap work for the next iteration
   FairQueue fair_queue(config_.scheduler);
   size_t shed_total = 0;  // loop control only; per-class counts live in the registry
-  double next_snapshot_s = config_.metrics.interval_s;
+  double next_snapshot_s = config_.start_s + config_.metrics.interval_s;
 
   // Request-attributed trace emission (one branch when tracing is off). kv.swap
   // is the only request event that occupies a channel (KV pages over PCIe).
@@ -255,6 +256,12 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   };
 
   while (report.records.size() + shed_total < trace.requests.size()) {
+    // Hard halt (elastic cluster epoch boundary / crash): stop scheduling.
+    // Checked only here, so completions of the iteration in flight when the
+    // clock crossed halt_s have already landed (documented approximation).
+    if (now >= config_.halt_s) {
+      break;
+    }
     // In-run timeline: sample the registry on the simulated clock. Pure reads —
     // scheduling below is untouched, so any interval stays bit-identical.
     while (config_.metrics.interval_s > 0.0 && now >= next_snapshot_s) {
@@ -486,6 +493,9 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
       iter += exec_.DecodeIterTime(decode_batch, ctx_sum / decode_batch);
       iter += ArtifactDecodeIter(reqs_per_variant);
     }
+    if (config_.speed_factor != 1.0) {
+      iter /= config_.speed_factor;  // slow-node fault: everything stretches
+    }
     if (recorder.enabled()) {
       TraceEvent round;
       round.type = TraceEventType::kBatchRound;
@@ -524,7 +534,9 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         rec.slo = it->state.req.slo;
         rec.prompt_tokens = it->state.req.prompt_tokens;
         rec.output_tokens = it->state.req.output_tokens;
-        rec.arrival_s = it->state.req.arrival_s;
+        // Latency/SLO clocks run from the original arrival for re-enqueued
+        // (crash-rerouted) requests; identical to arrival_s on plain traces.
+        rec.arrival_s = it->state.req.SloArrival();
         rec.sched_attempt_s =
             it->state.sched_attempt_s < 0 ? it->state.req.arrival_s
                                           : it->state.sched_attempt_s;
@@ -577,6 +589,19 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         }
       }
     }
+  }
+
+  // Requests the halt cut off: still queued, still running (their partial
+  // progress is lost — the elastic layer re-serves them from scratch), and
+  // never-arrived trace requests. All three sets are empty on a natural run.
+  for (const auto& p : queue) {
+    report.unfinished.push_back(p.req);
+  }
+  for (const auto& r : running) {
+    report.unfinished.push_back(r.state.req);
+  }
+  for (size_t i = next_arrival; i < trace.requests.size(); ++i) {
+    report.unfinished.push_back(trace.requests[i]);
   }
 
   for (const auto& r : report.records) {

@@ -14,10 +14,12 @@
 #ifndef SRC_SERVING_ENGINE_H_
 #define SRC_SERVING_ENGINE_H_
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "src/obs/trace_recorder.h"
+#include "src/serving/artifact_store.h"
 #include "src/serving/report.h"
 #include "src/serving/scheduler.h"
 #include "src/simgpu/exec_model.h"
@@ -100,6 +102,24 @@ struct EngineConfig {
   // shedding, no class preemption) are bit-identical to the pre-scheduler
   // engines (golden-enforced).
   SchedulerConfig scheduler;
+  // --- Fault/elasticity hooks (src/cluster/elastic.cc). Defaults are
+  // bit-identical to the pre-fault engines (golden-enforced). ---
+  // Simulated time the engine's clock starts at. An elastic cluster runs each
+  // worker epoch-by-epoch with start_s = the epoch boundary, so channel
+  // availability, snapshots, and idle-advance all begin at the right instant.
+  double start_s = 0.0;
+  // Hard stop: once the clock reaches halt_s the engine stops scheduling and
+  // returns, reporting still-queued / running / unarrived requests in
+  // ServeReport::unfinished. Completions of the iteration in flight when the
+  // clock crosses halt_s still land (the halt check runs at loop top only) —
+  // a uniform, documented approximation that keeps registry counters append-only.
+  double halt_s = std::numeric_limits<double>::infinity();
+  // Throughput multiplier for slow-node faults: iteration times are divided by
+  // this, so 0.5 means every iteration takes twice as long. 1.0 = healthy.
+  double speed_factor = 1.0;
+  // Transfer-channel blackout windows forwarded to the ArtifactStore
+  // (transient disk/PCIe partition faults).
+  std::vector<ChannelOutage> outages;
 };
 
 // Replays a Trace in simulated time and returns per-request records + aggregates.

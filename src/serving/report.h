@@ -88,6 +88,13 @@ struct ServeReport {
   // above (pure observation, golden-enforced).
   std::vector<TraceEvent> trace_events;
   long long trace_events_dropped = 0;
+  // Requests the run did NOT complete because the clock hit
+  // EngineConfig::halt_s first: still-queued, running (their partial progress
+  // is lost — re-serving re-pays prefill and decode, the re-warm cost a crash
+  // really incurs), and not-yet-arrived trace requests. Always empty on a
+  // natural (halt_s = inf) run. The elastic cluster layer re-routes these into
+  // the next epoch; they never appear in `records`.
+  std::vector<TraceRequest> unfinished;
   // Critical-path attribution per SLO class (all zero when tracing is off):
   // each completed request's E2E and TTFT split into queue / load / compute /
   // preempt segments that sum back to the measured latency within 1e-9

@@ -155,12 +155,16 @@ void OrderQueueForPolicy(const SchedulerConfig& config, FairQueue& fair_queue,
 }
 
 // True when the request's class E2E deadline can no longer be met, even if the
-// engine served it immediately at the optimistic service estimate.
+// engine served it immediately at the optimistic service estimate. The
+// deadline is anchored at SloArrival(): a re-enqueued (crash-rerouted)
+// request has already burned queue time between its original arrival and the
+// re-enqueue, and anchoring at the re-enqueue arrival_s would ignore that
+// elapsed time and over-admit doomed post-crash retries (regression-tested).
 inline bool DeadlineUnmeetable(const SchedulerConfig& config, const TraceRequest& req,
                                double now, double optimistic_service_s) {
   const SloSpec& spec = config.slo.Of(req.slo);
   return now + config.admission_headroom * optimistic_service_s >
-         req.arrival_s + spec.e2e_s;
+         req.SloArrival() + spec.e2e_s;
 }
 
 // The per-round admission-control pass shared by both engines: sheds every

@@ -93,6 +93,7 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   store_config.cpu_budget_bytes = 0;
   store_config.disk_read_s = exec_.LoadFullModelFromDisk();
   store_config.h2d_s = exec_.LoadFullModelFromHost();
+  store_config.outages = config_.outages;
   // Recorder before store: the store emits per-channel transfer spans into it.
   // Pure observation, bit-identical when disabled (golden-enforced).
   TraceRecorder recorder(config_.tracing);
@@ -109,14 +110,14 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   std::deque<PendingReq> queue;
   std::vector<RunningReq> running;
   size_t next_arrival = 0;
-  double now = 0.0;
+  double now = config_.start_s;
   // Completion time of the in-flight *demand* swap (-inf when none). Demand swaps
   // sit on the worker's critical path; prefetch transfers do not.
   double demand_ready = -std::numeric_limits<double>::infinity();
 
   FairQueue fair_queue(config_.scheduler);
   size_t shed_total = 0;  // loop control only; per-class counts live in the registry
-  double next_snapshot_s = config_.metrics.interval_s;
+  double next_snapshot_s = config_.start_s + config_.metrics.interval_s;
 
   // Request-attributed trace emission (one branch when tracing is off). This
   // engine has no preemption, so kv.preempt / kv.swap are never emitted here.
@@ -171,6 +172,12 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   };
 
   while (report.records.size() + shed_total < trace.requests.size()) {
+    // Hard halt (elastic cluster epoch boundary / crash): stop scheduling.
+    // Checked only here, so completions of the iteration in flight when the
+    // clock crossed halt_s have already landed (documented approximation).
+    if (now >= config_.halt_s) {
+      break;
+    }
     // In-run timeline: sample the registry on the simulated clock (pure reads,
     // bit-identical to interval 0).
     while (config_.metrics.interval_s > 0.0 && now >= next_snapshot_s) {
@@ -311,6 +318,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       iter += exec_.DecodeIterTime(batch_ctx.first,
                                    batch_ctx.second / batch_ctx.first);
     }
+    if (config_.speed_factor != 1.0) {
+      iter /= config_.speed_factor;  // slow-node fault: everything stretches
+    }
     if (recorder.enabled()) {
       TraceEvent round;
       round.type = TraceEventType::kBatchRound;
@@ -345,7 +355,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         rec.slo = it->state.req.slo;
         rec.prompt_tokens = it->state.req.prompt_tokens;
         rec.output_tokens = it->state.req.output_tokens;
-        rec.arrival_s = it->state.req.arrival_s;
+        // Latency/SLO clocks run from the original arrival for re-enqueued
+        // (crash-rerouted) requests; identical to arrival_s on plain traces.
+        rec.arrival_s = it->state.req.SloArrival();
         rec.sched_attempt_s = it->state.sched_attempt_s < 0 ? it->state.req.arrival_s
                                                             : it->state.sched_attempt_s;
         rec.start_s = it->start_s;
@@ -366,6 +378,19 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
         ++it;
       }
     }
+  }
+
+  // Requests the halt cut off: still queued, still running (their partial
+  // progress is lost — the elastic layer re-serves them from scratch), and
+  // never-arrived trace requests. All three sets are empty on a natural run.
+  for (const auto& p : queue) {
+    report.unfinished.push_back(p.req);
+  }
+  for (const auto& r : running) {
+    report.unfinished.push_back(r.state.req);
+  }
+  for (size_t i = next_arrival; i < trace.requests.size(); ++i) {
+    report.unfinished.push_back(trace.requests[i]);
   }
 
   for (const auto& r : report.records) {

@@ -63,6 +63,21 @@ struct TraceRequest {
   double arrival_s = 0.0;
   int prompt_tokens = 0;
   int output_tokens = 0;
+  // Original arrival of a re-enqueued (crash-rerouted / drain-migrated)
+  // request. The cluster fault layer re-offers such requests with arrival_s
+  // set to the re-enqueue time (placement and engines require non-decreasing
+  // arrivals), but the SLO clock keeps running from the request's first
+  // arrival. < 0 (the default) means "never re-enqueued": SloArrival() then
+  // equals arrival_s, so plain traces are unaffected. Never serialized —
+  // retries exist only inside a cluster run.
+  double first_arrival_s = -1.0;
+
+  // The arrival the request's SLO deadlines (and latency metrics) are
+  // measured from: the original arrival for re-enqueued requests, arrival_s
+  // otherwise.
+  double SloArrival() const {
+    return first_arrival_s >= 0.0 ? first_arrival_s : arrival_s;
+  }
 };
 
 struct Trace {

@@ -360,5 +360,90 @@ TEST(GoldenReportTest, EightGpuClusterMatchesPrePrefetchBehavior) {
   EXPECT_EQ(per_gpu_loads, r.merged.metrics.Value("store.loads.total"));
 }
 
+// PR 8: the fault/elasticity hooks at their defaults (no fault events, scaler
+// off, start 0 / halt inf / speed 1 / no outages — all set EXPLICITLY here so
+// a changed default breaks loudly) must keep both the engine and the cluster
+// on the pre-fault code paths, reproducing the golden doubles exactly.
+TEST(GoldenReportTest, ElasticHooksAtDefaultsStayGolden) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  EngineConfig ecfg = GoldenEngineConfig();
+  ecfg.start_s = 0.0;
+  ecfg.halt_s = std::numeric_limits<double>::infinity();
+  ecfg.speed_factor = 1.0;
+  ecfg.outages.clear();
+  const ServeReport r = MakeDeltaZipEngine(ecfg)->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 90.574333173805186);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 4434.3527165309852);
+  EXPECT_DOUBLE_EQ(s.sum_first, 4435.5281193914107);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 4487.3900915944778);
+  EXPECT_TRUE(r.unfinished.empty());  // natural runs leave nothing behind
+
+  TraceConfig tc = GoldenTraceConfig();
+  tc.arrival_rate = 6.0;
+  tc.n_models = 32;
+  tc.seed = 808;
+  const Trace cluster_trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 8;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = GoldenEngineConfig();
+  cfg.faults = FaultPlan();
+  cfg.autoscale = AutoscalerConfig();
+  const ClusterReport cr = Cluster(cfg).Serve(cluster_trace);
+  EXPECT_FALSE(cr.elastic.active);  // static path: the ledger never engages
+  ASSERT_EQ(cr.merged.records.size(), 551u);
+  EXPECT_DOUBLE_EQ(cr.merged.makespan_s, 90.801221883859554);
+  const GoldenSums cs = SumsOf(cr.merged);
+  EXPECT_DOUBLE_EQ(cs.sum_start, 24782.342195479043);
+  EXPECT_DOUBLE_EQ(cs.sum_first, 24789.924368478765);
+  EXPECT_DOUBLE_EQ(cs.sum_finish, 25123.902618151558);
+}
+
+// PR 8: a fixed-seed single-crash elastic run is itself pinned. The expected
+// doubles were captured from the implementation that introduced the elastic
+// loop; any change to epoch cutting, re-routing, carry handling, or the
+// merge order that shifts a single double breaks this test.
+TEST(GoldenReportTest, ElasticOneCrashRunStaysGolden) {
+  TraceConfig tc = GoldenTraceConfig();
+  tc.arrival_rate = 6.0;
+  tc.n_models = 32;
+  tc.seed = 808;
+  const Trace trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 8;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = GoldenEngineConfig();
+  ASSERT_TRUE(ParseFaultPlan("crash@30:w3,detect=1", cfg.faults));
+  const ClusterReport r = Cluster(cfg).Serve(trace);
+
+  EXPECT_TRUE(r.elastic.active);
+  EXPECT_EQ(r.elastic.crashes, 1);
+  EXPECT_EQ(r.elastic.offered, 551);
+  EXPECT_EQ(r.elastic.completed + r.elastic.shed + r.elastic.failed,
+            r.elastic.offered);
+  EXPECT_EQ(r.elastic.failed, 0);  // survivors absorb the dead worker's load
+
+  ASSERT_EQ(r.merged.records.size(), 551u);
+  const GoldenSums s = SumsOf(r.merged);
+  EXPECT_DOUBLE_EQ(r.merged.makespan_s, 90.824038088136462);
+  EXPECT_DOUBLE_EQ(s.sum_start, 24901.857791203565);
+  EXPECT_DOUBLE_EQ(s.sum_first, 24910.131933536355);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 25245.251977350479);
+  EXPECT_EQ(r.elastic.retried, 1);
+
+  // Determinism: the elastic loop is reproducible run-to-run even with the
+  // parallel worker pool (share-nothing epochs, deterministic merge order).
+  const ClusterReport again = Cluster(cfg).Serve(trace);
+  ASSERT_EQ(again.merged.records.size(), r.merged.records.size());
+  const GoldenSums s2 = SumsOf(again.merged);
+  EXPECT_DOUBLE_EQ(s2.sum_start, s.sum_start);
+  EXPECT_DOUBLE_EQ(s2.sum_first, s.sum_first);
+  EXPECT_DOUBLE_EQ(s2.sum_finish, s.sum_finish);
+  EXPECT_DOUBLE_EQ(again.merged.makespan_s, r.merged.makespan_s);
+  EXPECT_EQ(again.elastic.retried, r.elastic.retried);
+}
+
 }  // namespace
 }  // namespace dz

@@ -88,6 +88,8 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                    [--admission 0|1] [--class-preempt 0|1]\n"
        "                    [--metrics-out m.jsonl] [--metrics-interval 10]\n"
        "                    [--trace-out trace.json]\n"
+       "                    [--faults spec] [--autoscale 0|1]\n"
+       "                    [--min-workers 1] [--max-workers 8]\n"
        "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
        "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
        "  router feeds each worker ring-predicted warm hints. tenant-affinity\n"
@@ -99,10 +101,18 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "  simulated clock (0 = final snapshots only).\n"
        "  --trace-out enables per-request tracing on every worker and the router\n"
        "  and writes one merged Chrome trace_event JSON (one process per GPU;\n"
-       "  load in Perfetto or chrome://tracing).\n",
+       "  load in Perfetto or chrome://tracing).\n"
+       "  --faults injects a comma-separated fault schedule on the simulated\n"
+       "  clock, e.g. 'crash@30:w1,recover@60:w1,slow@20-50:w0x0.5,\n"
+       "  part@40-70:w3,detect=5,reroute=1'. --autoscale 1 enables the elastic\n"
+       "  autoscaler between --min-workers and --max-workers (drain before\n"
+       "  remove); either flag switches the router onto the epoch-based elastic\n"
+       "  path, which re-routes around dead workers and re-enqueues their\n"
+       "  in-flight requests on survivors.\n",
        {"trace", "gpus", "policy", "engine", "model", "gpu", "tp", "n", "bits", "rank",
         "prefetch", "lookahead", "slo-e2e", "slo-ttft", "sched", "admission",
-        "class-preempt", "metrics-out", "metrics-interval", "trace-out"}},
+        "class-preempt", "metrics-out", "metrics-interval", "trace-out",
+        "faults", "autoscale", "min-workers", "max-workers"}},
       {"inspect",
        "usage: dzip inspect --artifact delta.bin\n"
        "  Prints a summary of an on-disk compressed-delta artifact.\n",
@@ -450,6 +460,28 @@ int CmdCluster(const ArgMap& args) {
                  "error: unknown --policy '%s' (round-robin, least-outstanding, "
                  "delta-affinity, tenant-affinity)\n",
                  policy.c_str());
+    return 1;
+  }
+  const std::string fault_spec = Get(args, "faults", "");
+  if (!fault_spec.empty() && !ParseFaultPlan(fault_spec, cfg.faults)) {
+    std::fprintf(stderr,
+                 "error: bad --faults spec '%s' (tokens: crash@T:wI, "
+                 "recover@T:wI, slow@A-B:wIxF, part@A-B:wI, detect=S, "
+                 "reroute=0|1)\n",
+                 fault_spec.c_str());
+    return 1;
+  }
+  cfg.autoscale.enabled = GetNum(args, "autoscale", 0.0) != 0.0;
+  cfg.autoscale.min_workers =
+      static_cast<int>(GetNum(args, "min-workers", cfg.autoscale.min_workers));
+  cfg.autoscale.max_workers =
+      static_cast<int>(GetNum(args, "max-workers", cfg.autoscale.max_workers));
+  if (cfg.autoscale.enabled &&
+      (cfg.autoscale.min_workers < 1 ||
+       cfg.autoscale.max_workers < cfg.autoscale.min_workers)) {
+    std::fprintf(stderr,
+                 "error: need 1 <= --min-workers <= --max-workers (got %d..%d)\n",
+                 cfg.autoscale.min_workers, cfg.autoscale.max_workers);
     return 1;
   }
   const std::string metrics_out = Get(args, "metrics-out", "");
