@@ -132,6 +132,21 @@ std::string ClusterReport::Summary(double slo_e2e_s, double slo_ttft_s) const {
       agg.AddRow({"re-warm prefetches", std::to_string(elastic.rewarm_loads)});
       agg.AddRow({"re-warm stall hidden (s)", Table::Num(elastic.rewarm_s, 1)});
     }
+    // Registry rows only when a registry actually saw action, and the fault
+    // plan only when one was injected — registry-off / fault-free elastic
+    // output keeps the PR 8 rendering.
+    if (elastic.unavailable > 0) {
+      agg.AddRow({"unavailable (no live holder)",
+                  std::to_string(elastic.unavailable)});
+    }
+    if (elastic.repair_jobs > 0 || elastic.repair_bytes > 0.0) {
+      agg.AddRow({"repair jobs/GB",
+                  std::to_string(elastic.repair_jobs) + "/" +
+                      Table::Num(elastic.repair_bytes / 1e9, 2)});
+    }
+    if (!elastic.fault_spec.empty()) {
+      agg.AddRow({"fault plan", elastic.fault_spec});
+    }
   }
   // Tenant/class rows appear only for multi-tenant traffic or when admission
   // control actually shed something (AppendTenantRows gates internally), so

@@ -56,6 +56,18 @@ struct ElasticStats {
   // caches after a crash/reroute/scale event rather than steady-state traffic.
   long long rewarm_loads = 0;
   double rewarm_s = 0.0;
+  // Requests whose artifact the registry could not source at all (every
+  // holder dead — the store's typed `unavailable`). A subset of `failed` in
+  // the conservation ledger; always 0 without a registry.
+  long long unavailable = 0;
+  // Background-repair totals (0 without a registry): fragment/replica copies
+  // fully rebuilt, and repair bytes moved on spare net bandwidth.
+  long long repair_jobs = 0;
+  double repair_bytes = 0.0;
+  // The active fault schedule serialized back to spec form (FaultPlanToSpec),
+  // so reports and flight-recorder dumps record what was injected. Empty when
+  // the run had no fault plan.
+  std::string fault_spec;
 };
 
 struct ClusterReport {

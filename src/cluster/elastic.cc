@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/metrics/metrics.h"
+#include "src/registry/registry.h"
+#include "src/simgpu/exec_model.h"
 #include "src/util/check.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
@@ -43,6 +45,10 @@ struct WorkerSlot {
   // Scale-down drain bookkeeping.
   double drain_start_t = 0.0;
   double drain_last_finish = -1.0;
+  // Node-local cache tier carried between epochs (registry runs only): the
+  // artifacts this node held locally at its last epoch end. Survives crashes —
+  // it models durable node-local disk, not the process's GPU/host state.
+  std::vector<int> cached;
   // Committed results accumulated across this worker's epochs.
   ServeReport acc;
 };
@@ -75,6 +81,17 @@ struct Attempt {
   size_t next_arrival = 0;             // global trace cursor after the epoch
 };
 
+// One queued background rebuild of a fragment/replica lost to a crash. FIFO
+// byte-metered against each epoch's spare net bandwidth (AdvanceRepairs).
+struct RepairJob {
+  int artifact = 0;
+  int frag = 0;
+  int target = 0;     // live node receiving the rebuilt copy
+  int dead_node = 0;  // holder whose detected death triggered the job
+  double bytes_needed = 0.0;
+  double bytes_done = 0.0;
+};
+
 struct ElasticRun {
   const ClusterConfig& cfg;
   const Trace& trace;
@@ -86,6 +103,12 @@ struct ElasticRun {
   ElasticStats stats;
   std::vector<double> committed_finishes;  // sorted finish_s of all records
   double max_finish = 0.0;
+  // Artifact registry (null unless cfg.registry.enabled). Mutated ONLY between
+  // epochs: liveness at boundaries, extra holders after committed repairs —
+  // RunEpoch (and any rollback re-run) sees one constant registry state.
+  std::unique_ptr<ArtifactRegistry> registry;
+  double artifact_bytes = 0.0;    // per-worker artifact payload (repair meter)
+  std::vector<RepairJob> repairs;  // FIFO repair queue
 
   ElasticRun(const ClusterConfig& c, const Trace& t)
       : cfg(c), trace(t), recorder(c.engine.tracing) {}
@@ -206,8 +229,16 @@ struct ElasticRun {
         disk.end_s = t1;
         ChannelOutage pcie = disk;
         pcie.channel = TraceChannel::kPcie;
+        ChannelOutage net = disk;
+        net.channel = TraceChannel::kNet;
         ec.outages.push_back(disk);
         ec.outages.push_back(pcie);
+        ec.outages.push_back(net);
+      }
+      if (registry != nullptr) {
+        ec.registry = registry.get();
+        ec.registry_node = w.id;
+        ec.registry_warm = w.cached;
       }
       if (ec.prefetch.enabled) {
         // Warm hints from this epoch's own input, most-frequent-first — the
@@ -266,6 +297,14 @@ struct ElasticRun {
           stats.rewarm_loads += r.prefetch_issued;
           stats.rewarm_s += r.stall_hidden_s;
         }
+        // Typed registry unavailability is terminal: engines only fill this on
+        // a natural (final-epoch) run — earlier epochs carry parked requests
+        // forward as `unfinished` so repairs/recoveries can still save them.
+        stats.failed += static_cast<long long>(r.unavailable.size());
+        stats.unavailable += static_cast<long long>(r.unavailable.size());
+        if (registry != nullptr) {
+          w.cached = std::move(r.cached_artifacts);
+        }
         for (const RequestRecord& rec : r.records) {
           committed_finishes.push_back(rec.finish_s);
           max_finish = std::max(max_finish, rec.finish_s);
@@ -321,6 +360,117 @@ struct ElasticRun {
     }
   }
 
+  // Pushes worker liveness into the registry: a node is a usable chunk source
+  // iff it is serving and not partitioned. Boundary-only mutation.
+  void SyncRegistryLiveness() {
+    if (registry == nullptr) {
+      return;
+    }
+    for (const WorkerSlot& w : workers) {
+      if (w.id >= registry->n_nodes()) {
+        continue;  // late scale-ups hold no fragments; default-live is right
+      }
+      registry->SetNodeLive(w.id, Serving(w) && !w.partitioned);
+    }
+  }
+
+  // Queues a rebuild for every fragment the detected-dead node held that is
+  // still reconstructible. Target: the best-ranked live node not already
+  // holding the fragment. Rebuilding reads one full artifact's worth of bytes
+  // either way (a surviving full copy, or any k erasure fragments of B/k).
+  void EnqueueRepairs(int dead_id) {
+    if (registry == nullptr) {
+      return;
+    }
+    const int frags = registry->config().redundancy.FragmentCount();
+    for (int a = 0; a < registry->n_artifacts(); ++a) {
+      for (int f = 0; f < frags; ++f) {
+        if (!registry->NodeHoldsFragment(a, f, dead_id) ||
+            !registry->CanRepair(a, f, dead_id)) {
+          continue;
+        }
+        bool pending = false;
+        for (const RepairJob& j : repairs) {
+          pending = pending || (j.artifact == a && j.frag == f);
+        }
+        if (pending) {
+          continue;
+        }
+        int target = -1;
+        for (int n : registry->RankedNodes(a)) {
+          if (n != dead_id && registry->IsNodeLive(n) &&
+              !registry->NodeHoldsFragment(a, f, n)) {
+            target = n;
+            break;
+          }
+        }
+        if (target < 0) {
+          continue;  // every live node already holds it: nothing to rebuild
+        }
+        RepairJob j;
+        j.artifact = a;
+        j.frag = f;
+        j.target = target;
+        j.dead_node = dead_id;
+        j.bytes_needed = artifact_bytes;
+        repairs.push_back(j);
+      }
+    }
+  }
+
+  // Low-priority background repair: spends the committed epoch's spare net
+  // bandwidth (live NIC-seconds minus what foreground remote reads used) on
+  // the FIFO queue, byte-metered with partial progress across epochs. A
+  // finished rebuild installs its extra holder for subsequent epochs and emits
+  // a repair trace event at the epoch boundary (completion times inside the
+  // epoch are not resolved — a documented approximation). The final (t1 = inf)
+  // epoch meters up to the last committed finish.
+  void AdvanceRepairs(double t0, double t1, const Attempt& a) {
+    if (registry == nullptr || repairs.empty()) {
+      return;
+    }
+    const double t_end = t1 == kInf ? std::max(t0, max_finish) : t1;
+    int live = 0;
+    for (const WorkerSlot& w : workers) {
+      live += (Serving(w) && !w.partitioned) ? 1 : 0;
+    }
+    double busy_s = 0.0;
+    for (const ServeReport& r : a.reports) {
+      busy_s += r.metrics.Value("registry.net.busy_s");
+    }
+    const double spare_s =
+        std::max(0.0, static_cast<double>(live) * (t_end - t0) - busy_s);
+    double budget = spare_s * registry->config().net_gbps * 1e9 / 8.0;
+    size_t done = 0;
+    for (RepairJob& j : repairs) {
+      if (budget <= 0.0) {
+        break;
+      }
+      const double take = std::min(budget, j.bytes_needed - j.bytes_done);
+      j.bytes_done += take;
+      budget -= take;
+      stats.repair_bytes += take;
+      if (j.bytes_done < j.bytes_needed) {
+        break;  // FIFO: only the queue head makes partial progress
+      }
+      registry->AddHolder(j.artifact, j.frag, j.target);
+      ++stats.repair_jobs;
+      ++done;
+      if (recorder.enabled()) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kRepair;
+        ev.ts_s = t_end;
+        ev.gpu = j.target;
+        ev.model_id = j.artifact;
+        ev.aux = j.frag;
+        ev.bytes = j.bytes_needed;
+        recorder.Emit(ev);
+      }
+    }
+    repairs.erase(repairs.begin(),
+                  repairs.begin() + static_cast<std::ptrdiff_t>(done));
+  }
+
   // Applies every fault event and crash detection due at or before `t0`.
   void ProcessBoundary(double t0, size_t& fault_idx,
                        std::vector<double>& detections,
@@ -349,6 +499,16 @@ struct ElasticRun {
             w.s = WState::kActive;
             ++stats.recoveries;
             EmitCluster(TraceEventType::kFaultRecover, ev.t_s, w.id);
+            // Repair-vs-recovery race: the recovered node still has its chunks
+            // (node-local disk survives a process crash), so rebuilds queued
+            // against its death are moot — cancel the pending ones. Already
+            // completed rebuilds stay: an extra holder is harmless redundancy.
+            repairs.erase(
+                std::remove_if(repairs.begin(), repairs.end(),
+                               [&](const RepairJob& j) {
+                                 return j.dead_node == w.id;
+                               }),
+                repairs.end());
           }
           break;
         case FaultType::kSlowStart: {
@@ -407,6 +567,10 @@ struct ElasticRun {
       }
       w.s = WState::kDeadDetected;
       EmitCluster(TraceEventType::kFaultDetect, t0, w.id);
+      // Detection is also when repair planning starts: queue rebuilds for the
+      // dead node's fragments (partitions never enqueue — the data is intact
+      // behind the partition and comes back with it).
+      EnqueueRepairs(w.id);
       if (cfg.faults.reroute) {
         EmitCluster(TraceEventType::kRouterReroute, t0, w.id, /*dur=*/0.0,
                     static_cast<int>(w.carry.size()));
@@ -419,6 +583,9 @@ struct ElasticRun {
         w.carry.clear();
       }
     }
+    // Every state change above feeds the registry's source-liveness view
+    // before the next epoch runs.
+    SyncRegistryLiveness();
   }
 
   // Autoscaler observation at time t over committed state + the optimistic
@@ -489,6 +656,24 @@ ClusterReport ServeElastic(const ClusterConfig& cfg, const Trace& trace) {
   }
   run.stats.peak_workers = run.ActiveCount();
   run.SyncPlacer();  // initial build; not a re-warm epoch
+  if (cfg.faults.Enabled()) {
+    run.stats.fault_spec = FaultPlanToSpec(cfg.faults);
+  }
+  if (cfg.registry.enabled) {
+    run.registry = std::make_unique<ArtifactRegistry>(
+        cfg.registry, trace.n_models, cfg.placer.n_gpus);
+    // Per-worker artifact payload, mirroring the engines' own
+    // store_config.artifact_bytes computation (repair jobs meter against it).
+    const ExecModel exec(cfg.engine.exec);
+    const size_t per_gpu =
+        cfg.vllm_baseline
+            ? exec.BaseWeightBytesPerGpu()
+            : (cfg.engine.artifact == ArtifactKind::kLoraAdapter
+                   ? exec.LoraBytesPerGpu(cfg.engine.lora_rank)
+                   : exec.DeltaBytesPerGpu());
+    run.artifact_bytes = static_cast<double>(
+        per_gpu * static_cast<size_t>(cfg.engine.exec.tp));
+  }
 
   ClusterAutoscaler autoscaler(cfg.autoscale);
   const double interval = cfg.autoscale.decision_interval_s;
@@ -546,6 +731,7 @@ ClusterReport ServeElastic(const ClusterConfig& cfg, const Trace& trace) {
         a = run.RunEpoch(t0, action_t);
         run.Commit(a, action_t, rewarm_epoch);
         run.FinishDrains();
+        run.AdvanceRepairs(t0, action_t, a);
         if (action == ScaleDecision::kUp) {
           WorkerSlot* slot = nullptr;
           for (WorkerSlot& w : run.workers) {  // lowest retired id first
@@ -591,6 +777,7 @@ ClusterReport ServeElastic(const ClusterConfig& cfg, const Trace& trace) {
     }
     run.Commit(a, t_fault, rewarm_epoch);
     run.FinishDrains();
+    run.AdvanceRepairs(t0, t_fault, a);
     if (t_fault == kInf) {
       done = true;
     } else {
@@ -663,6 +850,15 @@ ClusterReport ServeElastic(const ClusterConfig& cfg, const Trace& trace) {
       ->Inc(static_cast<double>(run.stats.rewarm_loads));
   cluster_reg.GetCounter("cluster.rewarm.stall_hidden_s")
       ->Inc(run.stats.rewarm_s);
+  // Registry-run-only keys: a registry-off elastic snapshot keeps the PR 8
+  // key set exactly.
+  if (run.registry != nullptr) {
+    cluster_reg.GetCounter("cluster.unavailable")
+        ->Inc(static_cast<double>(run.stats.unavailable));
+    cluster_reg.GetCounter("registry.repair.jobs")
+        ->Inc(static_cast<double>(run.stats.repair_jobs));
+    cluster_reg.GetCounter("registry.repair.bytes")->Inc(run.stats.repair_bytes);
+  }
   report.merged.metrics.MergeFrom(
       cluster_reg.Snapshot(report.merged.makespan_s));
 

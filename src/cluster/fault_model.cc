@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -113,6 +114,21 @@ bool ParseToken(const std::string& tok, FaultPlan& plan) {
   return true;
 }
 
+// Plain decimal (ParseNum accepts only digits and '.', never exponents),
+// trailing zeros trimmed so "30.000000000" prints as the "30" a user wrote.
+std::string FormatNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", v);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') {
+    s.pop_back();
+  }
+  if (!s.empty() && s.back() == '.') {
+    s.pop_back();
+  }
+  return s.empty() ? "0" : s;
+}
+
 }  // namespace
 
 bool ParseFaultPlan(const std::string& spec, FaultPlan& out) {
@@ -135,6 +151,59 @@ bool ParseFaultPlan(const std::string& spec, FaultPlan& out) {
                    });
   out = std::move(plan);
   return true;
+}
+
+std::string FaultPlanToSpec(const FaultPlan& plan) {
+  std::string spec;
+  const auto append = [&spec](const std::string& tok) {
+    if (!spec.empty()) {
+      spec += ',';
+    }
+    spec += tok;
+  };
+  // Pair each window-start with the first unconsumed matching end for the same
+  // worker (events are time-sorted, so this undoes ParseFaultPlan's expansion).
+  std::vector<char> consumed(plan.events.size(), 0);
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    if (consumed[i]) {
+      continue;
+    }
+    const FaultEvent& ev = plan.events[i];
+    if (ev.type == FaultType::kCrash) {
+      append("crash@" + FormatNum(ev.t_s) + ":w" + std::to_string(ev.worker));
+    } else if (ev.type == FaultType::kRecover) {
+      append("recover@" + FormatNum(ev.t_s) + ":w" + std::to_string(ev.worker));
+    } else if (ev.type == FaultType::kSlowStart ||
+               ev.type == FaultType::kPartitionStart) {
+      const FaultType end_type = ev.type == FaultType::kSlowStart
+                                     ? FaultType::kSlowEnd
+                                     : FaultType::kPartitionEnd;
+      size_t j = i + 1;
+      while (j < plan.events.size() &&
+             !(consumed[j] == 0 && plan.events[j].type == end_type &&
+               plan.events[j].worker == ev.worker)) {
+        ++j;
+      }
+      if (j == plan.events.size()) {
+        continue;  // unmatched start: not representable in the grammar
+      }
+      consumed[j] = 1;
+      std::string tok = (ev.type == FaultType::kSlowStart ? "slow@" : "part@");
+      tok += FormatNum(ev.t_s) + "-" + FormatNum(plan.events[j].t_s) + ":w" +
+             std::to_string(ev.worker);
+      if (ev.type == FaultType::kSlowStart) {
+        tok += "x" + FormatNum(ev.multiplier);
+      }
+      append(tok);
+    }
+    // Bare kSlowEnd/kPartitionEnd events (unmatched) are unrepresentable and
+    // dropped; ParseFaultPlan never produces them.
+  }
+  append("detect=" + FormatNum(plan.detection_delay_s));
+  if (!plan.reroute) {
+    append("reroute=0");
+  }
+  return spec;
 }
 
 FaultPlan RandomFaultPlan(uint64_t seed, int n_workers, double duration_s,

@@ -63,6 +63,14 @@ struct FaultPlan {
 // by time. Returns false (leaving `out` untouched) on malformed specs.
 bool ParseFaultPlan(const std::string& spec, FaultPlan& out);
 
+// Serializes a plan back to the spec grammar above, pairing each slow/part
+// start event with its matching end into the window form. The round trip
+// ParseFaultPlan(FaultPlanToSpec(plan)) reproduces `plan` exactly for any plan
+// ParseFaultPlan or RandomFaultPlan can produce (test-enforced, up to 1e-9
+// timestamp formatting). Elastic runs stamp this into their report so the
+// active schedule survives into logs and flight-recorder dumps.
+std::string FaultPlanToSpec(const FaultPlan& plan);
+
 // A seeded random schedule of `n_events` faults over [0, duration_s) against
 // workers [0, n_workers): a mix of crash (with a later recover for some),
 // slow, and partition windows. Deterministic per seed — the chaos test's

@@ -98,11 +98,25 @@ ClusterReport Cluster::Serve(const Trace& trace) const {
     warm_hints = router.WarmHints(trace, shard_of);
   }
 
+  // Static-path registry: all nodes stay live for the whole run (faults would
+  // have dispatched to ServeElastic above), so reads resolve to local or
+  // healthy remote fetches — never degraded or unavailable. Workers share the
+  // registry const (placement is immutable; liveness never changes here).
+  std::unique_ptr<ArtifactRegistry> artifact_registry;
+  if (config_.registry.enabled) {
+    artifact_registry = std::make_unique<ArtifactRegistry>(
+        config_.registry, trace.n_models, config_.placer.n_gpus);
+  }
+
   std::vector<ServeReport> reports(static_cast<size_t>(config_.placer.n_gpus));
   auto run_worker = [&](size_t gpu) {
     EngineConfig worker_config = config_.engine;
     if (!warm_hints.empty()) {
       worker_config.prefetch.warm_hints = warm_hints[gpu];
+    }
+    if (artifact_registry != nullptr) {
+      worker_config.registry = artifact_registry.get();
+      worker_config.registry_node = static_cast<int>(gpu);
     }
     std::unique_ptr<ServingEngine> engine =
         config_.vllm_baseline ? MakeVllmScbEngine(worker_config)

@@ -16,6 +16,7 @@
 #include "src/cluster/cluster_report.h"
 #include "src/cluster/fault_model.h"
 #include "src/cluster/placement.h"
+#include "src/registry/registry.h"
 #include "src/serving/engine.h"
 #include "src/workload/trace.h"
 
@@ -67,6 +68,13 @@ struct ClusterConfig {
   // behavior to the pre-fault cluster (golden-enforced).
   FaultPlan faults;
   AutoscalerConfig autoscale;
+  // Cluster-shared artifact registry (src/registry/): when enabled, artifact
+  // bytes live as replicated / erasure-coded chunks across the worker nodes
+  // and every worker's ArtifactStore sources non-local artifacts over the net
+  // channel (degraded reads under faults, background repair in elastic runs).
+  // Off by default: no registry is constructed and every worker keeps its
+  // infinite-local-disk store — bit-identical output (golden-enforced).
+  RegistryConfig registry;
 };
 
 // Runs a trace through Router + per-worker ServingEngines and merges reports.

@@ -19,6 +19,7 @@ enum Track : int {
   kTrackPcie = 3,
   kTrackSched = 4,
   kTrackRouter = 5,
+  kTrackNet = 6,
 };
 
 int PidOf(const TraceEvent& e) { return e.gpu < 0 ? 0 : e.gpu; }
@@ -136,6 +137,7 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
     AppendMeta(out, pid, kTrackPcie, "thread_name", "pcie channel");
     AppendMeta(out, pid, kTrackSched, "thread_name", "scheduler");
     AppendMeta(out, pid, kTrackRouter, "thread_name", "router");
+    AppendMeta(out, pid, kTrackNet, "thread_name", "net channel");
   }
 
   for (const TraceEvent& e : events) {
@@ -150,6 +152,14 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
         break;
       case TraceEventType::kKvSwap:
         AppendSpan(out, e, kTrackPcie);
+        break;
+      case TraceEventType::kStoreRemote:
+        AppendSpan(out, e, kTrackNet);
+        break;
+      case TraceEventType::kRepair:
+        // Repair completions are boundary-stamped instants on the receiving
+        // node's net track.
+        AppendInstant(out, e, kTrackNet);
         break;
       case TraceEventType::kSchedDispatch:
       case TraceEventType::kKvPreempt:

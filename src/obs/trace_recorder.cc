@@ -52,6 +52,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "scale.drain.done";
     case TraceEventType::kScaleRemove:
       return "scale.remove";
+    case TraceEventType::kStoreRemote:
+      return "store.remote";
+    case TraceEventType::kRepair:
+      return "repair";
   }
   return "unknown";
 }
@@ -64,6 +68,8 @@ const char* TraceChannelName(TraceChannel channel) {
       return "disk";
     case TraceChannel::kPcie:
       return "pcie";
+    case TraceChannel::kNet:
+      return "net";
   }
   return "unknown";
 }

@@ -57,13 +57,19 @@ enum class TraceEventType {
   kScaleDrainStart,    // victim stopped receiving new requests
   kScaleDrainDone,     // victim's last in-flight request finished
   kScaleRemove,        // victim retired from the cluster
+  // Artifact-registry events (replication / erasure coding, PR 9):
+  kStoreRemote,        // remote registry fetch over the net channel (span, bytes;
+                       // aux = 1 when the read was degraded: failover replica or
+                       // parity decode)
+  kRepair,             // background repair installed a fragment/replica copy
+                       // (gpu = target node, model_id = artifact, aux = fragment)
 };
 
 // Stable dotted name of an event type ("request.queued", "store.load", ...).
 const char* TraceEventTypeName(TraceEventType type);
 
 // Transfer channel a store span occupied (kNone for non-store events).
-enum class TraceChannel { kNone, kDisk, kPcie };
+enum class TraceChannel { kNone, kDisk, kPcie, kNet };
 
 const char* TraceChannelName(TraceChannel channel);
 

@@ -1,0 +1,284 @@
+#include "src/registry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace dz {
+
+namespace {
+
+// splitmix64 finalizer: the avalanche quality is what makes rendezvous ranks
+// statistically independent across artifacts.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int RedundancyPolicy::FragmentCount() const {
+  switch (mode) {
+    case RedundancyMode::kNone:
+      return 1;
+    case RedundancyMode::kReplicate:
+      return replicas;
+    case RedundancyMode::kErasure:
+      return k + m;
+  }
+  return 1;
+}
+
+bool ParseRedundancyPolicy(const std::string& spec, RedundancyPolicy& out) {
+  RedundancyPolicy p;
+  if (spec == "none") {
+    p.mode = RedundancyMode::kNone;
+    out = p;
+    return true;
+  }
+  int a = 0;
+  int b = 0;
+  int used = -1;  // %n: whole-string match required (no trailing garbage)
+  if (std::sscanf(spec.c_str(), "replicate(%d)%n", &a, &used) == 1 &&
+      used == static_cast<int>(spec.size())) {
+    if (a < 1) {
+      return false;
+    }
+    p.mode = RedundancyMode::kReplicate;
+    p.replicas = a;
+    out = p;
+    return true;
+  }
+  used = -1;
+  if (std::sscanf(spec.c_str(), "erasure(%d,%d)%n", &a, &b, &used) == 2 &&
+      used == static_cast<int>(spec.size())) {
+    if (a < 1 || b < 0) {
+      return false;
+    }
+    p.mode = RedundancyMode::kErasure;
+    p.k = a;
+    p.m = b;
+    out = p;
+    return true;
+  }
+  return false;
+}
+
+std::string RedundancyPolicyToSpec(const RedundancyPolicy& policy) {
+  char buf[64];
+  switch (policy.mode) {
+    case RedundancyMode::kNone:
+      return "none";
+    case RedundancyMode::kReplicate:
+      std::snprintf(buf, sizeof(buf), "replicate(%d)", policy.replicas);
+      return buf;
+    case RedundancyMode::kErasure:
+      std::snprintf(buf, sizeof(buf), "erasure(%d,%d)", policy.k, policy.m);
+      return buf;
+  }
+  return "none";
+}
+
+ArtifactRegistry::ArtifactRegistry(const RegistryConfig& config, int n_artifacts,
+                                   int n_nodes)
+    : config_(config), n_artifacts_(n_artifacts), n_nodes_(n_nodes),
+      down_(static_cast<size_t>(n_nodes), 0) {
+  DZ_CHECK_GT(n_artifacts, 0);
+  DZ_CHECK_GT(n_nodes, 0);
+  DZ_CHECK_GT(config_.net_gbps, 0.0);
+  DZ_CHECK_GT(config_.decode_gbps, 0.0);
+  // Placement must fit the initial node set: a fragment has exactly one
+  // primary home.
+  DZ_CHECK_LE(config_.redundancy.FragmentCount(), n_nodes);
+}
+
+uint64_t ArtifactRegistry::Score(int artifact, int node) const {
+  return Mix64(config_.seed ^ Mix64(static_cast<uint64_t>(artifact) * 0x9e3779b1ull ^
+                                    Mix64(static_cast<uint64_t>(node))));
+}
+
+std::vector<int> ArtifactRegistry::RankedNodes(int artifact) const {
+  std::vector<int> nodes(static_cast<size_t>(n_nodes_));
+  for (int i = 0; i < n_nodes_; ++i) {
+    nodes[static_cast<size_t>(i)] = i;
+  }
+  std::sort(nodes.begin(), nodes.end(), [&](int a, int b) {
+    const uint64_t sa = Score(artifact, a);
+    const uint64_t sb = Score(artifact, b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  return nodes;
+}
+
+int ArtifactRegistry::PrimaryHolder(int artifact, int frag) const {
+  DZ_CHECK_GE(frag, 0);
+  DZ_CHECK_LT(frag, config_.redundancy.FragmentCount());
+  return RankedNodes(artifact)[static_cast<size_t>(frag)];
+}
+
+bool ArtifactRegistry::NodeHoldsFragment(int artifact, int frag, int node) const {
+  if (PrimaryHolder(artifact, frag) == node) {
+    return true;
+  }
+  const auto it = extras_.find({artifact, frag});
+  if (it == extras_.end()) {
+    return false;
+  }
+  return std::find(it->second.begin(), it->second.end(), node) != it->second.end();
+}
+
+bool ArtifactRegistry::NodeHoldsFullCopy(int artifact, int node) const {
+  if (config_.redundancy.mode == RedundancyMode::kErasure) {
+    return false;  // erasure nodes hold fragments, never the assembled artifact
+  }
+  const int copies = config_.redundancy.FragmentCount();
+  for (int f = 0; f < copies; ++f) {
+    if (NodeHoldsFragment(artifact, f, node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ArtifactRegistry::SetNodeLive(int node, bool live) {
+  DZ_CHECK_GE(node, 0);
+  if (node >= static_cast<int>(down_.size())) {
+    down_.resize(static_cast<size_t>(node) + 1, 0);
+  }
+  down_[static_cast<size_t>(node)] = live ? 0 : 1;
+}
+
+bool ArtifactRegistry::IsNodeLive(int node) const {
+  if (node < 0) {
+    return false;
+  }
+  if (node >= static_cast<int>(down_.size())) {
+    return true;  // nodes beyond the tracked set (late scale-ups) are live
+  }
+  return down_[static_cast<size_t>(node)] == 0;
+}
+
+void ArtifactRegistry::AddHolder(int artifact, int frag, int node) {
+  DZ_CHECK_GE(node, 0);
+  if (PrimaryHolder(artifact, frag) == node) {
+    return;
+  }
+  std::vector<int>& nodes = extras_[{artifact, frag}];
+  if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+    nodes.push_back(node);
+    std::sort(nodes.begin(), nodes.end());
+  }
+}
+
+int ArtifactRegistry::BestLiveSource(int artifact, int frag, int self) const {
+  const int primary = PrimaryHolder(artifact, frag);
+  if (primary != self && IsNodeLive(primary)) {
+    return primary;
+  }
+  const auto it = extras_.find({artifact, frag});
+  if (it != extras_.end()) {
+    for (int node : it->second) {
+      if (node != self && IsNodeLive(node)) {
+        return node;
+      }
+    }
+  }
+  return -1;
+}
+
+bool ArtifactRegistry::CanRepair(int artifact, int frag, int exclude) const {
+  const RedundancyPolicy& r = config_.redundancy;
+  if (r.mode == RedundancyMode::kErasure) {
+    // Rebuilding any one fragment needs any k live fragments.
+    int live_frags = 0;
+    for (int f = 0; f < r.FragmentCount(); ++f) {
+      if (BestLiveSource(artifact, f, exclude) >= 0) {
+        ++live_frags;
+      }
+    }
+    return live_frags >= r.k;
+  }
+  // none/replicate: any surviving full copy can source a re-replication. With
+  // mode none there is no second copy, so a dead primary is unrepairable.
+  for (int f = 0; f < r.FragmentCount(); ++f) {
+    if (f == frag) {
+      continue;
+    }
+    if (BestLiveSource(artifact, f, exclude) >= 0) {
+      return true;
+    }
+  }
+  // A repair-installed extra of the lost fragment itself also works.
+  return BestLiveSource(artifact, frag, exclude) >= 0;
+}
+
+FetchPlan ArtifactRegistry::PlanFetch(int artifact, int node,
+                                      double artifact_bytes) const {
+  FetchPlan plan;
+  const RedundancyPolicy& r = config_.redundancy;
+  if (r.mode != RedundancyMode::kErasure) {
+    // Full copies (1 or N). Local copy wins outright.
+    if (NodeHoldsFullCopy(artifact, node)) {
+      plan.available = true;
+      plan.local_full = true;
+      return plan;
+    }
+    // Remote: walk copies in rendezvous rank order — rank 0 is "nearest".
+    for (int f = 0; f < r.FragmentCount(); ++f) {
+      if (BestLiveSource(artifact, f, node) >= 0) {
+        plan.available = true;
+        plan.remote_bytes = artifact_bytes;
+        // Falling past the rank-0 copy means the primary is gone: a failover.
+        plan.degraded = f > 0;
+        return plan;
+      }
+    }
+    return plan;  // no copy survives → unavailable
+  }
+
+  // Erasure: gather any k of k+m fragments. Data fragments always come first
+  // (local, then remote) and parity is strictly a last resort — decoding the
+  // full artifact costs more than pulling one extra B/k data fragment over
+  // the wire, and `degraded` should mean a loss actually forced parity in,
+  // not that the reader happened to hold a parity fragment.
+  const double frag_bytes = artifact_bytes / static_cast<double>(r.k);
+  int taken = 0;
+  bool used_parity = false;
+  for (int pass = 0; pass < 4 && taken < r.k; ++pass) {
+    const bool parity_pass = pass >= 2;       // passes 0/1 data, 2/3 parity
+    const bool local_pass = pass % 2 == 0;    // even passes are free local hits
+    const int lo = parity_pass ? r.k : 0;
+    const int hi = parity_pass ? r.FragmentCount() : r.k;
+    for (int f = lo; f < hi && taken < r.k; ++f) {
+      const bool local = NodeHoldsFragment(artifact, f, node);
+      if (local_pass ? !local
+                     : (local || BestLiveSource(artifact, f, node) < 0)) {
+        continue;
+      }
+      ++taken;
+      plan.remote_bytes += local_pass ? 0.0 : frag_bytes;
+      used_parity = used_parity || parity_pass;
+    }
+  }
+  if (taken < r.k) {
+    return plan;  // fewer than k reachable fragments → unavailable
+  }
+  plan.available = true;
+  plan.degraded = used_parity;
+  plan.decode_s = used_parity ? DecodeSeconds(artifact_bytes) : 0.0;
+  plan.local_full = plan.remote_bytes == 0.0 && !used_parity;
+  return plan;
+}
+
+double ArtifactRegistry::NetSeconds(double bytes) const {
+  return bytes * 8.0 / (config_.net_gbps * 1e9);
+}
+
+double ArtifactRegistry::DecodeSeconds(double artifact_bytes) const {
+  return artifact_bytes * 8.0 / (config_.decode_gbps * 1e9);
+}
+
+}  // namespace dz

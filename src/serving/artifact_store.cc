@@ -12,6 +12,36 @@ ArtifactStore::ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts,
     : config_(config), entries_(static_cast<size_t>(n_artifacts)),
       recorder_(recorder) {
   DZ_CHECK_GT(config_.artifact_bytes, 0u);
+  // Validate + normalize the outage windows once: inverted windows are caller
+  // bugs, zero-length windows cover no instant (the window test is
+  // start <= t < end), and overlapping/abutting windows per channel merge so
+  // DeferPastOutages walks a minimal deterministic list. Merging is a semantic
+  // no-op (the defer loop already iterates to a fixpoint), so default and
+  // fault-injected runs stay bit-identical.
+  for (const ChannelOutage& o : config_.outages) {
+    DZ_CHECK_LE(o.start_s, o.end_s);
+  }
+  std::stable_sort(config_.outages.begin(), config_.outages.end(),
+                   [](const ChannelOutage& a, const ChannelOutage& b) {
+                     if (a.channel != b.channel) {
+                       return static_cast<int>(a.channel) < static_cast<int>(b.channel);
+                     }
+                     return a.start_s != b.start_s ? a.start_s < b.start_s
+                                                   : a.end_s < b.end_s;
+                   });
+  std::vector<ChannelOutage> merged;
+  for (const ChannelOutage& o : config_.outages) {
+    if (o.end_s <= o.start_s) {
+      continue;  // zero-length window: unsatisfiable, drop
+    }
+    if (!merged.empty() && merged.back().channel == o.channel &&
+        o.start_s <= merged.back().end_s) {
+      merged.back().end_s = std::max(merged.back().end_s, o.end_s);
+    } else {
+      merged.push_back(o);
+    }
+  }
+  config_.outages = std::move(merged);
   if (registry == nullptr) {
     owned_registry_ = std::make_unique<MetricsRegistry>();
     registry = owned_registry_.get();
@@ -25,6 +55,29 @@ ArtifactStore::ArtifactStore(const ArtifactStoreConfig& config, int n_artifacts,
   disk_busy_s_ = registry->GetCounter("store.channel.busy_s", {{"channel", "disk"}});
   pcie_busy_s_ = registry->GetCounter("store.channel.busy_s", {{"channel", "pcie"}});
   gpu_resident_ = registry->GetGauge("store.gpu.resident");
+  if (config_.registry != nullptr) {
+    // Registry instruments exist only in registry mode, so registry-off
+    // snapshots (and JSONL exports) carry no new keys.
+    reads_local_ = registry->GetCounter("registry.reads.local");
+    reads_remote_ = registry->GetCounter("registry.reads.remote");
+    reads_degraded_ = registry->GetCounter("registry.reads.degraded");
+    unavailable_ = registry->GetCounter("registry.unavailable");
+    net_busy_s_ = registry->GetCounter("registry.net.busy_s");
+    net_bytes_ = registry->GetCounter("registry.net.bytes");
+    // The local tier starts with what this node durably holds (full copies it
+    // is a registry holder of) plus the carried cache contents.
+    local_.assign(static_cast<size_t>(n_artifacts), 0);
+    for (int id = 0; id < n_artifacts; ++id) {
+      if (config_.registry->NodeHoldsFullCopy(id, config_.registry_node)) {
+        local_[static_cast<size_t>(id)] = 1;
+      }
+    }
+    for (int id : config_.registry_warm) {
+      DZ_CHECK_GE(id, 0);
+      DZ_CHECK_LT(id, n_artifacts);
+      local_[static_cast<size_t>(id)] = 1;
+    }
+  }
 }
 
 bool ArtifactStore::IsResident(int id, double now) const {
@@ -133,12 +186,40 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
   if (e.in_flight) {
     return {true, e.ready_at};
   }
+  // Registry tier chain: a disk-tier artifact this node does not hold locally
+  // must come over the network from the registry's live holders. Resolve the
+  // plan BEFORE evicting anything — an unavailable artifact must not cost a
+  // resident one its slot.
+  FetchPlan plan;
+  bool remote = false;
+  if (e.tier == Tier::kDisk && config_.registry != nullptr &&
+      local_[static_cast<size_t>(id)] == 0) {
+    plan = config_.registry->PlanFetch(id, config_.registry_node,
+                                       static_cast<double>(config_.artifact_bytes));
+    if (!plan.available) {
+      if (!is_prefetch) {
+        unavailable_->Inc();
+      }
+      return {false, 0.0, /*unavailable=*/true};
+    }
+    if (plan.local_full) {
+      // Enough fragments live here to assemble without the network (e.g. a
+      // repair-installed full copy): promote to the local tier outright.
+      local_[static_cast<size_t>(id)] = 1;
+    } else {
+      remote = true;
+    }
+  }
   // Prefetches are low-priority: they only claim a channel that is idle right
   // now, so a speculative transfer can delay a demand load by at most the one
   // transfer already in progress (real prefetchers exploit spare bandwidth, they
   // do not queue ahead of demand). Callers simply retry next scheduling round.
   if (is_prefetch) {
-    if (e.tier == Tier::kDisk && disk_free_at_ > now) {
+    if (remote) {
+      if (net_free_at_ > now) {
+        return {false, 0.0};
+      }
+    } else if (e.tier == Tier::kDisk && disk_free_at_ > now) {
       return {false, 0.0};
     }
     if (pcie_free_at_ > now) {
@@ -161,7 +242,37 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
                                                : TraceEventType::kStoreLoad;
   double ready = now;
   double cost = 0.0;
-  if (e.tier == Tier::kDisk) {
+  if (remote) {
+    // Remote fetch: registry holder(s) → this node's host memory over the
+    // bounded-bandwidth net channel (plus erasure decode when parity had to
+    // participate). The bytes land in the local cache tier, so every later
+    // load of this artifact pays disk/PCIe only.
+    const double net_s =
+        config_.registry->NetSeconds(plan.remote_bytes) + plan.decode_s;
+    const double start =
+        DeferPastOutages(TraceChannel::kNet, std::max(now, net_free_at_));
+    ready = start + net_s;
+    net_free_at_ = ready;
+    net_busy_s_->Inc(net_s);
+    net_bytes_->Inc(plan.remote_bytes);
+    reads_remote_->Inc();
+    if (plan.degraded) {
+      reads_degraded_->Inc();
+    }
+    cost += net_s;
+    local_[static_cast<size_t>(id)] = 1;
+    if (recorder_ != nullptr) {
+      TraceEvent ev;
+      ev.type = TraceEventType::kStoreRemote;
+      ev.ts_s = start;
+      ev.dur_s = net_s;
+      ev.model_id = id;
+      ev.channel = TraceChannel::kNet;
+      ev.bytes = plan.remote_bytes;
+      ev.aux = plan.degraded ? 1 : 0;
+      recorder_->Emit(ev);
+    }
+  } else if (e.tier == Tier::kDisk) {
     const double start =
         DeferPastOutages(TraceChannel::kDisk, std::max(now, disk_free_at_));
     ready = start + config_.disk_read_s;
@@ -169,6 +280,9 @@ ArtifactStore::LoadResult ArtifactStore::IssueLoad(int id, double now,
     disk_busy_s_->Inc(config_.disk_read_s);
     cost += config_.disk_read_s;
     loads_disk_->Inc();
+    if (reads_local_ != nullptr) {
+      reads_local_->Inc();
+    }
     if (recorder_ != nullptr) {
       TraceEvent ev;
       ev.type = span_type;
@@ -230,6 +344,16 @@ void ArtifactStore::Touch(int id, double now) {
   if (e.in_flight && e.ready_at <= now) {
     e.in_flight = false;
   }
+}
+
+std::vector<int> ArtifactStore::LocallyCached() const {
+  std::vector<int> out;
+  for (size_t id = 0; id < local_.size(); ++id) {
+    if (local_[id] != 0) {
+      out.push_back(static_cast<int>(id));
+    }
+  }
+  return out;
 }
 
 double ArtifactStore::NextLoadReady(double now) const {

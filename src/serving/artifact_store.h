@@ -20,6 +20,7 @@
 
 #include "src/metrics/metrics.h"
 #include "src/obs/trace_recorder.h"
+#include "src/registry/registry.h"
 
 namespace dz {
 
@@ -30,7 +31,7 @@ namespace dz {
 // complete; partitions sever new I/O, they do not corrupt it). Times are
 // absolute simulated seconds on the trace clock.
 struct ChannelOutage {
-  TraceChannel channel = TraceChannel::kNone;  // kDisk or kPcie
+  TraceChannel channel = TraceChannel::kNone;  // kDisk, kPcie, or kNet
   double start_s = 0.0;
   double end_s = 0.0;
 };
@@ -42,8 +43,21 @@ struct ArtifactStoreConfig {
   double disk_read_s = 0.0;       // disk → host time for one artifact (seconds)
   double h2d_s = 0.0;             // host → device time for one artifact (seconds)
   // Channel blackout windows (empty, the default, is bit-identical to the
-  // pre-fault store; golden-enforced).
+  // pre-fault store; golden-enforced). Validated and normalized at store
+  // construction: end_s < start_s is rejected (DZ_CHECK), zero-length windows
+  // are dropped, and overlapping/abutting windows merge per channel into a
+  // deterministic sorted list.
   std::vector<ChannelOutage> outages;
+  // Cluster-shared artifact registry (null, the default, keeps the PR 8
+  // infinite-local-disk model). When attached, artifacts this node does not
+  // hold locally are fetched over a bounded-bandwidth net channel from the
+  // registry's live holders (possibly degraded through failover replicas or
+  // erasure decode) and cached on the local disk tier afterwards.
+  const ArtifactRegistry* registry = nullptr;
+  int registry_node = 0;  // this store's node id in the registry
+  // Artifacts already sitting in this node's local cache tier at t = 0 (the
+  // elastic loop carries the previous epoch's cache contents through here).
+  std::vector<int> registry_warm;
 };
 
 class ArtifactStore {
@@ -68,10 +82,15 @@ class ArtifactStore {
 
   // Outcome of RequestLoad/Prefetch. `ok == false` means no GPU space could be made
   // even after evicting every idle artifact (every slot pinned or mid-transfer);
-  // `ready_at` is meaningful only when `ok` is true.
+  // `ready_at` is meaningful only when `ok` is true. `unavailable` is the
+  // typed registry failure: too few live holders survive to source the bytes
+  // at all — retrying later this epoch cannot succeed (liveness only changes
+  // at epoch boundaries), so callers must park the request instead of
+  // spinning.
   struct LoadResult {
     bool ok = false;
     double ready_at = 0.0;  // simulated seconds
+    bool unavailable = false;
   };
 
   // Ensures a demand load toward GPU is in flight (no-op if resident/loading). On
@@ -125,6 +144,28 @@ class ArtifactStore {
   // Cumulative busy seconds per transfer channel (for utilization = busy/makespan).
   double disk_busy_s() const { return disk_busy_s_->value(); }
   double pcie_busy_s() const { return pcie_busy_s_->value(); }
+  // Registry tier-chain statistics (0 unless a registry is attached).
+  int remote_reads() const {
+    return reads_remote_ == nullptr ? 0 : static_cast<int>(reads_remote_->value());
+  }
+  int degraded_reads() const {
+    return reads_degraded_ == nullptr ? 0
+                                      : static_cast<int>(reads_degraded_->value());
+  }
+  int local_reads() const {
+    return reads_local_ == nullptr ? 0 : static_cast<int>(reads_local_->value());
+  }
+  int unavailable_loads() const {
+    return unavailable_ == nullptr ? 0 : static_cast<int>(unavailable_->value());
+  }
+  double net_busy_s() const {
+    return net_busy_s_ == nullptr ? 0.0 : net_busy_s_->value();
+  }
+
+  // Artifact ids currently in this node's local cache tier (registry-attached
+  // stores only; empty otherwise). The elastic loop snapshots this at epoch
+  // end and replays it into the next epoch's `registry_warm`.
+  std::vector<int> LocallyCached() const;
 
  private:
   enum class Tier { kDisk, kCpu, kGpu };
@@ -151,6 +192,11 @@ class ArtifactStore {
   std::vector<Entry> entries_;
   double disk_free_at_ = 0.0;  // disk channel availability
   double pcie_free_at_ = 0.0;  // PCIe channel availability
+  double net_free_at_ = 0.0;   // net (remote-fetch) channel availability
+  // Node-local cache tier (registry mode): true once this node holds the full
+  // artifact bytes locally — as a registry holder, via registry_warm carry, or
+  // after a completed remote fetch. Local artifacts pay disk/PCIe only.
+  std::vector<char> local_;
   // Registry-backed statistics ("store.*" instruments, resolved once at
   // construction). `owned_registry_` backs the stand-alone (no injection) case.
   std::unique_ptr<MetricsRegistry> owned_registry_;
@@ -163,6 +209,14 @@ class ArtifactStore {
   Counter* disk_busy_s_ = nullptr;
   Counter* pcie_busy_s_ = nullptr;
   Gauge* gpu_resident_ = nullptr;
+  // Registry instruments — resolved ONLY when a registry is attached, so
+  // registry-off snapshots carry no new keys (default-output bit-identity).
+  Counter* reads_local_ = nullptr;
+  Counter* reads_remote_ = nullptr;
+  Counter* reads_degraded_ = nullptr;
+  Counter* unavailable_ = nullptr;
+  Counter* net_busy_s_ = nullptr;
+  Counter* net_bytes_ = nullptr;
   TraceRecorder* recorder_ = nullptr;  // not owned; may be null
 };
 

@@ -152,6 +152,9 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
                            ? exec_.LoadLoraFromHost(config_.lora_rank)
                            : exec_.LoadDeltaFromHost();
   store_config.outages = config_.outages;
+  store_config.registry = config_.registry;
+  store_config.registry_node = config_.registry_node;
+  store_config.registry_warm = config_.registry_warm;
   // Recorder before store: the store emits per-channel transfer spans into it.
   // Pure observation — no emission below feeds back into scheduling, so traced
   // runs stay bit-identical to untraced ones (golden-enforced).
@@ -181,6 +184,11 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
 
   std::deque<PendingReq> queue;
   std::vector<RunningReq> running;
+  // Requests parked on a typed-unavailable artifact (every registry holder
+  // dead). Registry liveness is constant within one Serve call, so retrying
+  // would spin; they re-enter play only across epochs (halted runs) or fail
+  // typed (natural runs).
+  std::vector<PendingReq> blocked_unavailable;
   size_t next_arrival = 0;
   double now = config_.start_s;
   double pending_swap_s = 0.0;  // accumulated KV swap work for the next iteration
@@ -255,7 +263,8 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
     return total;
   };
 
-  while (report.records.size() + shed_total < trace.requests.size()) {
+  while (report.records.size() + shed_total + blocked_unavailable.size() <
+         trace.requests.size()) {
     // Hard halt (elastic cluster epoch boundary / crash): stop scheduling.
     // Checked only here, so completions of the iteration in flight when the
     // clock crossed halt_s have already landed (documented approximation).
@@ -284,7 +293,8 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
           ++shed_total;
           emit_req(TraceEventType::kAdmissionShed, now, req);
         });
-    if (report.records.size() + shed_total == trace.requests.size()) {
+    if (report.records.size() + shed_total + blocked_unavailable.size() ==
+        trace.requests.size()) {
       break;  // shedding retired the last outstanding requests: nothing left to
               // simulate, and the idle fast-forward below would have no event
     }
@@ -332,6 +342,13 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
         if (load.ok) {
           selected.insert(variant);  // the slot is claimed while loading
           pinned.push_back(variant);
+        } else if (load.unavailable) {
+          // Typed registry failure: no live holder can source this artifact.
+          // Park the request — spinning on it every round would starve the
+          // idle fast-forward (no future event could ever admit it).
+          blocked_unavailable.push_back(*it);
+          it = queue.erase(it);
+          continue;
         }
         // else: no evictable slot right now; retry next scheduling round.
         ++it;
@@ -441,6 +458,13 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
     }
 
     if (running.empty()) {
+      // The scheduling pass above may have parked the last outstanding
+      // requests as unavailable: nothing is left to simulate, and the idle
+      // fast-forward below would have no future event to jump to.
+      if (report.records.size() + shed_total + blocked_unavailable.size() ==
+          trace.requests.size()) {
+        break;
+      }
       // Idle: jump to the next arrival or load completion.
       double next_t = std::numeric_limits<double>::infinity();
       if (next_arrival < trace.requests.size()) {
@@ -602,6 +626,16 @@ ServeReport DeltaZipEngine::Serve(const Trace& trace) {
   }
   for (size_t i = next_arrival; i < trace.requests.size(); ++i) {
     report.unfinished.push_back(trace.requests[i]);
+  }
+  // Parked unavailable requests: on a halted (epoch) run the next epoch may
+  // see recovered holders or completed repairs, so they carry as unfinished;
+  // a natural run declares them terminally unavailable (typed, never silent).
+  const bool halted = config_.halt_s < std::numeric_limits<double>::infinity();
+  for (const auto& p : blocked_unavailable) {
+    (halted ? report.unfinished : report.unavailable).push_back(p.req);
+  }
+  if (config_.registry != nullptr) {
+    report.cached_artifacts = store.LocallyCached();
   }
 
   for (const auto& r : report.records) {

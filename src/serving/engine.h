@@ -118,8 +118,17 @@ struct EngineConfig {
   // this, so 0.5 means every iteration takes twice as long. 1.0 = healthy.
   double speed_factor = 1.0;
   // Transfer-channel blackout windows forwarded to the ArtifactStore
-  // (transient disk/PCIe partition faults).
+  // (transient disk/PCIe/net partition faults).
   std::vector<ChannelOutage> outages;
+  // --- Artifact-registry attachment (src/registry/). Null (the default) keeps
+  // the PR 8 infinite-local-disk store and is bit-identical (golden-enforced).
+  // When set, the worker's ArtifactStore sources non-local artifacts from the
+  // registry's live holders over the net channel; `registry_node` is this
+  // worker's node id, `registry_warm` the artifacts already in its local cache
+  // tier at start_s (epoch carry). ---
+  const ArtifactRegistry* registry = nullptr;
+  int registry_node = 0;
+  std::vector<int> registry_warm;
 };
 
 // Replays a Trace in simulated time and returns per-request records + aggregates.

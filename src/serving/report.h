@@ -95,6 +95,16 @@ struct ServeReport {
   // natural (halt_s = inf) run. The elastic cluster layer re-routes these into
   // the next epoch; they never appear in `records`.
   std::vector<TraceRequest> unfinished;
+  // Requests whose artifact the registry could not source at all (every
+  // holder dead/partitioned — the store's typed `unavailable` result). On a
+  // halted (epoch) run these land in `unfinished` instead, because the next
+  // epoch may see recovered holders or completed repairs; only a natural
+  // (halt_s = inf) run declares them terminally unavailable here. Always empty
+  // without a registry. The elastic ledger counts them under `failed`.
+  std::vector<TraceRequest> unavailable;
+  // Artifact ids in the store's node-local cache tier at the end of the run
+  // (registry runs only; empty otherwise). Epoch carry for `registry_warm`.
+  std::vector<int> cached_artifacts;
   // Critical-path attribution per SLO class (all zero when tracing is off):
   // each completed request's E2E and TTFT split into queue / load / compute /
   // preempt segments that sum back to the measured latency within 1e-9

@@ -94,6 +94,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   store_config.disk_read_s = exec_.LoadFullModelFromDisk();
   store_config.h2d_s = exec_.LoadFullModelFromHost();
   store_config.outages = config_.outages;
+  store_config.registry = config_.registry;
+  store_config.registry_node = config_.registry_node;
+  store_config.registry_warm = config_.registry_warm;
   // Recorder before store: the store emits per-channel transfer spans into it.
   // Pure observation, bit-identical when disabled (golden-enforced).
   TraceRecorder recorder(config_.tracing);
@@ -109,6 +112,9 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
 
   std::deque<PendingReq> queue;
   std::vector<RunningReq> running;
+  // Requests parked on a typed-unavailable artifact (every registry holder
+  // dead); liveness is constant within one Serve call, so retrying would spin.
+  std::vector<PendingReq> blocked_unavailable;
   size_t next_arrival = 0;
   double now = config_.start_s;
   // Completion time of the in-flight *demand* swap (-inf when none). Demand swaps
@@ -171,7 +177,8 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
     return p.min_service_s;
   };
 
-  while (report.records.size() + shed_total < trace.requests.size()) {
+  while (report.records.size() + shed_total + blocked_unavailable.size() <
+         trace.requests.size()) {
     // Hard halt (elastic cluster epoch boundary / crash): stop scheduling.
     // Checked only here, so completions of the iteration in flight when the
     // clock crossed halt_s have already landed (documented approximation).
@@ -199,7 +206,8 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
           ++shed_total;
           emit_req(TraceEventType::kAdmissionShed, now, req);
         });
-    if (report.records.size() + shed_total == trace.requests.size()) {
+    if (report.records.size() + shed_total + blocked_unavailable.size() ==
+        trace.requests.size()) {
       break;  // shedding retired the last outstanding requests: nothing left to
               // simulate, and the idle fast-forward below would have no event
     }
@@ -241,6 +249,12 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
           if (load.ok) {
             demand_ready = load.ready_at;
             load_in_flight = true;
+          } else if (load.unavailable) {
+            // Typed registry failure: no live holder can source this model.
+            // Park the request rather than spin on an unsatisfiable swap.
+            blocked_unavailable.push_back(*it);
+            it = queue.erase(it);
+            continue;
           }
         }
         ++it;
@@ -278,6 +292,13 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
       continue;
     }
     if (running.empty()) {
+      // The scheduling pass above may have parked the last outstanding
+      // requests as unavailable: nothing is left to simulate, and the idle
+      // fast-forward below would have no future event to jump to.
+      if (report.records.size() + shed_total + blocked_unavailable.size() ==
+          trace.requests.size()) {
+        break;
+      }
       double next_t = std::numeric_limits<double>::infinity();
       if (next_arrival < trace.requests.size()) {
         next_t = trace.requests[next_arrival].arrival_s;
@@ -391,6 +412,16 @@ ServeReport VllmScbEngine::Serve(const Trace& trace) {
   }
   for (size_t i = next_arrival; i < trace.requests.size(); ++i) {
     report.unfinished.push_back(trace.requests[i]);
+  }
+  // Parked unavailable requests: carried as unfinished on halted (epoch) runs
+  // (the next epoch may see recovered holders or completed repairs), declared
+  // terminally unavailable on natural runs.
+  const bool halted = config_.halt_s < std::numeric_limits<double>::infinity();
+  for (const auto& p : blocked_unavailable) {
+    (halted ? report.unfinished : report.unavailable).push_back(p.req);
+  }
+  if (config_.registry != nullptr) {
+    report.cached_artifacts = store.LocallyCached();
   }
 
   for (const auto& r : report.records) {

@@ -236,6 +236,51 @@ TEST(FaultPlanTest, RejectsMalformedSpecsUntouched) {
   }
 }
 
+// The spec printer is the parser's inverse: parse → print → parse reproduces
+// the plan event-by-event (exactly for parsed plans; to 1e-9 for arbitrary
+// timestamps, the printer's formatting precision).
+void ExpectPlansMatch(const FaultPlan& got, const FaultPlan& want) {
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (size_t i = 0; i < want.events.size(); ++i) {
+    EXPECT_EQ(got.events[i].type, want.events[i].type) << "event " << i;
+    EXPECT_EQ(got.events[i].worker, want.events[i].worker) << "event " << i;
+    EXPECT_NEAR(got.events[i].t_s, want.events[i].t_s, 1e-9) << "event " << i;
+    EXPECT_NEAR(got.events[i].multiplier, want.events[i].multiplier, 1e-9)
+        << "event " << i;
+  }
+  EXPECT_NEAR(got.detection_delay_s, want.detection_delay_s, 1e-9);
+  EXPECT_EQ(got.reroute, want.reroute);
+}
+
+TEST(FaultPlanTest, SpecRoundTripsThroughPrinter) {
+  for (const char* spec :
+       {"crash@10:w1,detect=1",
+        "crash@10:w1,recover@20:w1,slow@5-15:w0x0.25,part@30-40:w2,"
+        "detect=1.5,reroute=0",
+        "part@3-9:w0,part@4-8:w0,detect=1",  // overlapping windows, one worker
+        "crash@0.5:w3,detect=0.25",
+        "slow@1.25-2.75:w1x0.5,crash@2:w0,detect=2"}) {
+    FaultPlan plan;
+    ASSERT_TRUE(ParseFaultPlan(spec, plan)) << spec;
+    const std::string printed = FaultPlanToSpec(plan);
+    FaultPlan reparsed;
+    ASSERT_TRUE(ParseFaultPlan(printed, reparsed)) << printed;
+    ExpectPlansMatch(reparsed, plan);
+    // The printer is a fixpoint of the round trip.
+    EXPECT_EQ(FaultPlanToSpec(reparsed), printed) << spec;
+  }
+}
+
+TEST(FaultPlanTest, RandomPlansRoundTripThroughSpec) {
+  for (uint64_t seed : {5ULL, 23ULL, 99ULL}) {
+    const FaultPlan plan = RandomFaultPlan(seed, 6, 250.0, 10);
+    const std::string printed = FaultPlanToSpec(plan);
+    FaultPlan reparsed;
+    ASSERT_TRUE(ParseFaultPlan(printed, reparsed)) << printed;
+    ExpectPlansMatch(reparsed, plan);
+  }
+}
+
 TEST(FaultPlanTest, RandomPlansAreSeedDeterministicAndWellFormed) {
   const FaultPlan a = RandomFaultPlan(99, 8, 300.0, 12);
   const FaultPlan b = RandomFaultPlan(99, 8, 300.0, 12);

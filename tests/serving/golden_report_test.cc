@@ -445,5 +445,68 @@ TEST(GoldenReportTest, ElasticOneCrashRunStaysGolden) {
   EXPECT_EQ(again.elastic.retried, r.elastic.retried);
 }
 
+// PR 9: the artifact registry at its defaults (no registry attached to the
+// engine, cluster registry disabled — set EXPLICITLY so a changed default
+// breaks loudly) must keep every store on the PR 8 infinite-local-disk path,
+// reproduce the golden doubles exactly, and leave no registry.* keys in the
+// metric snapshots.
+TEST(GoldenReportTest, RegistryOffStaysGoldenAndLeavesNoTrace) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  EngineConfig ecfg = GoldenEngineConfig();
+  ecfg.registry = nullptr;
+  ecfg.registry_node = 0;
+  ecfg.registry_warm.clear();
+  const ServeReport r = MakeDeltaZipEngine(ecfg)->Serve(trace);
+  ASSERT_EQ(r.records.size(), 89u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 90.574333173805186);
+  const GoldenSums s = SumsOf(r);
+  EXPECT_DOUBLE_EQ(s.sum_start, 4434.3527165309852);
+  EXPECT_DOUBLE_EQ(s.sum_first, 4435.5281193914107);
+  EXPECT_DOUBLE_EQ(s.sum_finish, 4487.3900915944778);
+  EXPECT_TRUE(r.unavailable.empty());
+  EXPECT_TRUE(r.cached_artifacts.empty());
+  // Registry instruments are only created when a registry is attached, so the
+  // snapshot must carry no registry.* keys at all (bit-identical exports).
+  for (const MetricPoint& p : r.metrics.points) {
+    EXPECT_NE(p.name.rfind("registry.", 0), 0u) << p.name;
+  }
+
+  TraceConfig tc = GoldenTraceConfig();
+  tc.arrival_rate = 6.0;
+  tc.n_models = 32;
+  tc.seed = 808;
+  const Trace cluster_trace = GenerateTrace(tc);
+  ClusterConfig cfg;
+  cfg.placer.n_gpus = 8;
+  cfg.placer.policy = PlacementPolicy::kDeltaAffinity;
+  cfg.engine = GoldenEngineConfig();
+  cfg.registry = RegistryConfig();  // enabled=false: no registry anywhere
+  const ClusterReport cr = Cluster(cfg).Serve(cluster_trace);
+  ASSERT_EQ(cr.merged.records.size(), 551u);
+  EXPECT_DOUBLE_EQ(cr.merged.makespan_s, 90.801221883859554);
+  const GoldenSums cs = SumsOf(cr.merged);
+  EXPECT_DOUBLE_EQ(cs.sum_start, 24782.342195479043);
+  EXPECT_DOUBLE_EQ(cs.sum_first, 24789.924368478765);
+  EXPECT_DOUBLE_EQ(cs.sum_finish, 25123.902618151558);
+  for (const MetricPoint& p : cr.merged.metrics.points) {
+    EXPECT_NE(p.name.rfind("registry.", 0), 0u) << p.name;
+  }
+
+  // The elastic path at registry-off defaults reproduces the PR 8 golden
+  // elastic doubles: the repair/liveness hooks must be completely inert.
+  ClusterConfig fcfg = cfg;
+  ASSERT_TRUE(ParseFaultPlan("crash@30:w3,detect=1", fcfg.faults));
+  const ClusterReport fr = Cluster(fcfg).Serve(cluster_trace);
+  ASSERT_EQ(fr.merged.records.size(), 551u);
+  const GoldenSums fs = SumsOf(fr.merged);
+  EXPECT_DOUBLE_EQ(fr.merged.makespan_s, 90.824038088136462);
+  EXPECT_DOUBLE_EQ(fs.sum_start, 24901.857791203565);
+  EXPECT_DOUBLE_EQ(fs.sum_first, 24910.131933536355);
+  EXPECT_DOUBLE_EQ(fs.sum_finish, 25245.251977350479);
+  EXPECT_EQ(fr.elastic.unavailable, 0);
+  EXPECT_EQ(fr.elastic.repair_jobs, 0);
+  EXPECT_DOUBLE_EQ(fr.elastic.repair_bytes, 0.0);
+}
+
 }  // namespace
 }  // namespace dz

@@ -54,6 +54,31 @@ expect_reject "cluster non-numeric metrics interval" "metrics-interval" \
 expect_reject "cluster empty trace-out path" "trace-out" \
   cluster --trace "$tmp/t.jsonl" --gpus 2 --trace-out ""
 
+# Artifact-registry flags: malformed redundancy / net settings fail fast too.
+expect_reject "zero replication factor" "replication" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --replication 0
+expect_reject "malformed erasure spec (missing m)" "erasure" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --erasure 4
+expect_reject "replication and erasure together" "mutually exclusive" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --replication 2 --erasure 2,1
+expect_reject "non-positive net bandwidth" "net-gbps" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --replication 2 --net-gbps 0
+
+# A good registry run under a worker crash must complete and echo the
+# normalized fault plan (the FaultPlanToSpec round-trip) in its report.
+if ! "$cli" cluster --trace "$tmp/t.jsonl" --gpus 2 --replication 2 \
+    --faults "crash@5:w1,detect=1" >"$tmp/out" 2>&1; then
+  echo "FAIL: replicated registry cluster run"
+  cat "$tmp/out"
+  fail=1
+elif ! grep -q "crash@5:w1,detect=1" "$tmp/out"; then
+  echo "FAIL: replicated registry run did not echo its fault plan"
+  cat "$tmp/out"
+  fail=1
+else
+  echo "ok: replicated registry cluster run"
+fi
+
 # Good runs: simulate and cluster each write a validating Chrome trace.
 if ! "$cli" simulate --trace "$tmp/t.jsonl" --trace-out "$tmp/sim.json" \
     >"$tmp/out" 2>&1; then

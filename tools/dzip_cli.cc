@@ -90,6 +90,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                    [--trace-out trace.json]\n"
        "                    [--faults spec] [--autoscale 0|1]\n"
        "                    [--min-workers 1] [--max-workers 8]\n"
+       "                    [--replication N | --erasure k,m] [--net-gbps 25]\n"
        "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
        "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
        "  router feeds each worker ring-predicted warm hints. tenant-affinity\n"
@@ -108,11 +109,17 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "  autoscaler between --min-workers and --max-workers (drain before\n"
        "  remove); either flag switches the router onto the epoch-based elastic\n"
        "  path, which re-routes around dead workers and re-enqueues their\n"
-       "  in-flight requests on survivors.\n",
+       "  in-flight requests on survivors.\n"
+       "  --replication N / --erasure k,m (mutually exclusive) enable the\n"
+       "  cluster-shared artifact registry: chunks placed across the workers by\n"
+       "  rendezvous hashing, non-local reads over a --net-gbps NIC, degraded\n"
+       "  reads when holders die, and background repair on spare bandwidth in\n"
+       "  elastic runs.\n",
        {"trace", "gpus", "policy", "engine", "model", "gpu", "tp", "n", "bits", "rank",
         "prefetch", "lookahead", "slo-e2e", "slo-ttft", "sched", "admission",
         "class-preempt", "metrics-out", "metrics-interval", "trace-out",
-        "faults", "autoscale", "min-workers", "max-workers"}},
+        "faults", "autoscale", "min-workers", "max-workers",
+        "replication", "erasure", "net-gbps"}},
       {"inspect",
        "usage: dzip inspect --artifact delta.bin\n"
        "  Prints a summary of an on-disk compressed-delta artifact.\n",
@@ -482,6 +489,33 @@ int CmdCluster(const ArgMap& args) {
     std::fprintf(stderr,
                  "error: need 1 <= --min-workers <= --max-workers (got %d..%d)\n",
                  cfg.autoscale.min_workers, cfg.autoscale.max_workers);
+    return 1;
+  }
+  const std::string replication = Get(args, "replication", "");
+  const std::string erasure = Get(args, "erasure", "");
+  if (!replication.empty() && !erasure.empty()) {
+    std::fprintf(stderr,
+                 "error: --replication and --erasure are mutually exclusive\n");
+    return 1;
+  }
+  if (!replication.empty() || !erasure.empty()) {
+    // Both route through the registry's spec parser, so the CLI accepts
+    // exactly what RedundancyPolicyToSpec prints.
+    const std::string spec = !replication.empty()
+                                 ? "replicate(" + replication + ")"
+                                 : "erasure(" + erasure + ")";
+    if (!ParseRedundancyPolicy(spec, cfg.registry.redundancy)) {
+      std::fprintf(stderr,
+                   "error: bad redundancy spec '%s' (--replication N>=1 or "
+                   "--erasure k,m with k>=1, m>=0)\n",
+                   spec.c_str());
+      return 1;
+    }
+    cfg.registry.enabled = true;
+  }
+  cfg.registry.net_gbps = GetNum(args, "net-gbps", cfg.registry.net_gbps);
+  if (cfg.registry.net_gbps <= 0.0) {
+    std::fprintf(stderr, "error: --net-gbps must be > 0\n");
     return 1;
   }
   const std::string metrics_out = Get(args, "metrics-out", "");
