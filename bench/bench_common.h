@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "src/core/deltazip.h"
+#include "src/tensor/backend.h"
 #include "src/train/finetune.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace dz {
 
@@ -198,18 +200,23 @@ double TimeSecsStable(Fn&& fn, double min_secs = 0.05) {
 }
 
 // Machine-readable bench output behind the shared `--json <path>` flag.
-// Schema (one object per bench binary, merged by tools/bench_json.sh):
-//   {"bench": "<name>", "metrics": [{"name","value","unit","higher_is_better"}]}
-// Dimensionless "x" ratio metrics (e.g. blocked-vs-naive speedups) are the ones
-// the CI regression gate compares — they are stable across machines, unlike
-// absolute GFLOP/s.
+// Schema (one object per bench binary, merged by tools/bench_json.sh into a
+// dz-bench-v2 trajectory file):
+//   {"bench": "<name>", "isa": "<backend at write time>", "threads": N,
+//    "metrics": [{"name","value","unit","higher_is_better"[,"isa"]}]}
+// The top-level isa/threads record what the process ran with; a metric measured
+// under a forced backend (fig06 sweeps every supported one) carries its own
+// per-metric "isa" so the regression gate can skip backends the gating machine
+// cannot execute. Dimensionless "x" ratio metrics (e.g. blocked-vs-naive
+// speedups) are the ones the CI gate compares — they are stable across
+// machines, unlike absolute GFLOP/s.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
 
   void Add(const std::string& name, double value, const std::string& unit,
-           bool higher_is_better = true) {
-    items_.push_back({name, value, unit, higher_is_better});
+           bool higher_is_better = true, const std::string& isa = "") {
+    items_.push_back({name, value, unit, higher_is_better, isa});
   }
 
   // Writes the JSON file; returns false (with a message on stderr) on failure.
@@ -219,15 +226,22 @@ class BenchJson {
       std::fprintf(stderr, "BenchJson: cannot open %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n", bench_.c_str());
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"isa\": \"%s\",\n"
+                 "  \"threads\": %zu,\n  \"metrics\": [\n",
+                 bench_.c_str(), kernels::ActiveBackend().name,
+                 ThreadPool::Global().thread_count());
     for (size_t i = 0; i < items_.size(); ++i) {
       const Item& it = items_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
-                   "\"higher_is_better\": %s}%s\n",
+                   "\"higher_is_better\": %s",
                    it.name.c_str(), it.value, it.unit.c_str(),
-                   it.higher_is_better ? "true" : "false",
-                   i + 1 < items_.size() ? "," : "");
+                   it.higher_is_better ? "true" : "false");
+      if (!it.isa.empty()) {
+        std::fprintf(f, ", \"isa\": \"%s\"", it.isa.c_str());
+      }
+      std::fprintf(f, "}%s\n", i + 1 < items_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -240,6 +254,7 @@ class BenchJson {
     double value;
     std::string unit;
     bool higher_is_better;
+    std::string isa;
   };
   std::string bench_;
   std::vector<Item> items_;

@@ -16,22 +16,39 @@ namespace dz {
 namespace {
 
 void RunMeasuredKernels(bool quick, BenchJson* json) {
-  std::printf("\nmeasured CPU kernels (blocked kernel layer vs naive reference):\n\n");
+  std::printf(
+      "\nmeasured CPU kernels (dispatched kernel layer vs naive reference, "
+      "per SIMD backend):\n\n");
   Rng rng(606);
   const int k = quick ? 256 : 1024;
   const int n = quick ? 256 : 1024;
-  Table table({"kernel", "m", "blocked GFLOP/s", "naive GFLOP/s", "speedup"});
-  const auto add_row = [&](const std::string& kernel, int m, double flops,
-                           double blocked_s, double naive_s) {
-    table.AddRow({kernel, std::to_string(m), Table::Num(flops / blocked_s / 1e9, 2),
+  Table table({"kernel", "m", "isa", "blocked GFLOP/s", "naive GFLOP/s", "speedup"});
+  const auto add_row = [&](const std::string& kernel, int m, const std::string& isa,
+                           double flops, double blocked_s, double naive_s) {
+    table.AddRow({kernel, std::to_string(m), isa,
+                  Table::Num(flops / blocked_s / 1e9, 2),
                   Table::Num(flops / naive_s / 1e9, 2),
                   Table::Num(naive_s / blocked_s, 2)});
     if (json != nullptr) {
-      const std::string base = kernel + "_m" + std::to_string(m);
-      json->Add(base + "_gflops", flops / blocked_s / 1e9, "GFLOP/s");
-      json->Add(base + "_speedup", naive_s / blocked_s, "x");
+      // Per-ISA metric names: the gate compares e.g. dense_nt_m4_avx2_speedup
+      // only when the current run also measured the avx2 backend.
+      const std::string base =
+          kernel + "_m" + std::to_string(m) + "_" + isa;
+      json->Add(base + "_gflops", flops / blocked_s / 1e9, "GFLOP/s",
+                /*higher_is_better=*/true, isa);
+      json->Add(base + "_speedup", naive_s / blocked_s, "x",
+                /*higher_is_better=*/true, isa);
     }
   };
+
+  // Every backend compiled in AND executable on this CPU; a binary carrying
+  // AVX-512 code onto an AVX2-only machine just measures fewer rows.
+  std::vector<std::string> isas;
+  for (const std::string& name : kernels::CompiledBackends()) {
+    if (kernels::BackendSupported(name)) {
+      isas.push_back(name);
+    }
+  }
 
   const double window = quick ? 0.05 : 0.2;
   for (int m : {quick ? 4 : 8, quick ? 64 : 512}) {
@@ -39,25 +56,33 @@ void RunMeasuredKernels(bool quick, BenchJson* json) {
 
     const Matrix x = Matrix::Random(m, k, rng, 1.0f);
     const Matrix w = Matrix::Random(n, k, rng, 0.02f);
-    MatmulNT(x, w);  // warm
-    const double blocked_s = TimeSecsStable([&] { MatmulNT(x, w); }, window);
-    const double naive_s = TimeSecsStable([&] { kernels::ref::GemmNT(x, w); }, window);
-    add_row("dense_nt", m, flops, blocked_s, naive_s);
-
     const auto q = PackedQuantMatrix::Quantize(w, 4, 128);
-    q.MatmulNT(x);  // warm
-    const double q_blocked_s = TimeSecsStable([&] { q.MatmulNT(x); }, window);
+    const auto sp = Sparse24Matrix::Pack(MagnitudePrune24(w), 4, 128);
+
+    // The naive references never dispatch, so measure them once per shape and
+    // reuse the denominators across every backend's rows.
+    const double naive_s = TimeSecsStable([&] { kernels::ref::GemmNT(x, w); }, window);
     const double q_naive_s =
         TimeSecsStable([&] { kernels::ref::QuantGemmNT(x, q); }, window);
-    add_row("quant4_nt", m, flops, q_blocked_s, q_naive_s);
-
-    const auto sp = Sparse24Matrix::Pack(MagnitudePrune24(w), 4, 128);
-    sp.MatmulNT(x);  // warm
-    const double s_blocked_s = TimeSecsStable([&] { sp.MatmulNT(x); }, window);
     const double s_naive_s =
         TimeSecsStable([&] { kernels::ref::Sparse24GemmNT(x, sp); }, window);
-    // Counted at dense FLOPs so throughput is comparable with the dense rows.
-    add_row("sparse24_nt", m, flops, s_blocked_s, s_naive_s);
+
+    for (const std::string& isa : isas) {
+      kernels::ForceBackend(isa);
+      MatmulNT(x, w);  // warm
+      const double blocked_s = TimeSecsStable([&] { MatmulNT(x, w); }, window);
+      add_row("dense_nt", m, isa, flops, blocked_s, naive_s);
+
+      q.MatmulNT(x);  // warm
+      const double q_blocked_s = TimeSecsStable([&] { q.MatmulNT(x); }, window);
+      add_row("quant4_nt", m, isa, flops, q_blocked_s, q_naive_s);
+
+      sp.MatmulNT(x);  // warm
+      const double s_blocked_s = TimeSecsStable([&] { sp.MatmulNT(x); }, window);
+      // Counted at dense FLOPs so throughput is comparable with the dense rows.
+      add_row("sparse24_nt", m, isa, flops, s_blocked_s, s_naive_s);
+    }
+    kernels::ResetBackend();
   }
   std::printf("W = %dx%d (quant/sparse 4-bit, group 128)\n\n%s\n", n, k,
               table.ToAscii().c_str());

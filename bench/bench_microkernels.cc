@@ -15,9 +15,11 @@
 
 #include "src/compress/lossless.h"
 #include "src/compress/obs.h"
+#include "src/tensor/backend.h"
 #include "src/tensor/packed_quant.h"
 #include "src/tensor/sparse24.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace dz {
 namespace {
@@ -171,6 +173,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) {
     return 1;
   }
+  // Recorded into the Google Benchmark JSON "context" object; bench_json.sh
+  // lifts these into the merged dz-bench-v2 trajectory file so a measurement is
+  // never divorced from the SIMD backend and pool size it ran with.
+  benchmark::AddCustomContext("isa", dz::kernels::ActiveBackend().name);
+  benchmark::AddCustomContext(
+      "threads", std::to_string(dz::ThreadPool::Global().thread_count()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/tensor/backend.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
@@ -352,10 +353,8 @@ class ChainMatcher {
       const uint8_t* c = data_ + cand;
       // Cheap reject: a longer match must extend past the current best.
       if (best.len == 0 || c[best.len] == cur[best.len]) {
-        int len = 0;
-        while (len < max_len && c[len] == cur[len]) {
-          ++len;
-        }
+        const int len = static_cast<int>(
+            match_len_(c, cur, static_cast<size_t>(max_len)));
         if (len >= kMinMatch && len > best.len) {
           best.len = len;
           best.dist = static_cast<int>(i) - cand;
@@ -378,6 +377,10 @@ class ChainMatcher {
   std::vector<int> head_;
   std::vector<int> prev_;
   size_t next_insert_ = 0;
+  // Dispatched common-prefix scan (SIMD compare on the vector backends);
+  // resolved once per matcher — Find runs per input position.
+  size_t (*const match_len_)(const uint8_t*, const uint8_t*, size_t) =
+      kernels::ActiveBackend().match_len;
 };
 
 std::vector<Token> Lz77Parse(const uint8_t* data, size_t n,
@@ -493,10 +496,11 @@ size_t DecompressBlockTo(const uint8_t* p, size_t size, uint8_t* dst) {
       const int distance = static_cast<int>(reader.Get(15)) + 1;
       DZ_CHECK_LE(static_cast<size_t>(distance), w);
       DZ_CHECK_LE(w + static_cast<size_t>(length), original_size);
-      const uint8_t* src = dst + w - static_cast<size_t>(distance);
-      for (int k = 0; k < length; ++k) {
-        dst[w + static_cast<size_t>(k)] = src[k];  // may self-overlap
-      }
+      // Dispatched overlapped copy: chunked when distance allows, byte-exact
+      // self-overlap replication otherwise.
+      kernels::ActiveBackend().copy_match(dst + w,
+                                          static_cast<size_t>(distance),
+                                          static_cast<size_t>(length));
       w += static_cast<size_t>(length);
     } else {
       DZ_CHECK_LT(w, original_size);

@@ -40,7 +40,10 @@ struct GdeflateOptions {
   // (own LZ window + Huffman table each) framed in a chunked container, so
   // both directions can run across the thread pool. Must be >= 4 KiB; clamped
   // below 1 GiB so the chunk magic cannot collide with a legacy size header.
-  size_t chunk_size = 1u << 20;
+  // 256 KiB (8x the LZ window) keeps the density loss from per-chunk windows
+  // small while giving mid-sized tensor deltas enough chunks to spread across
+  // the pool — sub-MiB buffers used to decode on one thread.
+  size_t chunk_size = 1u << 18;
   // Use the global thread pool for chunked compress/decompress.
   bool parallel = true;
 };

@@ -1,0 +1,114 @@
+// Runtime-dispatched SIMD kernel backends (ISSUE 10).
+//
+// The kernel layer compiles one translation unit per ISA (scalar always;
+// AVX2/AVX-512 on x86-64, NEON on arm) with that ISA's -m flags, each
+// instantiating the same blocked drivers from kernels_generic.h around its own
+// vector micro-kernels. At first use the dispatcher probes the CPU
+// (__builtin_cpu_supports on x86) and selects the widest compiled-and-supported
+// backend; every public kernel entry point in kernels.h then forwards through
+// the selected table, so call sites never name an ISA.
+//
+// Selection order (first hit wins):
+//   1. ForceBackend(name)       — programmatic, used by tests/benches/CLI --isa
+//   2. DZ_ISA=<name> env var    — unknown/unsupported values warn and fall through
+//   3. CPU probe, widest first  — avx512 > avx2 > neon > scalar
+//
+// Bit-identity contract: every backend's micro-kernels vectorize ONLY across
+// independent output elements (one accumulator chain per output column); each
+// element's k-terms accumulate in exactly the naive kernels::ref order, and the
+// per-ISA TUs compile with -ffp-contract=off so no mul+add pair is fused into
+// an FMA. Switching backends therefore never changes a single output bit —
+// enforced bitwise by tests/tensor/kernel_parity_test.cc for every compiled
+// backend.
+#ifndef SRC_TENSOR_BACKEND_H_
+#define SRC_TENSOR_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dz {
+
+class Matrix;
+class PackedQuantMatrix;
+class Sparse24Matrix;
+
+namespace kernels {
+
+// Bumped whenever a pointer is added/removed/retyped; the dispatcher refuses a
+// table whose version does not match, so a stale out-of-tree backend can never
+// be entered through a misshapen struct.
+inline constexpr int kBackendAbiVersion = 1;
+
+// One ISA's kernel implementations as a flat dispatch table. Instances are
+// immutable statics owned by their translation unit; callers hold `const
+// Backend&` from ActiveBackend() and never copy or mutate.
+struct Backend {
+  int abi_version;
+  const char* name;  // dispatch key: "scalar" | "avx2" | "avx512" | "neon"
+  const char* isa;   // human-readable ISA description for report headers
+  int vector_width;  // fp32 lanes per vector register (1 for scalar)
+
+  // Dense GEMM family (shapes as in kernels.h).
+  Matrix (*gemm_nn)(const Matrix&, const Matrix&);
+  Matrix (*gemm_nt)(const Matrix&, const Matrix&);
+  Matrix (*gemm_tn)(const Matrix&, const Matrix&);
+
+  // Compressed-format GEMMs.
+  Matrix (*quant_gemm_nt)(const Matrix&, const PackedQuantMatrix&);
+  Matrix (*sparse24_gemm_nt)(const Matrix&, const Sparse24Matrix&);
+
+  Matrix (*transpose)(const Matrix&);
+
+  // Elementwise spans (independent elements; trivially order-preserving).
+  void (*add_span)(float*, const float*, size_t);
+  void (*sub_span)(float*, const float*, size_t);
+  void (*scale_span)(float*, float, size_t);
+  void (*axpy_span)(float, const float*, float*, size_t);
+
+  // Byte spans for the lossless codec. match_len returns the length of the
+  // common prefix of a and b (both valid for `max` bytes). copy_match performs
+  // the LZ77 overlapped copy dst[i] = dst[i - dist] for i in [0, len) with
+  // byte-sequential semantics (dist < width replicates, exactly like the
+  // byte-at-a-time loop).
+  size_t (*match_len)(const uint8_t* a, const uint8_t* b, size_t max);
+  void (*copy_match)(uint8_t* dst, size_t dist, size_t len);
+};
+
+// The currently selected backend. First call performs the probe (cheap,
+// lock-free afterwards). Thread-safe to call concurrently.
+const Backend& ActiveBackend();
+
+// Selects a backend by name. Returns false (selection unchanged) when the name
+// is not compiled in or the CPU does not support it. Not meant to be raced
+// against in-flight kernel calls — flip it at startup or between phases, as the
+// tests/benches/CLI do.
+bool ForceBackend(const std::string& name);
+
+// Drops any ForceBackend choice and re-runs the DZ_ISA/probe selection.
+void ResetBackend();
+
+// Names of every backend compiled into this binary, probe order (widest
+// first, "scalar" always last). Independent of what the CPU supports.
+std::vector<std::string> CompiledBackends();
+
+// True when `name` is compiled in AND the running CPU supports it.
+bool BackendSupported(const std::string& name);
+
+// Pure selection logic, exposed so the dispatch unit test can exercise it
+// without patching the process environment: `compiled` is the probe-ordered
+// candidate list with per-CPU support flags, `env_override` mirrors DZ_ISA
+// (nullptr/empty = unset). Returns the chosen name: the override when it names
+// a compiled-and-supported candidate, otherwise the first supported one.
+struct BackendChoice {
+  std::string name;
+  bool supported;
+};
+std::string SelectBackendName(const std::vector<BackendChoice>& compiled,
+                              const char* env_override);
+
+}  // namespace kernels
+}  // namespace dz
+
+#endif  // SRC_TENSOR_BACKEND_H_

@@ -1,502 +1,19 @@
+// Naive reference kernels. The blocked/vectorized implementations moved to
+// per-ISA translation units (kernels_scalar/avx2/avx512/neon.cc, all built
+// from kernels_generic.h) behind the runtime dispatcher in
+// kernels_dispatch.cc; the public free functions in kernels.h are inline
+// forwarders through kernels::ActiveBackend().
+//
+// What remains here is kernels::ref — the exact pre-kernel-layer loops, kept
+// serial and scalar forever. They are the ground truth for the bit-identity
+// contract: every backend must match them byte-for-byte
+// (tests/tensor/kernel_parity_test.cc).
 #include "src/tensor/kernels.h"
 
-#include <algorithm>
 #include <vector>
-
-#include "src/util/thread_pool.h"
 
 namespace dz {
 namespace kernels {
-
-namespace {
-
-// Problems below this many flops run serially: task overhead would dominate.
-// (Same threshold the pre-kernel-layer ForRows helper used.)
-constexpr size_t kParallelFlopThreshold = 1u << 22;
-
-// Per-task flop target for the 2D tile grain; ParallelFor2D coarsens further
-// if the grid still has more tiles than the pool can usefully chew.
-constexpr size_t kTaskFlopTarget = 1u << 21;
-
-// Micro-kernel register blocking: MR output rows x NR output columns. 4x16
-// measured ~5x faster than 4x8 with GCC's SLP vectorizer on SSE2 (the wider
-// strip gives the scheduler four full-width independent chains per row).
-constexpr size_t kMicroRows = 4;
-constexpr size_t kMicroCols = 16;
-
-size_t GrainCols(size_t grain_rows, size_t k) {
-  const size_t denom = std::max<size_t>(2 * k * grain_rows, 1);
-  return std::max<size_t>(kMicroCols * 8, kTaskFlopTarget / denom);
-}
-
-// ---------------------------------------------------------------------------
-// NT form: C = A * B^T, per-element reduction over p ascending, no zero-skip
-// (the naive kernel never skipped here).
-// ---------------------------------------------------------------------------
-
-// Pointer variant for short i-ranges where panel packing would not amortize:
-// NR independent accumulator chains, one per output column.
-void GemmNTPointerStrip(const Matrix& a, const Matrix& b, Matrix& c, size_t i,
-                        size_t j0, size_t j1) {
-  const int k = a.cols();
-  const float* arow = a.row(static_cast<int>(i));
-  float* crow = c.row(static_cast<int>(i));
-  size_t j = j0;
-  for (; j + 4 <= j1; j += 4) {
-    const float* b0 = b.row(static_cast<int>(j));
-    const float* b1 = b.row(static_cast<int>(j + 1));
-    const float* b2 = b.row(static_cast<int>(j + 2));
-    const float* b3 = b.row(static_cast<int>(j + 3));
-    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      acc0 += av * b0[p];
-      acc1 += av * b1[p];
-      acc2 += av * b2[p];
-      acc3 += av * b3[p];
-    }
-    crow[j] = acc0;
-    crow[j + 1] = acc1;
-    crow[j + 2] = acc2;
-    crow[j + 3] = acc3;
-  }
-  for (; j < j1; ++j) {
-    const float* brow = b.row(static_cast<int>(j));
-    float acc = 0.0f;
-    for (int p = 0; p < k; ++p) {
-      acc += arow[p] * brow[p];
-    }
-    crow[j] = acc;
-  }
-}
-
-// Packed-panel micro-kernel: `panel` holds an NR-wide strip of B transposed to
-// [k][NR] so the NR accumulator lanes read contiguous memory (SIMD across
-// lanes; each lane keeps its own ascending-p chain).
-void GemmNTMicro(const float* arow0, const float* arow1, const float* arow2,
-                 const float* arow3, const float* panel, int k, float* out) {
-  float acc[kMicroRows][kMicroCols] = {};
-  for (int p = 0; p < k; ++p) {
-    const float* brow = panel + static_cast<size_t>(p) * kMicroCols;
-    const float a0 = arow0[p];
-    const float a1 = arow1[p];
-    const float a2 = arow2[p];
-    const float a3 = arow3[p];
-    for (size_t jj = 0; jj < kMicroCols; ++jj) {
-      const float bv = brow[jj];
-      acc[0][jj] += a0 * bv;
-      acc[1][jj] += a1 * bv;
-      acc[2][jj] += a2 * bv;
-      acc[3][jj] += a3 * bv;
-    }
-  }
-  for (size_t t = 0; t < kMicroRows; ++t) {
-    for (size_t jj = 0; jj < kMicroCols; ++jj) {
-      out[t * kMicroCols + jj] = acc[t][jj];
-    }
-  }
-}
-
-void GemmNTMicro1(const float* arow, const float* panel, int k, float* out) {
-  float acc[kMicroCols] = {};
-  for (int p = 0; p < k; ++p) {
-    const float* brow = panel + static_cast<size_t>(p) * kMicroCols;
-    const float av = arow[p];
-    for (size_t jj = 0; jj < kMicroCols; ++jj) {
-      acc[jj] += av * brow[jj];
-    }
-  }
-  for (size_t jj = 0; jj < kMicroCols; ++jj) {
-    out[jj] = acc[jj];
-  }
-}
-
-void GemmNTTile(const Matrix& a, const Matrix& b, Matrix& c, size_t i0, size_t i1,
-                size_t j0, size_t j1) {
-  const int k = a.cols();
-  if (i1 - i0 < kMicroRows) {
-    // Too few rows to amortize panel packing; multi-accumulator pointer strips.
-    for (size_t i = i0; i < i1; ++i) {
-      GemmNTPointerStrip(a, b, c, i, j0, j1);
-    }
-    return;
-  }
-  std::vector<float> panel(static_cast<size_t>(k) * kMicroCols);
-  float out[kMicroRows * kMicroCols];
-  const float* brows[kMicroCols];
-  for (size_t jb = j0; jb < j1; jb += kMicroCols) {
-    const size_t width = std::min(kMicroCols, j1 - jb);
-    for (size_t t = 0; t < kMicroCols; ++t) {
-      brows[t] = b.row(static_cast<int>(jb + (t < width ? t : 0)));
-    }
-    // Pack the strip B[jb..jb+width) transposed; pad dead lanes with zeros.
-    for (int p = 0; p < k; ++p) {
-      float* dst = panel.data() + static_cast<size_t>(p) * kMicroCols;
-      for (size_t t = 0; t < kMicroCols; ++t) {
-        dst[t] = t < width ? brows[t][p] : 0.0f;
-      }
-    }
-    size_t i = i0;
-    for (; i + kMicroRows <= i1; i += kMicroRows) {
-      GemmNTMicro(a.row(static_cast<int>(i)), a.row(static_cast<int>(i + 1)),
-                  a.row(static_cast<int>(i + 2)), a.row(static_cast<int>(i + 3)),
-                  panel.data(), k, out);
-      for (size_t t = 0; t < kMicroRows; ++t) {
-        float* crow = c.row(static_cast<int>(i + t));
-        for (size_t jj = 0; jj < width; ++jj) {
-          crow[jb + jj] = out[t * kMicroCols + jj];
-        }
-      }
-    }
-    for (; i < i1; ++i) {
-      GemmNTMicro1(a.row(static_cast<int>(i)), panel.data(), k, out);
-      float* crow = c.row(static_cast<int>(i));
-      for (size_t jj = 0; jj < width; ++jj) {
-        crow[jb + jj] = out[jj];
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// NN/TN shared inner: C[i0..i1) rows accumulate rank-1 updates over p
-// ascending with the naive kernel's per-(i,p) zero-skip. `a_base` rows must be
-// contiguous k-vectors (A itself for NN, a packed transpose panel for TN).
-// ---------------------------------------------------------------------------
-
-void RankOneAccumTile(const float* a_base, size_t a_stride, size_t rows,
-                      const Matrix& b, Matrix& c, size_t c_row0, size_t j0,
-                      size_t j1) {
-  const int k = b.rows();
-  constexpr size_t kJTile = 512;  // keeps the active C segment L1-resident
-  for (size_t jt = j0; jt < j1; jt += kJTile) {
-    const size_t jt1 = std::min(j1, jt + kJTile);
-    size_t i = 0;
-    for (; i + 4 <= rows; i += 4) {
-      const float* a0 = a_base + (i + 0) * a_stride;
-      const float* a1 = a_base + (i + 1) * a_stride;
-      const float* a2 = a_base + (i + 2) * a_stride;
-      const float* a3 = a_base + (i + 3) * a_stride;
-      float* c0 = c.row(static_cast<int>(c_row0 + i + 0));
-      float* c1 = c.row(static_cast<int>(c_row0 + i + 1));
-      float* c2 = c.row(static_cast<int>(c_row0 + i + 2));
-      float* c3 = c.row(static_cast<int>(c_row0 + i + 3));
-      for (int p = 0; p < k; ++p) {
-        const float* brow = b.row(p);
-        const float v0 = a0[p];
-        const float v1 = a1[p];
-        const float v2 = a2[p];
-        const float v3 = a3[p];
-        if (v0 != 0.0f && v1 != 0.0f && v2 != 0.0f && v3 != 0.0f) {
-          // Fused fast path: one pass over the B row updates 4 C rows.
-          for (size_t j = jt; j < jt1; ++j) {
-            const float bv = brow[j];
-            c0[j] += v0 * bv;
-            c1[j] += v1 * bv;
-            c2[j] += v2 * bv;
-            c3[j] += v3 * bv;
-          }
-        } else {
-          // Preserve the naive kernel's per-row zero-skip exactly.
-          if (v0 != 0.0f) AxpySpan(v0, brow + jt, c0 + jt, jt1 - jt);
-          if (v1 != 0.0f) AxpySpan(v1, brow + jt, c1 + jt, jt1 - jt);
-          if (v2 != 0.0f) AxpySpan(v2, brow + jt, c2 + jt, jt1 - jt);
-          if (v3 != 0.0f) AxpySpan(v3, brow + jt, c3 + jt, jt1 - jt);
-        }
-      }
-    }
-    for (; i < rows; ++i) {
-      const float* arow = a_base + i * a_stride;
-      float* crow = c.row(static_cast<int>(c_row0 + i));
-      for (int p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) {
-          continue;
-        }
-        AxpySpan(av, b.row(p) + jt, crow + jt, jt1 - jt);
-      }
-    }
-  }
-}
-
-void Launch2D(size_t m, size_t n, size_t k, size_t flops,
-              const std::function<void(size_t, size_t, size_t, size_t)>& body) {
-  if (m == 0 || n == 0) {
-    return;
-  }
-  if (flops < kParallelFlopThreshold) {
-    body(0, m, 0, n);
-    return;
-  }
-  const size_t grain_rows = 64;
-  ThreadPool::Global().ParallelFor2D(m, n, grain_rows, GrainCols(grain_rows, k), body);
-}
-
-}  // namespace
-
-Matrix GemmNN(const Matrix& a, const Matrix& b) {
-  DZ_CHECK_EQ(a.cols(), b.rows());
-  const size_t m = static_cast<size_t>(a.rows());
-  const size_t k = static_cast<size_t>(a.cols());
-  const size_t n = static_cast<size_t>(b.cols());
-  Matrix c(static_cast<int>(m), static_cast<int>(n));
-  Launch2D(m, n, k, m * k * n, [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-    RankOneAccumTile(a.row(static_cast<int>(i0)), k, i1 - i0, b, c, i0, j0, j1);
-  });
-  return c;
-}
-
-Matrix GemmNT(const Matrix& a, const Matrix& b) {
-  DZ_CHECK_EQ(a.cols(), b.cols());
-  const size_t m = static_cast<size_t>(a.rows());
-  const size_t k = static_cast<size_t>(a.cols());
-  const size_t n = static_cast<size_t>(b.rows());
-  Matrix c(static_cast<int>(m), static_cast<int>(n));
-  Launch2D(m, n, k, m * k * n, [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-    GemmNTTile(a, b, c, i0, i1, j0, j1);
-  });
-  return c;
-}
-
-Matrix GemmTN(const Matrix& a, const Matrix& b) {
-  DZ_CHECK_EQ(a.rows(), b.rows());
-  const size_t m = static_cast<size_t>(a.cols());
-  const size_t k = static_cast<size_t>(a.rows());
-  const size_t n = static_cast<size_t>(b.cols());
-  Matrix c(static_cast<int>(m), static_cast<int>(n));
-  Launch2D(m, n, k, m * k * n, [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-    // Pack the A columns of this tile into contiguous k-vectors once, then
-    // reuse the NN inner kernel. Copying changes no arithmetic.
-    const size_t rows = i1 - i0;
-    std::vector<float> panel(rows * k);
-    for (size_t p = 0; p < k; ++p) {
-      const float* arow = a.row(static_cast<int>(p));
-      for (size_t ii = 0; ii < rows; ++ii) {
-        panel[ii * k + p] = arow[i0 + ii];
-      }
-    }
-    RankOneAccumTile(panel.data(), k, rows, b, c, i0, j0, j1);
-  });
-  return c;
-}
-
-// ---------------------------------------------------------------------------
-// Fused group-dequant GEMM.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-// Columns decoded per pass; panel (kQuantJr rows interleaved) stays L1-resident.
-constexpr size_t kQuantBlockCols = 256;
-constexpr size_t kQuantJr = 4;  // weight rows decoded/accumulated together
-
-// Decodes w rows [j, j+jw) columns [c0, c1) into `panel` interleaved as
-// panel[(c - c0) * kQuantJr + t]; dead lanes (t >= jw) are zero-padded.
-// Values are computed with exactly the ValueAt()/Dequantize() expression.
-void DecodeQuantPanel(const PackedQuantMatrix& w, size_t j, size_t jw, size_t c0,
-                      size_t c1, int* codes, float* panel) {
-  const int bits = w.bits();
-  const int codes_per_word = 32 / bits;
-  const uint32_t mask = (1u << bits) - 1u;
-  const size_t cols = static_cast<size_t>(w.cols());
-  const size_t words_per_row = (cols + codes_per_word - 1) / codes_per_word;
-  const int group_size = w.group_size();
-  const size_t groups_per_row =
-      (cols + static_cast<size_t>(group_size) - 1) / group_size;
-  for (size_t t = 0; t < kQuantJr; ++t) {
-    if (t >= jw) {
-      for (size_t c = c0; c < c1; ++c) {
-        panel[(c - c0) * kQuantJr + t] = 0.0f;
-      }
-      continue;
-    }
-    const size_t row = j + t;
-    const uint32_t* words = w.packed().data() + row * words_per_row;
-    // Step 1: unpack raw codes word-at-a-time into a register-friendly panel.
-    {
-      size_t c = c0;
-      size_t wi = c0 / static_cast<size_t>(codes_per_word);
-      int idx = static_cast<int>(c0 % static_cast<size_t>(codes_per_word));
-      uint32_t word = words[wi] >> (idx * bits);
-      while (c < c1) {
-        if (idx == codes_per_word) {
-          ++wi;
-          word = words[wi];
-          idx = 0;
-        }
-        codes[c - c0] = static_cast<int>(word & mask);
-        word >>= bits;
-        ++idx;
-        ++c;
-      }
-    }
-    // Step 2: per-group affine, identical expression to ValueAt().
-    const float* scales = w.scales().data() + row * groups_per_row;
-    const uint8_t* zeros = w.zeros().data() + row * groups_per_row;
-    size_t g = c0 / static_cast<size_t>(group_size);
-    size_t c = c0;
-    while (c < c1) {
-      const size_t gend = std::min(c1, (g + 1) * static_cast<size_t>(group_size));
-      const float scale = scales[g];
-      const int zero = static_cast<int>(zeros[g]);
-      for (; c < gend; ++c) {
-        panel[(c - c0) * kQuantJr + t] =
-            static_cast<float>(codes[c - c0] - zero) * scale;
-      }
-      ++g;
-    }
-  }
-}
-
-}  // namespace
-
-Matrix QuantGemmNT(const Matrix& x, const PackedQuantMatrix& w) {
-  DZ_CHECK_EQ(x.cols(), w.cols());
-  const size_t m = static_cast<size_t>(x.rows());
-  const size_t n = static_cast<size_t>(w.rows());
-  const size_t k = static_cast<size_t>(w.cols());
-  Matrix y(static_cast<int>(m), static_cast<int>(n));
-  if (m == 0 || n == 0 || k == 0) {
-    return y;
-  }
-  const auto body = [&](size_t j0, size_t j1, size_t, size_t) {
-    std::vector<int> codes(kQuantBlockCols);
-    std::vector<float> panel(kQuantBlockCols * kQuantJr);
-    for (size_t j = j0; j < j1; j += kQuantJr) {
-      const size_t jw = std::min(kQuantJr, j1 - j);
-      for (size_t c0 = 0; c0 < k; c0 += kQuantBlockCols) {
-        const size_t c1 = std::min(k, c0 + kQuantBlockCols);
-        DecodeQuantPanel(w, j, jw, c0, c1, codes.data(), panel.data());
-        for (size_t i = 0; i < m; ++i) {
-          const float* xrow = x.row(static_cast<int>(i));
-          float* yrow = y.row(static_cast<int>(i));
-          // Left-fold continuation: each (i, j+t) chain extends across column
-          // blocks in ascending c, exactly the naive single-chain order.
-          float acc0 = yrow[j + 0];
-          float acc1 = jw > 1 ? yrow[j + 1] : 0.0f;
-          float acc2 = jw > 2 ? yrow[j + 2] : 0.0f;
-          float acc3 = jw > 3 ? yrow[j + 3] : 0.0f;
-          const float* wp = panel.data();
-          for (size_t c = c0; c < c1; ++c, wp += kQuantJr) {
-            const float xv = xrow[c];
-            acc0 += xv * wp[0];
-            acc1 += xv * wp[1];
-            acc2 += xv * wp[2];
-            acc3 += xv * wp[3];
-          }
-          yrow[j + 0] = acc0;
-          if (jw > 1) yrow[j + 1] = acc1;
-          if (jw > 2) yrow[j + 2] = acc2;
-          if (jw > 3) yrow[j + 3] = acc3;
-        }
-      }
-    }
-  };
-  const size_t flops = m * n * k;
-  if (flops < kParallelFlopThreshold) {
-    body(0, n, 0, 1);
-  } else {
-    const size_t grain = std::max<size_t>(kQuantJr * 4, kTaskFlopTarget / std::max<size_t>(2 * m * k, 1));
-    ThreadPool::Global().ParallelFor2D(n, 1, grain, 1, body);
-  }
-  return y;
-}
-
-// ---------------------------------------------------------------------------
-// 2:4 sparse gather GEMM.
-// ---------------------------------------------------------------------------
-
-Matrix Sparse24GemmNT(const Matrix& x, const Sparse24Matrix& w) {
-  DZ_CHECK_EQ(x.cols(), w.cols());
-  const size_t m = static_cast<size_t>(x.rows());
-  const size_t n = static_cast<size_t>(w.rows());
-  const size_t kept = static_cast<size_t>(w.cols()) / 2;
-  Matrix y(static_cast<int>(m), static_cast<int>(n));
-  if (m == 0 || n == 0 || kept == 0) {
-    return y;
-  }
-  const int bits = w.bits();
-  const int codes_per_word = 32 / bits;
-  const uint32_t mask = (1u << bits) - 1u;
-  const size_t words_per_row = (kept + codes_per_word - 1) / codes_per_word;
-  const size_t index_words_per_row = (kept + 15) / 16;
-  const size_t group_size = static_cast<size_t>(w.group_size());
-  const size_t groups_per_row = (kept + group_size - 1) / group_size;
-  constexpr size_t kBlock = 256;  // kept slots decoded per pass
-
-  const auto body = [&](size_t j0, size_t j1, size_t, size_t) {
-    std::vector<int> cols(kBlock);
-    std::vector<float> vals(kBlock);
-    for (size_t j = j0; j < j1; ++j) {
-      const uint32_t* vwords = w.packed_values().data() + j * words_per_row;
-      const uint32_t* iwords = w.packed_indices().data() + j * index_words_per_row;
-      const float* scales = w.scales().data() + j * groups_per_row;
-      const uint8_t* zeros = w.zeros().data() + j * groups_per_row;
-      for (size_t k0 = 0; k0 < kept; k0 += kBlock) {
-        const size_t k1 = std::min(kept, k0 + kBlock);
-        // Precompute this block's gather columns and dequantized values.
-        for (size_t kk = k0; kk < k1; ++kk) {
-          const uint32_t iword = iwords[kk / 16];
-          const int in_group = static_cast<int>((iword >> ((kk % 16) * 2)) & 0x3u);
-          cols[kk - k0] = static_cast<int>((kk / 2) * 4) + in_group;
-          const uint32_t vword = vwords[kk / codes_per_word];
-          const int q = static_cast<int>(
-              (vword >> ((kk % codes_per_word) * bits)) & mask);
-          const size_t gi = kk / group_size;
-          vals[kk - k0] =
-              static_cast<float>(q - static_cast<int>(zeros[gi])) * scales[gi];
-        }
-        for (size_t i = 0; i < m; ++i) {
-          const float* xrow = x.row(static_cast<int>(i));
-          // Left-fold continuation across blocks, ascending kept-slot order.
-          float acc = y.at(static_cast<int>(i), static_cast<int>(j));
-          for (size_t kk = 0; kk < k1 - k0; ++kk) {
-            acc += xrow[cols[kk]] * vals[kk];
-          }
-          y.at(static_cast<int>(i), static_cast<int>(j)) = acc;
-        }
-      }
-    }
-  };
-  const size_t flops = m * n * kept;
-  if (flops < kParallelFlopThreshold) {
-    body(0, n, 0, 1);
-  } else {
-    const size_t grain =
-        std::max<size_t>(16, kTaskFlopTarget / std::max<size_t>(2 * m * kept, 1));
-    ThreadPool::Global().ParallelFor2D(n, 1, grain, 1, body);
-  }
-  return y;
-}
-
-// ---------------------------------------------------------------------------
-// Blocked transpose.
-// ---------------------------------------------------------------------------
-
-Matrix Transpose(const Matrix& m) {
-  const int rows = m.rows();
-  const int cols = m.cols();
-  Matrix t(cols, rows);
-  constexpr int kTile = 32;
-  for (int rb = 0; rb < rows; rb += kTile) {
-    const int re = std::min(rows, rb + kTile);
-    for (int cb = 0; cb < cols; cb += kTile) {
-      const int ce = std::min(cols, cb + kTile);
-      for (int c = cb; c < ce; ++c) {
-        float* trow = t.row(c);
-        for (int r = rb; r < re; ++r) {
-          trow[r] = m.row(r)[c];
-        }
-      }
-    }
-  }
-  return t;
-}
-
-// ---------------------------------------------------------------------------
-// Naive reference kernels: the exact pre-kernel-layer loops, kept serial.
-// ---------------------------------------------------------------------------
-
 namespace ref {
 
 Matrix GemmNN(const Matrix& a, const Matrix& b) {
@@ -643,6 +160,5 @@ Matrix Transpose(const Matrix& m) {
 }
 
 }  // namespace ref
-
 }  // namespace kernels
 }  // namespace dz

@@ -1,12 +1,20 @@
-// Blocked, vectorizable CPU kernel layer for the compression/serving hot paths.
+// Public kernel API: thin forwarders through the runtime-dispatched SIMD
+// backend (see backend.h).
 //
-// Every dense, packed-quant, and 2:4-sparse matmul in the library routes through
-// here. The kernels are cache-blocked over the output (i/j) dimensions with
-// multi-accumulator inner loops, but NEVER reorder the per-element reduction:
-// each output element accumulates its k-terms in exactly the same (ascending,
-// zero-skipping where the naive kernel skipped) order as the retained naive
-// reference in kernels::ref. That makes every result bit-identical to the
-// pre-kernel-layer implementation — enforced by tests/tensor/kernel_parity_test.
+// Every dense, packed-quant, and 2:4-sparse matmul in the library routes
+// through here. Since ISSUE 10 the actual implementations live in per-ISA
+// translation units (kernels_scalar/avx2/avx512/neon.cc), all instantiating
+// the same cache-blocked drivers from kernels_generic.h; the free functions
+// below just forward through kernels::ActiveBackend(), so call sites never
+// changed and never name an ISA.
+//
+// Bit-identity contract (unchanged from the scalar kernel layer): no backend
+// ever reorders a per-element reduction. Each output element accumulates its
+// k-terms in exactly the same (ascending, zero-skipping where the naive kernel
+// skipped) order as the retained naive reference in kernels::ref; SIMD lanes
+// only span independent output elements, and the ISA TUs build with
+// -ffp-contract=off so nothing fuses into an FMA. Every compiled backend is
+// enforced bitwise against kernels::ref by tests/tensor/kernel_parity_test.
 //
 // Parallelism uses ThreadPool::ParallelFor2D over output tiles; the partition
 // never affects results because output elements are independent.
@@ -15,6 +23,7 @@
 
 #include <cstddef>
 
+#include "src/tensor/backend.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/packed_quant.h"
 #include "src/tensor/sparse24.h"
@@ -25,32 +34,40 @@ namespace kernels {
 // ---------------------------------------------------------------------------
 // Elementwise span helpers — the one home for the scattered elementwise loops
 // (Matrix::AddInPlace / SubInPlace / ScaleInPlace, Axpy, transformer norm
-// vectors). Plain independent-element loops; compilers vectorize them.
+// vectors). Dispatched: vector backends process a full register per step.
 // ---------------------------------------------------------------------------
 
 inline void AddSpan(float* y, const float* x, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    y[i] += x[i];
-  }
+  ActiveBackend().add_span(y, x, n);
 }
 
 inline void SubSpan(float* y, const float* x, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    y[i] -= x[i];
-  }
+  ActiveBackend().sub_span(y, x, n);
 }
 
 inline void ScaleSpan(float* y, float s, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    y[i] *= s;
-  }
+  ActiveBackend().scale_span(y, s, n);
 }
 
 // y += alpha * x.
 inline void AxpySpan(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    y[i] += alpha * x[i];
-  }
+  ActiveBackend().axpy_span(alpha, x, y, n);
+}
+
+// ---------------------------------------------------------------------------
+// Byte span helpers for the lossless codec (LZ77 match search / match copy).
+// ---------------------------------------------------------------------------
+
+// Length of the common prefix of a and b; both must be readable for `max`
+// bytes.
+inline size_t MatchLenSpan(const uint8_t* a, const uint8_t* b, size_t max) {
+  return ActiveBackend().match_len(a, b, max);
+}
+
+// LZ77 overlapped copy dst[i] = dst[i - dist] for i in [0, len), with
+// byte-sequential semantics (dist shorter than the copy replicates).
+inline void CopyMatchSpan(uint8_t* dst, size_t dist, size_t len) {
+  ActiveBackend().copy_match(dst, dist, len);
 }
 
 // ---------------------------------------------------------------------------
@@ -58,13 +75,19 @@ inline void AxpySpan(float alpha, const float* x, float* y, size_t n) {
 // ---------------------------------------------------------------------------
 
 // C = A * B. A is [m,k], B is [k,n].
-Matrix GemmNN(const Matrix& a, const Matrix& b);
+inline Matrix GemmNN(const Matrix& a, const Matrix& b) {
+  return ActiveBackend().gemm_nn(a, b);
+}
 
 // C = A * B^T. A is [m,k], B is [n,k] (linear-layer form Y = X W^T).
-Matrix GemmNT(const Matrix& a, const Matrix& b);
+inline Matrix GemmNT(const Matrix& a, const Matrix& b) {
+  return ActiveBackend().gemm_nt(a, b);
+}
 
 // C = A^T * B. A is [k,m], B is [k,n].
-Matrix GemmTN(const Matrix& a, const Matrix& b);
+inline Matrix GemmTN(const Matrix& a, const Matrix& b) {
+  return ActiveBackend().gemm_tn(a, b);
+}
 
 // ---------------------------------------------------------------------------
 // Compressed-format GEMMs (both are the NT linear-layer form Y = X W'^T).
@@ -73,19 +96,25 @@ Matrix GemmTN(const Matrix& a, const Matrix& b);
 // Fused group-wise-dequant GEMM: decodes packed codes a register panel at a
 // time instead of materializing a dense weight row. Bit-identical to
 // MatmulNT(x, w.Dequantize()).
-Matrix QuantGemmNT(const Matrix& x, const PackedQuantMatrix& w);
+inline Matrix QuantGemmNT(const Matrix& x, const PackedQuantMatrix& w) {
+  return ActiveBackend().quant_gemm_nt(x, w);
+}
 
 // Blocked gather GEMM over the 2:4 stored slots with per-block precomputed
 // column indices. Bit-identical to the historical row-at-a-time kernel (which
 // walks kept slots in storage order).
-Matrix Sparse24GemmNT(const Matrix& x, const Sparse24Matrix& w);
+inline Matrix Sparse24GemmNT(const Matrix& x, const Sparse24Matrix& w) {
+  return ActiveBackend().sparse24_gemm_nt(x, w);
+}
 
 // Blocked (32x32 tile) transpose.
-Matrix Transpose(const Matrix& m);
+inline Matrix Transpose(const Matrix& m) {
+  return ActiveBackend().transpose(m);
+}
 
 // ---------------------------------------------------------------------------
 // Retained naive reference kernels (the exact pre-kernel-layer loops). Slow;
-// exist so the parity tests can prove bit-identity of the blocked kernels.
+// exist so the parity tests can prove bit-identity of every backend.
 // ---------------------------------------------------------------------------
 namespace ref {
 

@@ -155,9 +155,11 @@ void ThreadPool::ParallelFor2D(
   const size_t workers = thread_count();
   size_t nr = (rows + tile_r - 1) / tile_r;
   size_t nc = (cols + tile_c - 1) / tile_c;
-  // Coarsen toward ~8 tiles per worker: enough slack for load balance, few
-  // enough that per-task queue overhead stays negligible next to the grain.
-  const size_t max_tiles = 8 * std::max<size_t>(workers, 1);
+  // Coarsen toward kMaxTilesPerExecutor tiles per executor. The caller helps
+  // drain the queue (HelpUntil), so it counts as an executor alongside the
+  // pool workers.
+  const size_t executors = std::max<size_t>(workers, 1) + 1;
+  const size_t max_tiles = kMaxTilesPerExecutor * executors;
   while (nr * nc > max_tiles && (nr > 1 || nc > 1)) {
     if (nr >= nc) {
       tile_r *= 2;

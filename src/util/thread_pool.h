@@ -60,6 +60,14 @@ class ThreadPool {
 
   size_t thread_count() const { return workers_.size(); }
 
+  // Tile-coarsening target for ParallelFor2D: aim for at most this many tiles
+  // per executor (pool workers plus the helping caller). Small enough that
+  // per-task queue overhead stays negligible next to the grain, large enough
+  // to absorb load imbalance from uneven tiles. The SIMD kernel backends lean
+  // on this: their per-tile work shrank by the vector width, so tile count —
+  // not tile size — is what keeps task overhead amortized.
+  static constexpr size_t kMaxTilesPerExecutor = 8;
+
   // Process-wide shared pool (default-sized: DZ_THREADS when set, otherwise
   // hardware_concurrency() capped to a sane bound — see the constructor).
   static ThreadPool& Global();

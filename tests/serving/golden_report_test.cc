@@ -10,6 +10,7 @@
 
 #include "src/cluster/router.h"
 #include "src/obs/critical_path.h"
+#include "src/tensor/backend.h"
 #include "src/serving/engine.h"
 #include "src/workload/trace.h"
 
@@ -506,6 +507,36 @@ TEST(GoldenReportTest, RegistryOffStaysGoldenAndLeavesNoTrace) {
   EXPECT_EQ(fr.elastic.unavailable, 0);
   EXPECT_EQ(fr.elastic.repair_jobs, 0);
   EXPECT_DOUBLE_EQ(fr.elastic.repair_bytes, 0.0);
+}
+
+// ISSUE 10: the engine's report math is pure simulation and must be completely
+// independent of which SIMD kernel backend is active — the natively dispatched
+// run and a forced-scalar run both reproduce the PR 9 golden doubles exactly.
+// A backend that leaked into scheduling (e.g. via a timing-dependent decision)
+// would shift these sums on machines with different vector units.
+TEST(GoldenReportTest, KernelBackendChoiceCannotMoveGoldens) {
+  const Trace trace = GenerateTrace(GoldenTraceConfig());
+  struct RunSums {
+    double makespan;
+    GoldenSums sums;
+  };
+  const auto run_once = [&trace]() -> RunSums {
+    const ServeReport r = MakeDeltaZipEngine(GoldenEngineConfig())->Serve(trace);
+    EXPECT_EQ(r.records.size(), 89u);
+    return {r.makespan_s, SumsOf(r)};
+  };
+
+  const RunSums native = run_once();  // whatever the CPU probe picked
+  ASSERT_TRUE(kernels::ForceBackend("scalar"));
+  const RunSums scalar = run_once();
+  kernels::ResetBackend();
+
+  for (const RunSums& r : {native, scalar}) {
+    EXPECT_DOUBLE_EQ(r.makespan, 90.574333173805186);
+    EXPECT_DOUBLE_EQ(r.sums.sum_start, 4434.3527165309852);
+    EXPECT_DOUBLE_EQ(r.sums.sum_first, 4435.5281193914107);
+    EXPECT_DOUBLE_EQ(r.sums.sum_finish, 4487.3900915944778);
+  }
 }
 
 }  // namespace

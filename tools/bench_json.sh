@@ -42,7 +42,7 @@ benches = []
 for path in sys.argv[2:]:
     with open(path) as f:
         data = json.load(f)
-    if "metrics" in data:  # BenchJson schema
+    if "metrics" in data:  # BenchJson v2 schema: isa/threads already top-level
         benches.append(data)
     elif "benchmarks" in data:  # Google Benchmark schema -> normalize
         metrics = []
@@ -52,9 +52,19 @@ for path in sys.argv[2:]:
                 if key in b:
                     metrics.append({"name": b["name"], "value": b[key],
                                     "unit": unit, "higher_is_better": True})
-        benches.append({"bench": "bench_microkernels", "metrics": metrics})
+        # AddCustomContext entries land in "context" as strings.
+        ctx = data.get("context", {})
+        bench = {"bench": "bench_microkernels", "metrics": metrics}
+        if "isa" in ctx:
+            bench["isa"] = ctx["isa"]
+        if "threads" in ctx:
+            try:
+                bench["threads"] = int(ctx["threads"])
+            except ValueError:
+                pass
+        benches.append(bench)
 with open(out_path, "w") as f:
-    json.dump({"schema": "dz-bench-v1", "benches": benches}, f, indent=2)
+    json.dump({"schema": "dz-bench-v2", "benches": benches}, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path} ({sum(len(b['metrics']) for b in benches)} metrics)")
 EOF

@@ -18,25 +18,39 @@ import json, sys
 
 cur_path, base_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
 
-def ratio_metrics(path):
+def load(path):
+    """Returns ({key: value} for gated ratio metrics, {key: isa}, {isas seen})."""
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    metrics, isa_of, isas = {}, {}, set()
     for bench in data.get("benches", []):
         for m in bench.get("metrics", []):
+            isa = m.get("isa", "")
+            if isa:
+                isas.add(isa)
             if m.get("unit") == "x" and m.get("higher_is_better", True):
-                out[f'{bench["bench"]}:{m["name"]}'] = float(m["value"])
-    return out
+                key = f'{bench["bench"]}:{m["name"]}'
+                metrics[key] = float(m["value"])
+                isa_of[key] = isa
+    return metrics, isa_of, isas
 
-cur = ratio_metrics(cur_path)
-base = ratio_metrics(base_path)
+cur, _, cur_isas = load(cur_path)
+base, base_isa, _ = load(base_path)
 if not base:
     sys.exit(f"no gated (unit 'x') metrics in baseline {base_path}")
 
-failures, compared = [], 0
+failures, compared, skipped = [], 0, 0
 for name, base_v in sorted(base.items()):
     cur_v = cur.get(name)
     if cur_v is None:
+        # A baseline metric tagged with a SIMD backend this machine did not
+        # measure (e.g. an avx512 row from the baselining host on an AVX2-only
+        # runner) is expected to be absent; anything else missing is a failure.
+        isa = base_isa.get(name, "")
+        if isa and isa not in cur_isas:
+            print(f"skip {name}: backend '{isa}' not measured in current run")
+            skipped += 1
+            continue
         failures.append(f"MISSING  {name} (baseline {base_v:.2f})")
         continue
     compared += 1
@@ -48,5 +62,6 @@ for name, base_v in sorted(base.items()):
 if failures:
     print("\n".join(failures))
     sys.exit(f"perf regression gate FAILED ({len(failures)} of {len(base)} metrics)")
-print(f"perf gate OK ({compared} ratio metrics within {threshold:.0%} of baseline)")
+print(f"perf gate OK ({compared} ratio metrics within {threshold:.0%} of baseline,"
+      f" {skipped} skipped for unavailable backends)")
 EOF

@@ -54,6 +54,26 @@ expect_reject "cluster non-numeric metrics interval" "metrics-interval" \
 expect_reject "cluster empty trace-out path" "trace-out" \
   cluster --trace "$tmp/t.jsonl" --gpus 2 --trace-out ""
 
+# Kernel backend selection: unknown names must fail with the compiled list.
+expect_reject "unknown kernel isa" "isa" \
+  simulate --trace "$tmp/t.jsonl" --isa bogus
+expect_reject "cluster unknown kernel isa" "isa" \
+  cluster --trace "$tmp/t.jsonl" --gpus 2 --isa bogus
+
+# A forced-scalar run must complete and name the scalar backend in its header
+# (scalar is compiled into every binary, so this is machine-independent).
+if ! "$cli" simulate --trace "$tmp/t.jsonl" --isa scalar >"$tmp/out" 2>&1; then
+  echo "FAIL: forced-scalar simulate run"
+  cat "$tmp/out"
+  fail=1
+elif ! grep -q "kernel backend: scalar" "$tmp/out"; then
+  echo "FAIL: forced-scalar run does not report the scalar backend"
+  cat "$tmp/out"
+  fail=1
+else
+  echo "ok: forced-scalar simulate run"
+fi
+
 # Artifact-registry flags: malformed redundancy / net settings fail fast too.
 expect_reject "zero replication factor" "replication" \
   cluster --trace "$tmp/t.jsonl" --gpus 2 --replication 0

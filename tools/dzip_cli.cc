@@ -21,6 +21,7 @@
 #include "src/metrics/metrics.h"
 #include "src/obs/trace_export.h"
 #include "src/serving/engine.h"
+#include "src/tensor/backend.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/workload/trace_io.h"
@@ -58,8 +59,11 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                     [--lookahead 4] [--sched fcfs|priority|dwfq]\n"
        "                     [--admission 0|1] [--class-preempt 0|1]\n"
        "                     [--metrics-out m.jsonl] [--metrics-interval 10]\n"
-       "                     [--trace-out trace.json]\n"
+       "                     [--trace-out trace.json] [--isa scalar|avx2|avx512|neon]\n"
        "  Replays the trace against the serving simulator and prints the report.\n"
+       "  --isa forces a compiled-in kernel backend instead of the CPU-probed\n"
+       "  one (the report header shows which backend ran); unknown or\n"
+       "  unsupported names fail with the compiled list.\n"
        "  --prefetch 1 enables the async artifact-prefetch pipeline (--lookahead\n"
        "  sets W, the number of waiting variants warmed ahead of admission).\n"
        "  --sched picks the scheduler policy (priority = strict by SLO class,\n"
@@ -76,7 +80,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "  additionally shows per-class TTFT/E2E critical-path breakdowns.\n",
        {"trace", "engine", "model", "gpu", "tp", "n", "bits", "rank", "prefetch",
         "lookahead", "sched", "admission", "class-preempt", "metrics-out",
-        "metrics-interval", "trace-out"}},
+        "metrics-interval", "trace-out", "isa"}},
       {"cluster",
        "usage: dzip cluster --trace t.jsonl --gpus 4\n"
        "                    [--policy round-robin|least-outstanding|delta-affinity|\n"
@@ -91,6 +95,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
        "                    [--faults spec] [--autoscale 0|1]\n"
        "                    [--min-workers 1] [--max-workers 8]\n"
        "                    [--replication N | --erasure k,m] [--net-gbps 25]\n"
+       "                    [--isa scalar|avx2|avx512|neon]\n"
        "  Routes the trace across a simulated multi-GPU cluster and prints the\n"
        "  merged cluster report plus the per-GPU breakdown. With --prefetch 1 the\n"
        "  router feeds each worker ring-predicted warm hints. tenant-affinity\n"
@@ -119,7 +124,7 @@ const std::vector<SubcommandSpec>& Subcommands() {
         "prefetch", "lookahead", "slo-e2e", "slo-ttft", "sched", "admission",
         "class-preempt", "metrics-out", "metrics-interval", "trace-out",
         "faults", "autoscale", "min-workers", "max-workers",
-        "replication", "erasure", "net-gbps"}},
+        "replication", "erasure", "net-gbps", "isa"}},
       {"inspect",
        "usage: dzip inspect --artifact delta.bin\n"
        "  Prints a summary of an on-disk compressed-delta artifact.\n",
@@ -345,6 +350,41 @@ bool ParseEngineArgs(const ArgMap& args, EngineConfig& cfg, bool& vllm_baseline)
   return true;
 }
 
+// Applies --isa by forcing the named kernel backend before any work runs.
+// Fails (usage error, exit 1) when the name is not compiled into this binary
+// or this CPU cannot run it; the error lists what is available.
+bool ApplyIsaFlag(const ArgMap& args) {
+  const std::string isa = Get(args, "isa", "");
+  if (isa.empty()) {
+    return true;
+  }
+  if (!kernels::ForceBackend(isa)) {
+    std::string available;
+    for (const std::string& name : kernels::CompiledBackends()) {
+      if (!available.empty()) {
+        available += ", ";
+      }
+      available += name;
+      if (!kernels::BackendSupported(name)) {
+        available += " (unsupported on this CPU)";
+      }
+    }
+    std::fprintf(stderr, "error: unknown or unsupported --isa '%s' (compiled: %s)\n",
+                 isa.c_str(), available.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Report-header line naming the kernel backend this process is dispatched to.
+std::string KernelBackendLine() {
+  const kernels::Backend& b = kernels::ActiveBackend();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "kernel backend: %s (%s, %d-wide fp32)",
+                b.name, b.isa, b.vector_width);
+  return buf;
+}
+
 bool LoadTraceArg(const ArgMap& args, const char* subcommand, Trace& trace) {
   const std::string trace_path = Get(args, "trace", "");
   if (trace_path.empty()) {
@@ -373,6 +413,9 @@ bool AppendRunMetrics(MetricsJsonlWriter& writer, const ServeReport& report,
 }
 
 int CmdSimulate(const ArgMap& args) {
+  if (!ApplyIsaFlag(args)) {
+    return 1;
+  }
   Trace trace;
   if (!LoadTraceArg(args, "simulate", trace)) {
     return 1;
@@ -415,6 +458,7 @@ int CmdSimulate(const ArgMap& args) {
     std::printf("wrote %d metrics snapshots to %s\n", writer.lines_written(),
                 metrics_out.c_str());
   }
+  std::printf("%s\n", KernelBackendLine().c_str());
   Table table({"metric", "value"});
   table.AddRow({"engine", report.engine_name});
   table.AddRow({"requests", std::to_string(report.completed())});
@@ -444,6 +488,9 @@ int CmdSimulate(const ArgMap& args) {
 }
 
 int CmdCluster(const ArgMap& args) {
+  if (!ApplyIsaFlag(args)) {
+    return 1;
+  }
   Trace trace;
   if (!LoadTraceArg(args, "cluster", trace)) {
     return 1;
@@ -554,6 +601,7 @@ int CmdCluster(const ArgMap& args) {
     std::printf("wrote %d metrics snapshots to %s\n", writer.lines_written(),
                 metrics_out.c_str());
   }
+  std::printf("%s\n", KernelBackendLine().c_str());
   std::printf("%s", report.Summary(GetNum(args, "slo-e2e", 120.0),
                                    GetNum(args, "slo-ttft", 30.0)).c_str());
   return 0;
